@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each experiment benchmark runs the corresponding ``repro.experiments``
+module in *quick* mode under pytest-benchmark and asserts the headline
+findings, so ``pytest benchmarks/ --benchmark-only`` both times the
+harness and re-verifies every reproduced claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment module and return its (quick) result."""
+
+    def runner(module):
+        return benchmark.pedantic(
+            lambda: module.run(quick=True), rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

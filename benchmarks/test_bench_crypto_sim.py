@@ -1,0 +1,85 @@
+"""Crypto-scheme and simulation-kernel micro-benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.encoding import encode
+from repro.crypto.hashing import hash_values
+from repro.crypto.signatures import make_scheme
+from repro.sim.network import FixedLatency, Network
+from repro.sim.process import Node
+from repro.sim.scheduler import Scheduler
+from repro.ustor.digests import extend_digest
+from repro.ustor.version import Version
+
+PAYLOAD = b"m" * 128
+
+
+@pytest.mark.parametrize("scheme_name", ["ed25519", "hmac", "insecure"])
+def test_sign(benchmark, scheme_name):
+    scheme = make_scheme(scheme_name, 2)
+    signature = benchmark(scheme.sign, 0, PAYLOAD)
+    assert scheme.verify(0, signature, PAYLOAD)
+
+
+@pytest.mark.parametrize("scheme_name", ["ed25519", "hmac", "insecure"])
+def test_verify(benchmark, scheme_name):
+    scheme = make_scheme(scheme_name, 2)
+    signature = scheme.sign(0, PAYLOAD)
+    assert benchmark(scheme.verify, 0, signature, PAYLOAD)
+
+
+def test_canonical_encoding(benchmark):
+    payload = ("COMMIT", tuple(range(32)), tuple(bytes([i]) * 32 for i in range(32)))
+    out = benchmark(encode, *payload)
+    assert isinstance(out, bytes)
+
+
+def test_hash_values(benchmark):
+    digest = benchmark(hash_values, "DIGEST", b"\x01" * 32, 7)
+    assert len(digest) == 32
+
+
+def test_digest_extension(benchmark):
+    digest = benchmark(extend_digest, b"\x02" * 32, 3)
+    assert len(digest) == 32
+
+
+@pytest.mark.parametrize("n", [4, 64])
+def test_version_comparison(benchmark, n):
+    digest = b"\x03" * 32
+    a = Version(tuple(range(n)), tuple(digest for _ in range(n)))
+    b = Version(tuple(t + 1 for t in range(n)), tuple(digest for _ in range(n)))
+    assert benchmark(a.le, b) is True
+
+
+def test_scheduler_event_dispatch(benchmark):
+    def run():
+        scheduler = Scheduler()
+        sink = []
+        for i in range(1_000):
+            scheduler.schedule(float(i % 17), sink.append, i)
+        scheduler.run()
+        return len(sink)
+
+    assert benchmark(run) == 1_000
+
+
+def test_network_message_round(benchmark):
+    class Echo(Node):
+        def on_message(self, src, message):
+            if message > 0:
+                self.send(src, message - 1)
+
+    def run():
+        scheduler = Scheduler()
+        network = Network(scheduler, default_latency=FixedLatency(0.5))
+        a, b = Echo("A"), Echo("B")
+        network.register(a)
+        network.register(b)
+        a.send("B", 500)  # 500 ping-pong hops
+        scheduler.run()
+        return scheduler.events_processed
+
+    assert benchmark(run) >= 500

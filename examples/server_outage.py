@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Why FAUST talks client-to-client: stability surviving a server outage.
+
+Section 6's key observation: dummy reads alone cannot make stability
+detection complete, because a faulty server — even one that merely
+crashes — can stop relaying versions.  FAUST therefore exchanges versions
+over the *offline* channel (PROBE / VERSION messages).
+
+This example completes two operations, kills the server, and shows that
+the operations still become mutually stable through offline exchange —
+while new operations (correctly) hang forever, and no client ever raises
+``fail``: a crash is indistinguishable from slowness and is *not*
+Byzantine evidence.
+
+Run:  python examples/server_outage.py
+"""
+
+from repro.ustor.byzantine import CrashingServer
+from repro.workloads.runner import SystemBuilder
+
+
+def main() -> None:
+    # The server will crash after serving exactly two SUBMITs — Alice's
+    # write and Bob's read both complete, then the lights go out.
+    system = SystemBuilder(
+        num_clients=2,
+        seed=33,
+        server_factory=lambda n, name: CrashingServer(n, crash_after_submits=2, name=name),
+    ).build_faust(
+        dummy_read_period=1_000.0,  # isolate the offline path
+        probe_check_period=3.0,
+        delta=10.0,
+    )
+    alice, bob = system.clients
+
+    done = []
+    alice.write(b"final-report.pdf", done.append)
+    system.run_until(lambda: len(done) == 1, timeout=100)
+    bob.read(0, done.append)
+    system.run_until(lambda: len(done) == 2, timeout=100)
+    print(f"alice wrote her report (t={done[0].timestamp}); bob read it: "
+          f"{done[1].value!r}")
+
+    print("\n... the provider goes down (next request kills it) ...")
+    system.run(until=system.now + 60)
+
+    t = done[0].timestamp
+    print(f"\nwaiting for alice's write (t={t}) to become stable w.r.t. bob,")
+    print("with the server dead — only PROBE/VERSION exchange can do it:")
+    reached = system.run_until(
+        lambda: alice.tracker.stable_timestamp_for(1) >= t, timeout=2_000
+    )
+    print(f"  stable w.r.t. bob: {reached}")
+    print(f"  alice's stability cut: {list(alice.tracker.stability_cut())}")
+
+    print("\nmeanwhile, a new operation hangs (wait-freedom needs a correct server):")
+    box = []
+    try:
+        alice.write(b"new-draft", box.append)
+    except Exception as exc:  # the client may have halted ops — not here
+        print(f"  {exc}")
+    system.run(until=system.now + 200)
+    print(f"  new write completed: {bool(box)} (expected: False)")
+
+    print("\nand nobody cried wolf — a crash is not provable misbehaviour:")
+    for client in system.clients:
+        print(f"  {client.name}: fail raised = {client.faust_failed}")
+    assert reached and not any(c.faust_failed for c in system.clients)
+
+
+if __name__ == "__main__":
+    main()

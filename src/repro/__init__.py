@@ -1,0 +1,53 @@
+"""FAUST — Fail-Aware Untrusted Storage (Cachin, Keidar, Shraer; DSN 2009).
+
+A complete reproduction: the USTOR weak fork-linearizable storage protocol
+(Algorithms 1-2), the FAUST fail-aware layer (Section 6), the consistency
+theory of Sections 2-4 as executable checkers, baselines, Byzantine server
+attacks, and the simulation substrate everything runs on.
+
+Quickstart::
+
+    from repro.workloads import SystemBuilder
+
+    system = SystemBuilder(num_clients=3, seed=7).build()
+    alice, bob, carlos = system.clients
+    alice.write(b"draft-1")
+    system.run(until=50)
+    print(system.history().describe())
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.common import BOTTOM, OpKind
+from repro.consistency import (
+    CheckResult,
+    check_causal_consistency,
+    check_fork_linearizability_exhaustive,
+    check_linearizability,
+    check_linearizability_exhaustive,
+    check_weak_fork_linearizability_exhaustive,
+    validate_weak_fork_linearizability,
+)
+from repro.history import History, HistoryRecorder, Operation
+from repro.ustor import UstorClient, UstorServer, Version
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "CheckResult",
+    "History",
+    "HistoryRecorder",
+    "OpKind",
+    "Operation",
+    "UstorClient",
+    "UstorServer",
+    "Version",
+    "__version__",
+    "check_causal_consistency",
+    "check_fork_linearizability_exhaustive",
+    "check_linearizability",
+    "check_linearizability_exhaustive",
+    "check_weak_fork_linearizability_exhaustive",
+    "validate_weak_fork_linearizability",
+]

@@ -1,0 +1,72 @@
+"""Statistics for the experiment harness.
+
+The headline analytical claims of the paper are *shape* claims ("overhead
+is O(n)", "one round per operation", "who blocks and who doesn't"), so the
+module focuses on the tools those need: linear regression for complexity
+fits and simple trace reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.trace import SimTrace
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares fit of ``y ~ slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares (no numpy dependency for two sums)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x sample")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def bytes_per_operation(trace: SimTrace, operations: int, kinds: Sequence[str]) -> float:
+    """Average wire bytes attributable to each completed operation."""
+    if operations <= 0:
+        raise ValueError("operations must be positive")
+    total = sum(trace.total_bytes(kind) for kind in kinds)
+    return total / operations
+
+
+def messages_per_operation(trace: SimTrace, operations: int, kinds: Sequence[str]) -> float:
+    if operations <= 0:
+        raise ValueError("operations must be positive")
+    total = sum(trace.message_count(kind) for kind in kinds)
+    return total / operations
+
+
+def critical_path_rounds(trace: SimTrace, operations: int) -> float:
+    """Message rounds on the operation critical path.
+
+    For USTOR the critical path is SUBMIT -> REPLY (one round); COMMIT is
+    asynchronous.  Computed as REPLY messages per completed operation —
+    exactly one for a correct server.
+    """
+    if operations <= 0:
+        raise ValueError("operations must be positive")
+    return trace.message_count("REPLY") / operations

@@ -1,0 +1,42 @@
+"""Fixed-width table rendering for experiment output.
+
+The benchmark harness prints the rows each experiment reproduces
+(EXPERIMENTS.md embeds them verbatim), so the formatting lives in one
+place and stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)

@@ -1,0 +1,29 @@
+"""Baseline protocols: the blocking fork-linearizable design and a naive store."""
+
+from repro.baselines.lockstep import (
+    LockStepClient,
+    LockStepServer,
+    LsOutcome,
+    TamperingLockStepServer,
+    build_lockstep_system,
+)
+from repro.baselines.unchecked import (
+    LyingUncheckedServer,
+    PlainOutcome,
+    UncheckedClient,
+    UncheckedServer,
+    build_unchecked_system,
+)
+
+__all__ = [
+    "LockStepClient",
+    "LockStepServer",
+    "LsOutcome",
+    "LyingUncheckedServer",
+    "PlainOutcome",
+    "TamperingLockStepServer",
+    "UncheckedClient",
+    "UncheckedServer",
+    "build_lockstep_system",
+    "build_unchecked_system",
+]

@@ -1,0 +1,193 @@
+"""Command-line exploration tool.
+
+Run randomized workloads against a chosen server behaviour and print the
+recorded history, the consistency-checker verdicts, detection outcomes and
+message statistics::
+
+    python -m repro run --clients 3 --ops 6 --server correct --check
+    python -m repro run --server split-brain --faust --until 600
+    python -m repro attacks                       # list server behaviours
+    python -m repro experiments --quick           # run the E* harness
+
+The CLI is a thin veneer over the library; everything it does is one or
+two calls into :mod:`repro.workloads` and :mod:`repro.consistency`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.consistency.causal import check_causal_consistency
+from repro.consistency.linearizability import check_linearizability
+from repro.consistency.weak_fork import validate_weak_fork_linearizability
+from repro.ustor.byzantine import (
+    CrashingServer,
+    Fig3Server,
+    ForgingServer,
+    ReplayServer,
+    SplitBrainServer,
+    TamperingServer,
+    UnresponsiveServer,
+)
+from repro.ustor.server import UstorServer
+from repro.ustor.viewhistory import build_client_views
+from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
+from repro.workloads.runner import SystemBuilder
+
+SERVERS = {
+    "correct": lambda n, name: UstorServer(n, name=name),
+    "tampering": lambda n, name: TamperingServer(n, target_register=0, name=name),
+    "forging": lambda n, name: ForgingServer(n, name=name),
+    "replay": lambda n, name: ReplayServer(n, freeze_after_submits=4, name=name),
+    "crash": lambda n, name: CrashingServer(n, crash_after_submits=6, name=name),
+    "unresponsive": lambda n, name: UnresponsiveServer(n, victims={0}, name=name),
+    "split-brain": lambda n, name: SplitBrainServer(
+        n,
+        groups=[{c for c in range(n) if c % 2 == 0}, {c for c in range(n) if c % 2}],
+        fork_time=10.0,
+        name=name,
+    ),
+    "figure3": lambda n, name: Fig3Server(n, writer=0, victim=1, name=name),
+}
+
+ATTACK_NOTES = {
+    "correct": "the honest server of Algorithm 2",
+    "tampering": "corrupts read values — caught at line 50",
+    "forging": "advertises an unsigned version — caught at line 35",
+    "replay": "freezes and replays state — caught at lines 36/43",
+    "crash": "stops responding — not detectable, operations hang",
+    "unresponsive": "ignores C1 only",
+    "split-brain": "forks even/odd clients at t=10 — FAUST-detectable",
+    "figure3": "the paper's hiding attack (invisible to USTOR under the "
+    "exact Figure 3 schedule; see examples/forking_attack.py)",
+}
+
+
+def _cmd_attacks(_args) -> int:
+    width = max(len(name) for name in SERVERS)
+    for name in SERVERS:
+        print(f"  {name.ljust(width)}  {ATTACK_NOTES[name]}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.server not in SERVERS:
+        print(f"unknown server {args.server!r}; see 'python -m repro attacks'")
+        return 2
+    builder = SystemBuilder(
+        num_clients=args.clients,
+        seed=args.seed,
+        server_factory=SERVERS[args.server],
+    )
+    if args.faust:
+        system = builder.build_faust()
+    else:
+        system = builder.build()
+    scripts = generate_scripts(
+        args.clients,
+        WorkloadConfig(
+            ops_per_client=args.ops,
+            read_fraction=args.read_fraction,
+            mean_think_time=1.0,
+        ),
+        random.Random(args.seed),
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=args.until)
+
+    history = system.history()
+    print(f"# run: {args.clients} clients x {args.ops} ops, server={args.server}, "
+          f"seed={args.seed}")
+    print(f"# completed {driver.stats.total_completed()}/{driver.stats.total_planned()} "
+          f"operations by t={system.now:.1f}")
+    if args.history:
+        print()
+        print(history.describe())
+    if args.timeline:
+        from repro.analysis.timeline import render_timeline
+
+        print()
+        print(render_timeline(history, width=96))
+
+    if args.check:
+        print()
+        print(f"linearizability:            {check_linearizability(history)}")
+        print(f"causal consistency:         {check_causal_consistency(history)}")
+        views = build_client_views(history, system.recorder, system.clients)
+        print(f"weak fork-linearizability:  "
+              f"{validate_weak_fork_linearizability(history, views)}")
+
+    print()
+    for client in system.clients:
+        flags = []
+        if client.crashed:
+            flags.append("crashed")
+        if getattr(client, "fail_reason", None):
+            flags.append(f"USTOR fail: {client.fail_reason}")
+        if getattr(client, "faust_failed", False):
+            flags.append(f"FAUST fail: {client.faust_fail_reason}")
+        if getattr(client, "faust_failed", None) is False and not client.crashed:
+            flags.append(f"stability cut {list(client.tracker.stability_cut())}")
+        print(f"{client.name}: {'; '.join(flags) if flags else 'ok'}")
+
+    print()
+    print(f"messages: {system.trace.message_count()} "
+          f"({system.trace.total_bytes()} bytes simulated)")
+    for kind in ("SUBMIT", "REPLY", "COMMIT"):
+        count = system.trace.message_count(kind)
+        if count:
+            print(f"  {kind:7s} x{count:5d}  "
+                  f"avg {system.trace.total_bytes(kind) / count:7.1f} B")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.write:
+        forwarded.append("--write")
+    if args.only:
+        forwarded.extend(["--only", args.only])
+    return experiments_main(forwarded)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a workload and analyse the history")
+    run.add_argument("--clients", type=int, default=3)
+    run.add_argument("--ops", type=int, default=6)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--server", default="correct", help="see 'attacks'")
+    run.add_argument("--read-fraction", type=float, default=0.5)
+    run.add_argument("--faust", action="store_true", help="run the fail-aware layer")
+    run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
+    run.add_argument("--check", action="store_true", help="run consistency checkers")
+    run.add_argument("--history", action="store_true", help="print the history")
+    run.add_argument(
+        "--timeline", action="store_true", help="render an ASCII timeline"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    attacks = sub.add_parser("attacks", help="list available server behaviours")
+    attacks.set_defaults(func=_cmd_attacks)
+
+    experiments = sub.add_parser("experiments", help="run the E* harness")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--write", action="store_true")
+    experiments.add_argument("--only", default=None)
+    experiments.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the FAUST reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause.
+Protocol-level *detections* (a client noticing server misbehaviour) are not
+exceptions: they are delivered through the ``fail_i`` notification channel,
+because the paper models them as output actions, not control-flow faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class EncodingError(ReproError):
+    """A value could not be canonically encoded for signing or hashing."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (unknown key, malformed signature)."""
+
+
+class UnknownSignerError(CryptoError):
+    """A signature was requested for or attributed to an unknown client."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ChannelError(SimulationError):
+    """A message was sent over a link that does not exist or is mis-wired."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine was driven outside its contract.
+
+    This signals a *local* usage bug (e.g. invoking a second operation while
+    one is pending on the same client), never remote misbehaviour: remote
+    misbehaviour is reported via fail notifications per the paper.
+    """
+
+
+class HistoryError(ReproError):
+    """A recorded history is malformed (e.g. response without invocation)."""
+
+
+class CheckerError(ReproError):
+    """A consistency checker was given input it cannot analyse."""

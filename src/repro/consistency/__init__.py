@@ -1,0 +1,68 @@
+"""Consistency checkers: Definitions 2, 3, 6 and fork-linearizability.
+
+All checkers consume recorded :class:`~repro.history.History` objects and
+know nothing about the protocols that produced them.
+"""
+
+from repro.consistency.causal import check_causal_consistency, check_causal_exhaustive
+from repro.consistency.fork import (
+    check_fork_linearizability_exhaustive,
+    no_join_violation,
+    prefixes_agree,
+    validate_fork_linearizability,
+)
+from repro.consistency.fork_sequential import (
+    check_fork_sequential_exhaustive,
+    validate_fork_sequential_consistency,
+)
+from repro.consistency.fork_star import (
+    check_fork_star_linearizability_exhaustive,
+    validate_fork_star_linearizability,
+)
+from repro.consistency.linearizability import (
+    check_linearizability,
+    check_linearizability_exhaustive,
+)
+from repro.consistency.report import CheckResult, ok, violated
+from repro.consistency.views import (
+    enumerate_views,
+    is_view_of,
+    lastops,
+    preserves_real_time,
+    preserves_weak_real_time,
+    view_violation,
+)
+from repro.consistency.weak_fork import (
+    at_most_one_join_violation,
+    causality_violation,
+    check_weak_fork_linearizability_exhaustive,
+    validate_weak_fork_linearizability,
+)
+
+__all__ = [
+    "CheckResult",
+    "at_most_one_join_violation",
+    "causality_violation",
+    "check_causal_consistency",
+    "check_causal_exhaustive",
+    "check_fork_linearizability_exhaustive",
+    "check_fork_sequential_exhaustive",
+    "check_fork_star_linearizability_exhaustive",
+    "check_linearizability",
+    "check_linearizability_exhaustive",
+    "check_weak_fork_linearizability_exhaustive",
+    "enumerate_views",
+    "is_view_of",
+    "lastops",
+    "no_join_violation",
+    "ok",
+    "prefixes_agree",
+    "preserves_real_time",
+    "preserves_weak_real_time",
+    "validate_fork_linearizability",
+    "validate_fork_sequential_consistency",
+    "validate_fork_star_linearizability",
+    "validate_weak_fork_linearizability",
+    "view_violation",
+    "violated",
+]

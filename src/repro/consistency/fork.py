@@ -1,0 +1,139 @@
+"""Fork-linearizability (Mazieres & Shasha; paper Section 4).
+
+A history is fork-linearizable iff each client ``C_i`` has a view ``pi_i``
+that preserves the *full* real-time order of the history, and the views
+satisfy the **no-join** property: for every operation ``o`` common to
+``pi_i`` and ``pi_j``, the prefixes up to ``o`` coincide
+(``pi_i|o = pi_j|o``) — once two clients' views diverge they can never
+share a later operation.
+
+The paper proves (via its Figure 3 and companion work [4]) that this
+notion *cannot* be implemented wait-free; the exhaustive checker here is
+what lets the test-suite demonstrate that USTOR's Figure-3 history is
+weakly fork-linearizable **but not** fork-linearizable (experiment E2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import CheckerError
+from repro.common.types import ClientId
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.consistency.report import CheckResult, ok, violated
+from repro.consistency.views import (
+    enumerate_views,
+    preserves_real_time,
+    view_violation,
+)
+
+_CONDITION = "fork-linearizability"
+
+
+def prefixes_agree(
+    pi_i: Sequence[Operation], pi_j: Sequence[Operation], op_id: int
+) -> bool:
+    """``pi_i|o == pi_j|o`` compared as op-id sequences."""
+    prefix_i = _prefix_ids(pi_i, op_id)
+    prefix_j = _prefix_ids(pi_j, op_id)
+    return prefix_i is not None and prefix_i == prefix_j
+
+
+def _prefix_ids(sequence: Sequence[Operation], op_id: int) -> list[int] | None:
+    out: list[int] = []
+    for op in sequence:
+        out.append(op.op_id)
+        if op.op_id == op_id:
+            return out
+    return None
+
+
+def no_join_violation(
+    pi_i: Sequence[Operation], pi_j: Sequence[Operation]
+) -> int | None:
+    """First common op (id) whose prefixes differ, or None."""
+    ids_j = {op.op_id for op in pi_j}
+    for op in pi_i:
+        if op.op_id in ids_j and not prefixes_agree(pi_i, pi_j, op.op_id):
+            return op.op_id
+    return None
+
+
+def validate_fork_linearizability(
+    history: History, views: dict[ClientId, Sequence[Operation]]
+) -> CheckResult:
+    """Check concrete candidate views against the fork-linearizability
+    conditions (validator form, usable on protocol-derived views)."""
+    prepared = history.completed_for_checking()
+    for client, view in views.items():
+        problem = view_violation(prepared, client, view)
+        if problem is not None:
+            return violated(_CONDITION, f"C{client + 1}: {problem}")
+        if not preserves_real_time(view, prepared):
+            return violated(
+                _CONDITION,
+                f"view of C{client + 1} does not preserve real-time order",
+            )
+    clients = sorted(views)
+    for i_pos, i in enumerate(clients):
+        for j in clients[i_pos + 1 :]:
+            bad = no_join_violation(views[i], views[j])
+            if bad is not None:
+                return violated(
+                    _CONDITION,
+                    f"no-join violated between C{i + 1} and C{j + 1} at "
+                    f"operation {bad}",
+                )
+    return ok(_CONDITION, witness=views)
+
+
+def check_fork_linearizability_exhaustive(
+    history: History, max_ops: int = 7
+) -> CheckResult:
+    """Joint existential search over per-client views (small histories)."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    if len(prepared) > max_ops:
+        raise CheckerError(
+            f"exhaustive fork checker limited to {max_ops} ops, got {len(prepared)}"
+        )
+    clients = prepared.clients()
+
+    def rt_filter(sequence):
+        return preserves_real_time(sequence, prepared)
+
+    candidate_views: dict[ClientId, list[tuple[Operation, ...]]] = {}
+    for client in clients:
+        candidates = list(enumerate_views(prepared, client, extra_filter=rt_filter))
+        if not candidates:
+            return violated(
+                _CONDITION,
+                f"no real-time-preserving view exists for C{client + 1}",
+            )
+        candidate_views[client] = candidates
+
+    assignment: dict[ClientId, tuple[Operation, ...]] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(clients):
+            return True
+        client = clients[index]
+        for view in candidate_views[client]:
+            compatible = all(
+                no_join_violation(view, assignment[prev]) is None
+                for prev in clients[:index]
+            )
+            if not compatible:
+                continue
+            assignment[client] = view
+            if assign(index + 1):
+                return True
+            del assignment[client]
+        return False
+
+    if assign(0):
+        return ok(_CONDITION, witness=dict(assignment))
+    return violated(
+        _CONDITION, "no compatible family of views exists (exhaustive search)"
+    )

@@ -1,0 +1,97 @@
+"""Fork-sequential consistency (Oprea & Reiter, DISC 2006; related work).
+
+The forking analogue of sequential consistency: each client has a view
+(Definition 1) and the views satisfy the **no-join** property, but —
+unlike fork-linearizability — views need not preserve real-time order at
+all (program order is already enforced by view-hood).
+
+The paper cites its companion result [4] ("Fork sequential consistency is
+blocking"): like fork-linearizability, this notion cannot be implemented
+wait-free, which is why neither is a suitable basis for a fail-aware
+service.  The checker exists to position weak fork-linearizability inside
+the full lattice of forking notions:
+
+    fork-linearizability  =>  fork-sequential consistency
+    fork-linearizability  =>  fork-*-linearizability
+    fork-linearizability  =>  weak fork-linearizability
+    (weak fork and fork-* incomparable; Figure 3 separates several pairs)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import CheckerError
+from repro.common.types import ClientId
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.consistency.fork import no_join_violation
+from repro.consistency.report import CheckResult, ok, violated
+from repro.consistency.views import enumerate_views, view_violation
+
+_CONDITION = "fork-sequential-consistency"
+
+
+def validate_fork_sequential_consistency(
+    history: History, views: dict[ClientId, Sequence[Operation]]
+) -> CheckResult:
+    """Validator form: check concrete candidate views."""
+    prepared = history.completed_for_checking()
+    for client, view in views.items():
+        problem = view_violation(prepared, client, view)
+        if problem is not None:
+            return violated(_CONDITION, f"C{client + 1}: {problem}")
+    clients = sorted(views)
+    for position, i in enumerate(clients):
+        for j in clients[position + 1 :]:
+            bad = no_join_violation(views[i], views[j])
+            if bad is not None:
+                return violated(
+                    _CONDITION,
+                    f"no-join violated between C{i + 1} and C{j + 1} at "
+                    f"operation {bad}",
+                )
+    return ok(_CONDITION, witness=views)
+
+
+def check_fork_sequential_exhaustive(
+    history: History, max_ops: int = 7
+) -> CheckResult:
+    """Joint existential search over per-client views (small histories)."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    if len(prepared) > max_ops:
+        raise CheckerError(
+            f"exhaustive fork-sequential checker limited to {max_ops} ops, "
+            f"got {len(prepared)}"
+        )
+    clients = prepared.clients()
+    candidate_views: dict[ClientId, list[tuple[Operation, ...]]] = {}
+    for client in clients:
+        candidates = list(enumerate_views(prepared, client))
+        if not candidates:
+            return violated(_CONDITION, f"no view exists for C{client + 1}")
+        candidate_views[client] = candidates
+
+    assignment: dict[ClientId, tuple[Operation, ...]] = {}
+
+    def assign(index: int) -> bool:
+        if index == len(clients):
+            return True
+        client = clients[index]
+        for view in candidate_views[client]:
+            if all(
+                no_join_violation(view, assignment[p]) is None
+                for p in clients[:index]
+            ):
+                assignment[client] = view
+                if assign(index + 1):
+                    return True
+                del assignment[client]
+        return False
+
+    if assign(0):
+        return ok(_CONDITION, witness=dict(assignment))
+    return violated(
+        _CONDITION, "no compatible family of views exists (exhaustive search)"
+    )

@@ -1,0 +1,111 @@
+"""Fork-*-linearizability (Li & Mazieres, NSDI 2007; paper Section 4).
+
+Adapted to this model as the paper describes it: each client has a view
+that preserves the **full** real-time order of the history (including,
+"oddly", every other client's last operation) and the views satisfy
+**at-most-one-join** — but, unlike weak fork-linearizability, there is
+*no causality requirement*.
+
+Section 4 claims weak fork-linearizability is *neither stronger nor
+weaker* than fork-*-linearizability.  The two witnesses (exercised in the
+test-suite and experiment E12):
+
+* Figure 3's history is weakly fork-linearizable but **not**
+  fork-*-linearizable — C2's view must order the hidden read before the
+  write, violating full real-time order.
+* A causality-violating history (a client observes a write through a data
+  dependency yet reads older state of the causally-preceding register)
+  can be fork-*-linearizable while weak fork-linearizability's condition 3
+  forbids it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import CheckerError
+from repro.common.types import ClientId
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.consistency.report import CheckResult, ok, violated
+from repro.consistency.views import enumerate_views, preserves_real_time, view_violation
+from repro.consistency.weak_fork import at_most_one_join_violation
+
+_CONDITION = "fork-star-linearizability"
+
+
+def validate_fork_star_linearizability(
+    history: History, views: dict[ClientId, Sequence[Operation]]
+) -> CheckResult:
+    """Validator form: check concrete candidate views."""
+    prepared = history.completed_for_checking()
+    for client, view in views.items():
+        problem = view_violation(prepared, client, view)
+        if problem is not None:
+            return violated(_CONDITION, f"C{client + 1}: {problem}")
+        if not preserves_real_time(view, prepared):
+            return violated(
+                _CONDITION,
+                f"view of C{client + 1} does not preserve (full) real-time order",
+            )
+    clients = sorted(views)
+    for position, i in enumerate(clients):
+        for j in clients[position + 1 :]:
+            problem = at_most_one_join_violation(views[i], views[j])
+            if problem is None:
+                problem = at_most_one_join_violation(views[j], views[i])
+            if problem is not None:
+                return violated(_CONDITION, f"C{i + 1}/C{j + 1}: {problem}")
+    return ok(_CONDITION, witness=views)
+
+
+def check_fork_star_linearizability_exhaustive(
+    history: History, max_ops: int = 7
+) -> CheckResult:
+    """Joint existential search over per-client views (small histories)."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    if len(prepared) > max_ops:
+        raise CheckerError(
+            f"exhaustive fork-* checker limited to {max_ops} ops, got {len(prepared)}"
+        )
+    clients = prepared.clients()
+
+    def rt_filter(sequence) -> bool:
+        return preserves_real_time(sequence, prepared)
+
+    candidate_views: dict[ClientId, list[tuple[Operation, ...]]] = {}
+    for client in clients:
+        candidates = list(enumerate_views(prepared, client, extra_filter=rt_filter))
+        if not candidates:
+            return violated(
+                _CONDITION,
+                f"no real-time-preserving view exists for C{client + 1}",
+            )
+        candidate_views[client] = candidates
+
+    assignment: dict[ClientId, tuple[Operation, ...]] = {}
+
+    def compatible(view, other) -> bool:
+        return (
+            at_most_one_join_violation(view, other) is None
+            and at_most_one_join_violation(other, view) is None
+        )
+
+    def assign(index: int) -> bool:
+        if index == len(clients):
+            return True
+        client = clients[index]
+        for view in candidate_views[client]:
+            if all(compatible(view, assignment[p]) for p in clients[:index]):
+                assignment[client] = view
+                if assign(index + 1):
+                    return True
+                del assignment[client]
+        return False
+
+    if assign(0):
+        return ok(_CONDITION, witness=dict(assignment))
+    return violated(
+        _CONDITION, "no compatible family of views exists (exhaustive search)"
+    )

@@ -1,0 +1,183 @@
+"""Linearizability checking (Definition 2) for SWMR register histories.
+
+Two checkers are provided:
+
+* :func:`check_linearizability` — a fast, provably sound-and-complete
+  polynomial decision procedure specialised to the paper's functionality
+  (SWMR registers, unique written values).  Linearizability is *local*
+  (Herlihy & Wing), so the history is checked per register; within one
+  register the single sequential writer totally orders the writes, and the
+  classical atomic-register conditions become three simple rules:
+
+  1. no read completes before the write it returns is invoked
+     ("value from the future");
+  2. no read is invoked after a *later* write (than the one it returns)
+     has completed ("stale read");
+  3. two reads ordered in real time never observe writes in the opposite
+     order ("new/old inversion").
+
+  These are exactly the conditions under which the canonical placement —
+  writes in program order, each read right after its write, same-value
+  reads in invocation order — extends real-time order, and each is
+  individually necessary.  See tests/test_consistency_linearizability.py
+  for the brute-force cross-validation.
+
+* :func:`check_linearizability_exhaustive` — a direct Wing&Gong-style
+  search usable on any small history; the oracle against which the fast
+  checker is validated.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CheckerError
+from repro.common.types import BOTTOM, RegisterId
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.consistency.report import CheckResult, ok, violated
+
+_CONDITION = "linearizability"
+
+
+def _map_reads_to_write_index(
+    history: History, register: RegisterId
+) -> tuple[list[Operation], dict[int, int], str | None]:
+    """For one register: (writes in order, read op_id -> write index, error).
+
+    Index 0 denotes the initial value BOTTOM; index k >= 1 denotes the k-th
+    write.  A read whose value no write produced yields an error string.
+    """
+    writes = history.writes_to(register)
+    index_of_value = {bytes(w.value): k for k, w in enumerate(writes, start=1)}
+    mapping: dict[int, int] = {}
+    for read in history.reads_of(register):
+        if not read.is_read:
+            continue
+        if read.value is BOTTOM:
+            mapping[read.op_id] = 0
+        elif read.value is None:
+            return writes, mapping, f"read {read.op_id} has no recorded return value"
+        else:
+            key = bytes(read.value)
+            if key not in index_of_value:
+                return (
+                    writes,
+                    mapping,
+                    f"{read.describe()} returned a value that was never written",
+                )
+            mapping[read.op_id] = index_of_value[key]
+    return writes, mapping, None
+
+
+def _check_register(history: History, register: RegisterId) -> CheckResult:
+    writes, read_index, error = _map_reads_to_write_index(history, register)
+    if error is not None:
+        return violated(_CONDITION, error)
+
+    reads = history.reads_of(register)
+
+    # Rule 1 and rule 2: each read against the write order.
+    for read in reads:
+        k = read_index[read.op_id]
+        if k >= 1:
+            write = writes[k - 1]
+            if read.precedes(write):
+                return violated(
+                    _CONDITION,
+                    f"{read.describe()} completed before {write.describe()} was "
+                    f"invoked (value from the future)",
+                    witness=(read, write),
+                )
+        for later in writes[k:]:
+            if later.precedes(read):
+                return violated(
+                    _CONDITION,
+                    f"{read.describe()} is stale: {later.describe()} completed "
+                    f"before the read was invoked",
+                    witness=(read, later),
+                )
+
+    # Rule 3: new/old inversion between reads.
+    ordered_reads = sorted(reads, key=lambda r: (r.invoked_at, r.op_id))
+    for i, first in enumerate(ordered_reads):
+        for second in ordered_reads[i + 1 :]:
+            if first.precedes(second) and read_index[first.op_id] > read_index[second.op_id]:
+                return violated(
+                    _CONDITION,
+                    f"new/old inversion: {first.describe()} precedes "
+                    f"{second.describe()} but observes a newer write",
+                    witness=(first, second),
+                )
+    return ok(_CONDITION)
+
+
+def check_linearizability(history: History) -> CheckResult:
+    """Fast polynomial linearizability check (SWMR, unique values)."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    for register in prepared.registers():
+        result = _check_register(prepared, register)
+        if not result:
+            return result
+    return ok(_CONDITION)
+
+
+def check_linearizability_exhaustive(
+    history: History, max_ops: int = 13
+) -> CheckResult:
+    """Memoized Wing&Gong search; exponential, for small histories only.
+
+    Returns a satisfying linearization as the witness when one exists.
+    """
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    ops = list(prepared)
+    if len(ops) > max_ops:
+        raise CheckerError(
+            f"exhaustive checker limited to {max_ops} operations, got {len(ops)}"
+        )
+
+    registers = prepared.registers()
+    initial_state = tuple(BOTTOM for _ in registers)
+    reg_pos = {reg: i for i, reg in enumerate(registers)}
+    op_ids = [op.op_id for op in ops]
+    id_to_op = {op.op_id: op for op in ops}
+
+    # Real-time predecessors: an op may be linearized only after every op
+    # that precedes it in real time has been linearized.
+    predecessors: dict[int, set[int]] = {
+        op.op_id: {o.op_id for o in ops if o.precedes(op)} for op in ops
+    }
+
+    failed_states: set[tuple[frozenset[int], tuple]] = set()
+
+    def search(done: frozenset, state: tuple, path: list[int]) -> list[int] | None:
+        if len(done) == len(ops):
+            return list(path)
+        key = (done, state)
+        if key in failed_states:
+            return None
+        for op_id in op_ids:
+            if op_id in done:
+                continue
+            if not predecessors[op_id] <= done:
+                continue
+            op = id_to_op[op_id]
+            pos = reg_pos[op.register]
+            if op.is_read:
+                if op.value != state[pos]:
+                    continue
+                new_state = state
+            else:
+                new_state = state[:pos] + (op.value,) + state[pos + 1 :]
+            path.append(op_id)
+            found = search(done | {op_id}, new_state, path)
+            if found is not None:
+                return found
+            path.pop()
+        failed_states.add(key)
+        return None
+
+    solution = search(frozenset(), initial_state, [])
+    if solution is None:
+        return violated(_CONDITION, "no linearization exists (exhaustive search)")
+    return ok(_CONDITION, witness=[id_to_op[i] for i in solution])

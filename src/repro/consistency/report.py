@@ -1,0 +1,39 @@
+"""Uniform result type for all consistency checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a consistency check.
+
+    ``ok`` is the verdict; ``condition`` names the checked notion
+    ("linearizability", "causal-consistency", ...); ``violation`` describes
+    the first failure found; ``witness`` optionally carries evidence — a
+    satisfying linearization / views for positive results, the offending
+    operations for negative ones.
+    """
+
+    ok: bool
+    condition: str
+    violation: str | None = None
+    witness: Any = field(default=None, compare=False)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return f"{self.condition}: OK"
+        return f"{self.condition}: VIOLATED ({self.violation})"
+
+
+def ok(condition: str, witness: Any = None) -> CheckResult:
+    return CheckResult(ok=True, condition=condition, witness=witness)
+
+
+def violated(condition: str, violation: str, witness: Any = None) -> CheckResult:
+    return CheckResult(ok=False, condition=condition, violation=violation, witness=witness)

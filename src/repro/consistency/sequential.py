@@ -1,0 +1,84 @@
+"""Sequential consistency — the non-forking ancestor of fork-sequential.
+
+A history is sequentially consistent iff ONE sequence serves as a view of
+the history at *all* clients (so everyone agrees on a single total order)
+that preserves each client's program order — but, unlike linearizability,
+not necessarily real-time order across clients.
+
+Not used by the protocols, but it completes the executable lattice the
+paper situates its notions in:
+
+    linearizability => sequential consistency => causal consistency
+    sequential consistency = fork-sequential consistency with one shared view
+
+Deciding sequential consistency is NP-hard in general (Taylor), so only a
+memoized exhaustive search is provided, mirroring the Wing&Gong
+linearizability oracle with the real-time constraint relaxed to program
+order.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CheckerError
+from repro.common.types import BOTTOM
+from repro.history.history import History
+from repro.consistency.report import CheckResult, ok, violated
+
+_CONDITION = "sequential-consistency"
+
+
+def check_sequential_consistency_exhaustive(
+    history: History, max_ops: int = 12
+) -> CheckResult:
+    """Memoized search for a single program-order-preserving legal order."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    ops = list(prepared)
+    if len(ops) > max_ops:
+        raise CheckerError(
+            f"exhaustive sequential checker limited to {max_ops} ops, got {len(ops)}"
+        )
+
+    registers = prepared.registers()
+    reg_pos = {reg: i for i, reg in enumerate(registers)}
+    initial_state = tuple(BOTTOM for _ in registers)
+    id_to_op = {op.op_id: op for op in ops}
+
+    # Program-order predecessors only (the lone difference from the
+    # linearizability oracle, which uses full real-time precedence).
+    predecessors: dict[int, set[int]] = {}
+    for client in prepared.clients():
+        sequence = prepared.restrict_to_client(client)
+        for index, op in enumerate(sequence):
+            predecessors[op.op_id] = {earlier.op_id for earlier in sequence[:index]}
+
+    failed_states: set[tuple[frozenset, tuple]] = set()
+
+    def search(done: frozenset, state: tuple, path: list[int]) -> list[int] | None:
+        if len(done) == len(ops):
+            return list(path)
+        key = (done, state)
+        if key in failed_states:
+            return None
+        for op in ops:
+            if op.op_id in done or not predecessors[op.op_id] <= done:
+                continue
+            pos = reg_pos[op.register]
+            if op.is_read:
+                if op.value != state[pos]:
+                    continue
+                new_state = state
+            else:
+                new_state = state[:pos] + (op.value,) + state[pos + 1 :]
+            path.append(op.op_id)
+            found = search(done | {op.op_id}, new_state, path)
+            if found is not None:
+                return found
+            path.pop()
+        failed_states.add(key)
+        return None
+
+    solution = search(frozenset(), initial_state, [])
+    if solution is None:
+        return violated(_CONDITION, "no sequentially consistent order exists")
+    return ok(_CONDITION, witness=[id_to_op[op_id] for op_id in solution])

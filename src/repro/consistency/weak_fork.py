@@ -1,0 +1,178 @@
+"""Weak fork-linearizability (Definition 6) — the paper's new notion.
+
+A history is weakly fork-linearizable iff each client ``C_i`` has a view
+``pi_i`` such that:
+
+1. ``pi_i`` is a view of the history at ``C_i`` (Definition 1);
+2. ``pi_i`` preserves the *weak* real-time order — real-time order with
+   each client's **last** operation in the view exempt;
+3. (causality) every update causally preceding an operation of ``pi_i``
+   appears in ``pi_i``, before it;
+4. (at-most-one-join) for every client ``C_j`` and every two operations
+   ``o, o'`` in ``pi_i ∩ pi_j`` *by the same client* with ``o`` preceding
+   ``o'``: ``pi_i|o = pi_j|o`` — so only the last common operation of each
+   client may sit on divergent prefixes.
+
+The weakened conditions 2 and 4 are exactly what admits wait-free
+protocols (Sections 4-5); condition 3 restores the causality that
+fork-*-linearizability loses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.common.errors import CheckerError
+from repro.common.types import ClientId
+from repro.history.causality import build_causal_structure
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.consistency.fork import prefixes_agree
+from repro.consistency.report import CheckResult, ok, violated
+from repro.consistency.views import (
+    enumerate_views,
+    preserves_weak_real_time,
+    view_violation,
+)
+
+_CONDITION = "weak-fork-linearizability"
+
+
+def causality_violation(
+    history: History, view: Sequence[Operation]
+) -> str | None:
+    """Definition 6 condition 3 on one candidate view (or None if fine)."""
+    structure = build_causal_structure(history)
+    position = {op.op_id: i for i, op in enumerate(view)}
+    for op in view:
+        for ancestor_id in structure.ancestors(op.op_id):
+            ancestor = history.op(ancestor_id)
+            if not ancestor.is_write:
+                continue
+            if ancestor_id not in position:
+                return (
+                    f"update {ancestor.describe()} causally precedes "
+                    f"{op.describe()} but is missing from the view"
+                )
+            if position[ancestor_id] > position[op.op_id]:
+                return (
+                    f"update {ancestor.describe()} causally precedes "
+                    f"{op.describe()} but follows it in the view"
+                )
+    return None
+
+
+def at_most_one_join_violation(
+    pi_i: Sequence[Operation], pi_j: Sequence[Operation]
+) -> str | None:
+    """Definition 6 condition 4 between two concrete views (or None)."""
+    ids_j = {op.op_id for op in pi_j}
+    common_by_client: dict[ClientId, list[Operation]] = defaultdict(list)
+    for op in pi_i:  # pi_i order; ops of one client are program-ordered
+        if op.op_id in ids_j:
+            common_by_client[op.client].append(op)
+    for client, ops in common_by_client.items():
+        # Every common op except the client's last must have equal prefixes.
+        for op in ops[:-1]:
+            if not prefixes_agree(pi_i, pi_j, op.op_id):
+                return (
+                    f"views share operations {ops[-1].op_id} and {op.op_id} of "
+                    f"C{client + 1} but disagree on the prefix up to {op.op_id}"
+                )
+    return None
+
+
+def validate_weak_fork_linearizability(
+    history: History, views: dict[ClientId, Sequence[Operation]]
+) -> CheckResult:
+    """Check concrete candidate views against Definition 6.
+
+    ``history`` may contain incomplete operations; it is completion-extended
+    with the standard rules first.  Views must draw their operations from
+    the prepared history (use :func:`prepare_history_for_views` to build
+    matching operation objects from protocol output).
+    """
+    prepared = history.completed_for_checking()
+    for client, view in views.items():
+        problem = view_violation(prepared, client, view)
+        if problem is not None:
+            return violated(_CONDITION, f"C{client + 1}: {problem} (condition 1)")
+        if not preserves_weak_real_time(view, prepared):
+            return violated(
+                _CONDITION,
+                f"view of C{client + 1} violates weak real-time order (condition 2)",
+            )
+        problem = causality_violation(prepared, view)
+        if problem is not None:
+            return violated(_CONDITION, f"C{client + 1}: {problem} (condition 3)")
+    clients = sorted(views)
+    for pos, i in enumerate(clients):
+        for j in clients[pos + 1 :]:
+            problem = at_most_one_join_violation(views[i], views[j])
+            if problem is None:
+                problem = at_most_one_join_violation(views[j], views[i])
+            if problem is not None:
+                return violated(
+                    _CONDITION,
+                    f"C{i + 1}/C{j + 1}: {problem} (condition 4)",
+                )
+    return ok(_CONDITION, witness=views)
+
+
+def check_weak_fork_linearizability_exhaustive(
+    history: History, max_ops: int = 7
+) -> CheckResult:
+    """Joint existential search over per-client views (small histories)."""
+    prepared = history.completed_for_checking()
+    prepared.assert_unique_write_values()
+    if len(prepared) > max_ops:
+        raise CheckerError(
+            f"exhaustive weak-fork checker limited to {max_ops} ops, "
+            f"got {len(prepared)}"
+        )
+    clients = prepared.clients()
+
+    def condition_2_and_3(sequence) -> bool:
+        return (
+            preserves_weak_real_time(sequence, prepared)
+            and causality_violation(prepared, sequence) is None
+        )
+
+    candidate_views: dict[ClientId, list[tuple[Operation, ...]]] = {}
+    for client in clients:
+        candidates = list(
+            enumerate_views(prepared, client, extra_filter=condition_2_and_3)
+        )
+        if not candidates:
+            return violated(
+                _CONDITION,
+                f"no view satisfying conditions 1-3 exists for C{client + 1}",
+            )
+        candidate_views[client] = candidates
+
+    assignment: dict[ClientId, tuple[Operation, ...]] = {}
+
+    def compatible(view, other) -> bool:
+        return (
+            at_most_one_join_violation(view, other) is None
+            and at_most_one_join_violation(other, view) is None
+        )
+
+    def assign(index: int) -> bool:
+        if index == len(clients):
+            return True
+        client = clients[index]
+        for view in candidate_views[client]:
+            if all(compatible(view, assignment[p]) for p in clients[:index]):
+                assignment[client] = view
+                if assign(index + 1):
+                    return True
+                del assignment[client]
+        return False
+
+    if assign(0):
+        return ok(_CONDITION, witness=dict(assignment))
+    return violated(
+        _CONDITION, "no compatible family of views exists (exhaustive search)"
+    )

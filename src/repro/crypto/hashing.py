@@ -1,0 +1,44 @@
+"""Collision-resistant hashing (the paper's function ``H``).
+
+The paper assumes a collision-resistant hash ``H`` known to all parties and
+uses it in two places: hashing register values before DATA-signing them
+(Algorithm 1, line 13) and chaining operation digests
+``D(omega_1..omega_m) = H(D(omega_1..omega_{m-1}) || i_m)`` (Section 5).
+
+We instantiate ``H`` with SHA-256 over the canonical encoding of
+:mod:`repro.common.encoding`, with a domain-separation label so that value
+hashes and digest-chain hashes can never collide structurally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.common.encoding import encode
+from repro.common.types import BOTTOM, Bottom, Value
+
+#: Size of a hash output in bytes; also used by the wire-size model.
+HASH_BYTES = 32
+
+
+def hash_bytes(payload: bytes) -> bytes:
+    """Raw SHA-256 of a byte string."""
+    return hashlib.sha256(payload).digest()
+
+
+def hash_values(*values: Any) -> bytes:
+    """Hash a structured payload via the canonical encoding."""
+    return hash_bytes(encode(*values))
+
+
+def hash_register_value(value: Value | Bottom) -> bytes:
+    """Hash a register value for DATA signatures (Algorithm 1, line 13).
+
+    ``BOTTOM`` (the initial value, never actually written) hashes to a
+    distinguished constant so that ``checkData`` can verify reads of
+    never-written registers uniformly.
+    """
+    if value is BOTTOM:
+        return hash_values("VALUE", None)
+    return hash_values("VALUE", value)

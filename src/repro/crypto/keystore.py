@@ -1,0 +1,98 @@
+"""Per-client signing handles and the trust boundary around the server.
+
+The paper's server is untrusted and, critically, *cannot forge client
+signatures*.  In this reproduction that guarantee is enforced by object
+capabilities rather than convention:
+
+* a :class:`KeyStore` owns the :class:`~repro.crypto.signatures.SignatureScheme`
+  and hands each client a :class:`ClientSigner` bound to that client's id;
+* server implementations (correct or Byzantine) receive a
+  :class:`PublicVerifier` at most — an object that can only *verify*.
+
+A Byzantine server written against this API simply has no handle with which
+to produce a valid client signature, mirroring the computational assumption
+of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.encoding import encode
+from repro.common.types import ClientId
+from repro.crypto.signatures import SignatureScheme, make_scheme
+
+
+class PublicVerifier:
+    """Verification-only view of a signature scheme (safe to give anyone)."""
+
+    def __init__(self, scheme: SignatureScheme) -> None:
+        self._scheme = scheme
+
+    @property
+    def num_clients(self) -> int:
+        return self._scheme.num_clients
+
+    def verify(self, signer: ClientId, signature: bytes, *payload: Any) -> bool:
+        """``verify_signer(signature, payload)`` over the canonical encoding."""
+        return self._scheme.verify(signer, signature, encode(*payload))
+
+
+class ClientSigner:
+    """``sign_i`` bound to one client, plus the shared verifier.
+
+    Clients verify each other's signatures constantly (Algorithm 1 lines 35,
+    41, 43, 49, 50), so the signer carries a verifier alongside its own
+    signing capability.
+    """
+
+    def __init__(self, scheme: SignatureScheme, client: ClientId) -> None:
+        self._scheme = scheme
+        self._client = client
+        self._verifier = PublicVerifier(scheme)
+
+    @property
+    def client(self) -> ClientId:
+        return self._client
+
+    @property
+    def verifier(self) -> PublicVerifier:
+        return self._verifier
+
+    def sign(self, *payload: Any) -> bytes:
+        """Sign a structured payload with this client's key."""
+        return self._scheme.sign(self._client, encode(*payload))
+
+    def verify(self, signer: ClientId, signature: bytes, *payload: Any) -> bool:
+        return self._verifier.verify(signer, signature, *payload)
+
+
+class KeyStore:
+    """Creates and hands out signing / verifying capabilities.
+
+    One keystore per simulated system.  Construction is deterministic given
+    the scheme name and client count, keeping whole-system runs reproducible.
+    """
+
+    def __init__(self, num_clients: int, scheme: str | SignatureScheme = "hmac") -> None:
+        if isinstance(scheme, SignatureScheme):
+            if scheme.num_clients != num_clients:
+                raise ValueError(
+                    "scheme population does not match requested client count"
+                )
+            self._scheme = scheme
+        else:
+            self._scheme = make_scheme(scheme, num_clients)
+        self._num_clients = num_clients
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    def signer(self, client: ClientId) -> ClientSigner:
+        """The full signing capability for ``client`` (clients only)."""
+        return ClientSigner(self._scheme, client)
+
+    def verifier(self) -> PublicVerifier:
+        """A verification-only capability (safe for servers)."""
+        return PublicVerifier(self._scheme)

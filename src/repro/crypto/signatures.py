@@ -1,0 +1,187 @@
+"""Digital signatures: the paper's ``sign_i`` / ``verify_i`` primitives.
+
+The model (Section 2) gives every client ``C_i`` a signing capability
+``sign_i`` whose signatures anyone can check with ``verify_i``, and assumes
+the (possibly Byzantine) server cannot forge them.  Three interchangeable
+schemes implement this contract:
+
+* :class:`Ed25519Scheme` — real public-key signatures via the
+  ``cryptography`` package.  This is the faithful instantiation.
+* :class:`HmacScheme` — HMAC-SHA256 with one secret per client.  Orders of
+  magnitude faster, used by the bulk of the test suite.  Verification needs
+  the per-client secret, so the keystore plays the role of a PKI; server
+  objects are never handed signing material (see
+  :mod:`repro.crypto.keystore`).
+* :class:`InsecureScheme` — structural "signatures" with no cryptography at
+  all, for micro-benchmarks that isolate protocol logic from crypto cost.
+  A forged signature is trivially constructible, which some adversarial
+  tests exploit on purpose.
+
+All schemes sign canonical byte payloads built by
+:func:`repro.common.encoding.encode`, so signatures bind unambiguously to
+structured messages (e.g. ``COMMIT || V_i || M_i``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+
+from repro.common.errors import UnknownSignerError
+from repro.common.types import ClientId
+
+#: Nominal signature size used by the wire-size model (Ed25519 signatures
+#: are exactly 64 bytes; the other schemes are padded/truncated abstractions
+#: of the same interface).
+SIGNATURE_BYTES = 64
+
+
+class SignatureScheme(ABC):
+    """Abstract ``sign_i`` / ``verify_i`` for a fixed population of clients.
+
+    A scheme instance is bound to ``n`` clients with ids ``0 .. n-1``; the
+    server has no id and no signing capability, matching the paper's trust
+    assumptions.
+    """
+
+    def __init__(self, num_clients: int) -> None:
+        if num_clients < 1:
+            raise ValueError("a signature scheme needs at least one client")
+        self._num_clients = num_clients
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    def _check_signer(self, signer: ClientId) -> None:
+        if not 0 <= signer < self._num_clients:
+            raise UnknownSignerError(
+                f"client id {signer} outside population of {self._num_clients}"
+            )
+
+    @abstractmethod
+    def sign(self, signer: ClientId, payload: bytes) -> bytes:
+        """Produce ``sign_i(payload)`` for ``i = signer``."""
+
+    @abstractmethod
+    def verify(self, signer: ClientId, signature: bytes, payload: bytes) -> bool:
+        """Check ``verify_i(signature, payload)``; never raises on bad input."""
+
+
+class HmacScheme(SignatureScheme):
+    """HMAC-SHA256 with an independent secret per client.
+
+    Within the simulation's trust model this is a faithful stand-in for
+    public-key signatures: clients (who all verify each other) hold the
+    secrets, the server object is never constructed with access to them.
+    """
+
+    def __init__(self, num_clients: int, seed: bytes = b"faust-hmac") -> None:
+        super().__init__(num_clients)
+        self._keys = [
+            hashlib.sha256(seed + b"|client|" + str(i).encode()).digest()
+            for i in range(num_clients)
+        ]
+
+    def sign(self, signer: ClientId, payload: bytes) -> bytes:
+        self._check_signer(signer)
+        mac = hmac.new(self._keys[signer], payload, hashlib.sha256).digest()
+        return mac + mac  # pad to SIGNATURE_BYTES for a uniform size model
+
+    def verify(self, signer: ClientId, signature: bytes, payload: bytes) -> bool:
+        try:
+            self._check_signer(signer)
+        except UnknownSignerError:
+            return False
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        expected = self.sign(signer, payload)
+        return hmac.compare_digest(bytes(signature), expected)
+
+
+class InsecureScheme(SignatureScheme):
+    """Structural signatures with zero cryptographic cost.
+
+    The "signature" is a deterministic non-cryptographic tag over
+    ``(signer, payload)``.  It preserves the protocol's *functional*
+    behaviour (verification succeeds exactly for honestly produced
+    signatures) but offers no unforgeability; benchmarks use it to separate
+    protocol cost from crypto cost, and adversarial tests use
+    :meth:`forge` to model a broken signature scheme.
+    """
+
+    def sign(self, signer: ClientId, payload: bytes) -> bytes:
+        self._check_signer(signer)
+        return self.forge(signer, payload)
+
+    @staticmethod
+    def forge(signer: ClientId, payload: bytes) -> bytes:
+        """Anyone (including a Byzantine server) can compute this tag."""
+        digest = hashlib.blake2b(
+            payload, digest_size=28, key=str(signer).encode()[:16]
+        ).digest()
+        return digest + digest + b"\x00" * (SIGNATURE_BYTES - 56)
+
+    def verify(self, signer: ClientId, signature: bytes, payload: bytes) -> bool:
+        try:
+            self._check_signer(signer)
+        except UnknownSignerError:
+            return False
+        return signature == self.forge(signer, payload)
+
+
+class Ed25519Scheme(SignatureScheme):
+    """Real Ed25519 signatures (RFC 8032) via the ``cryptography`` package.
+
+    Key generation is deterministic from a seed so that simulation runs are
+    reproducible.  Import of the backend is deferred so the rest of the
+    library works in environments without ``cryptography`` installed.
+    """
+
+    def __init__(self, num_clients: int, seed: bytes = b"faust-ed25519") -> None:
+        super().__init__(num_clients)
+        from cryptography.hazmat.primitives.asymmetric.ed25519 import (
+            Ed25519PrivateKey,
+        )
+
+        self._private = []
+        self._public = []
+        for i in range(num_clients):
+            raw = hashlib.sha256(seed + b"|client|" + str(i).encode()).digest()
+            key = Ed25519PrivateKey.from_private_bytes(raw)
+            self._private.append(key)
+            self._public.append(key.public_key())
+
+    def sign(self, signer: ClientId, payload: bytes) -> bytes:
+        self._check_signer(signer)
+        return self._private[signer].sign(payload)
+
+    def verify(self, signer: ClientId, signature: bytes, payload: bytes) -> bool:
+        try:
+            self._check_signer(signer)
+        except UnknownSignerError:
+            return False
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        try:
+            self._public[signer].verify(bytes(signature), payload)
+        except Exception:
+            return False
+        return True
+
+
+def make_scheme(name: str, num_clients: int) -> SignatureScheme:
+    """Factory: ``"ed25519"``, ``"hmac"`` or ``"insecure"``."""
+    schemes = {
+        "ed25519": Ed25519Scheme,
+        "hmac": HmacScheme,
+        "insecure": InsecureScheme,
+    }
+    try:
+        cls = schemes[name]
+    except KeyError:
+        raise UnknownSignerError(
+            f"unknown signature scheme {name!r}; choose from {sorted(schemes)}"
+        ) from None
+    return cls(num_clients)

@@ -1,0 +1,42 @@
+"""The experiment harness: one module per reproduced figure/claim.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+the recorded paper-vs-measured outcomes.
+"""
+
+from repro.experiments import (
+    e01_stability_cut,
+    e02_weak_fork_separation,
+    e03_rounds_latency,
+    e04_msg_complexity,
+    e05_wait_freedom,
+    e06_linearizability,
+    e07_causality_attacks,
+    e08_detection_latency,
+    e09_stability_latency,
+    e10_server_gc,
+    e11_crypto_cost,
+    e12_notion_separation,
+    e13_digest_ablation,
+    e14_definition5_validation,
+)
+from repro.experiments.base import ExperimentResult
+
+ALL_EXPERIMENTS = [
+    e01_stability_cut,
+    e02_weak_fork_separation,
+    e03_rounds_latency,
+    e04_msg_complexity,
+    e05_wait_freedom,
+    e06_linearizability,
+    e07_causality_attacks,
+    e08_detection_latency,
+    e09_stability_latency,
+    e10_server_gc,
+    e11_crypto_cost,
+    e12_notion_separation,
+    e13_digest_ablation,
+    e14_definition5_validation,
+]
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

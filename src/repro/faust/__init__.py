@@ -1,0 +1,23 @@
+"""FAUST: the fail-aware untrusted storage service layer (Section 6)."""
+
+from repro.faust.ablation import VectorOnlyTracker, ablate_system
+from repro.faust.client import FaustClient
+from repro.faust.messages import FailureMessage, ProbeMessage, VersionMessage
+from repro.faust.service import FaustService, OperationFailed
+from repro.faust.stability import AbsorbOutcome, StabilityTracker
+from repro.faust.validator import FailAwareReport, validate_fail_aware_run
+
+__all__ = [
+    "AbsorbOutcome",
+    "FailAwareReport",
+    "FailureMessage",
+    "FaustClient",
+    "FaustService",
+    "OperationFailed",
+    "ProbeMessage",
+    "StabilityTracker",
+    "VectorOnlyTracker",
+    "VersionMessage",
+    "ablate_system",
+    "validate_fail_aware_run",
+]

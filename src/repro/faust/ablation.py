@@ -1,0 +1,66 @@
+"""Ablation variants of the FAUST machinery (for experiment E13).
+
+The digest vector ``M`` doubles the size of every version, so a natural
+"optimisation" is to compare versions by their timestamp vectors alone.
+:class:`VectorOnlyTracker` implements exactly that ablation — and the
+experiments show what it costs: join-style attacks (the Figure 3 hiding
+attack) produce versions whose *vectors* are ordered while their digests
+diverge, so the ablated comparability check accepts them and the fork is
+never detected.  Divergence-style forks (split brain) still produce
+vector-incomparable versions and remain detectable.
+
+This is the executable justification for Definition 7's second condition.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import ClientId
+from repro.faust.stability import AbsorbOutcome, StabilityTracker
+from repro.ustor.version import Version
+
+
+def vector_le(a: Version, b: Version) -> bool:
+    """Vector-only order: Definition 7 condition 1 without condition 2."""
+    return all(x <= y for x, y in zip(a.vector, b.vector))
+
+
+def vector_comparable(a: Version, b: Version) -> bool:
+    return vector_le(a, b) or vector_le(b, a)
+
+
+class VectorOnlyTracker(StabilityTracker):
+    """A stability tracker that ignores digests when comparing versions."""
+
+    def absorb(self, source: ClientId, version: Version, now: float) -> AbsorbOutcome:
+        current_max = self.versions[self._max_index]
+        if not vector_comparable(version, current_max):
+            return AbsorbOutcome(
+                incomparable=True, updated=False, stability_advanced=False
+            )
+        stored = self.versions[source]
+        if not (vector_le(stored, version) and stored.vector != version.vector):
+            return AbsorbOutcome(
+                incomparable=False, updated=False, stability_advanced=False
+            )
+        self.versions[source] = version
+        self.last_heard[source] = now
+        if vector_le(current_max, version):
+            self._max_index = source
+        advanced = False
+        new_w = version.vector[self._id]
+        if new_w > self._w[source]:
+            self._w[source] = new_w
+            advanced = True
+        return AbsorbOutcome(
+            incomparable=False, updated=True, stability_advanced=advanced
+        )
+
+
+def ablate_system(system) -> None:
+    """Swap every FAUST client's tracker for the vector-only variant.
+
+    Must be called before any operations run (the fresh trackers start
+    from zero versions).
+    """
+    for client in system.clients:
+        client.tracker = VectorOnlyTracker(client.client_id, len(system.clients))

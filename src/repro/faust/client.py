@@ -1,0 +1,327 @@
+"""The FAUST protocol — fail-aware untrusted storage (Section 6).
+
+A :class:`FaustClient` layers three mechanisms over the USTOR client
+(Figure 4's architecture):
+
+* **Version bookkeeping** — every version received (own commits, writers'
+  versions in read replies, offline VERSION messages) flows through a
+  :class:`~repro.faust.stability.StabilityTracker`; stability cuts ``W_i``
+  emerge as ``stable_i(W)`` notifications.
+* **Dummy reads** — a periodic round-robin read over all registers while
+  the application is idle, so versions keep propagating through the
+  server even without user operations.
+* **Offline probing** — peers not heard from for more than ``delta`` are
+  probed directly; PROBE / VERSION / FAILURE messages travel over the
+  offline channel and keep stability (and failure) detection complete
+  even when the server crashes or partitions clients.
+
+Failure is detected in exactly the paper's three ways: a USTOR ``fail_i``
+(signature/version check failed), an incomparable version (forking
+evidence), or a FAILURE message from another client.  On any of them the
+client alerts everyone, outputs ``fail_i``, and halts.
+
+Operations return the timestamp ``t`` of the underlying USTOR operation
+(Definition 5's Integrity: timestamps at one client increase
+monotonically).  User operations invoked while another is in flight are
+queued, preserving the well-formedness of each client's history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.common.errors import ProtocolError
+from repro.common.types import ClientId, OpKind, RegisterId, Value, client_name
+from repro.crypto.keystore import ClientSigner
+from repro.history.recorder import HistoryRecorder
+from repro.sim.offline import OfflineChannel
+from repro.sim.timers import PeriodicTimer
+from repro.ustor.client import OpOutcome, UstorClient
+from repro.ustor.messages import ReplyMessage
+from repro.faust.messages import FailureMessage, ProbeMessage, VersionMessage
+from repro.faust.stability import StabilityTracker
+
+
+class FaustClient(UstorClient):
+    """Client ``C_i`` of the fail-aware untrusted storage service."""
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        num_clients: int,
+        signer: ClientSigner,
+        server_name: str = "S",
+        recorder: HistoryRecorder | None = None,
+        commit_piggyback: bool = False,
+        delta: float = 40.0,
+        dummy_read_period: float = 7.0,
+        probe_check_period: float = 11.0,
+        enable_dummy_reads: bool = True,
+        enable_probes: bool = True,
+        on_stable: Callable[[tuple[int, ...]], None] | None = None,
+        on_faust_fail: Callable[[str], None] | None = None,
+    ) -> None:
+        super().__init__(
+            client_id=client_id,
+            num_clients=num_clients,
+            signer=signer,
+            server_name=server_name,
+            recorder=recorder,
+            on_fail=self._ustor_failed,
+            commit_piggyback=commit_piggyback,
+        )
+        self.tracker = StabilityTracker(client_id, num_clients)
+        self.delta = delta
+        self._dummy_period = dummy_read_period
+        self._probe_period = probe_check_period
+        self._enable_dummy = enable_dummy_reads
+        self._enable_probes = enable_probes
+        self._on_stable = on_stable
+        self._on_faust_fail = on_faust_fail
+
+        self._offline: OfflineChannel | None = None
+        self._queue: deque = deque()
+        self._dummy_timer: PeriodicTimer | None = None
+        self._probe_timer: PeriodicTimer | None = None
+        self._next_dummy_register = (client_id + 1) % num_clients
+        self._last_probe_sent: list[float] = [float("-inf")] * num_clients
+
+        self.faust_failed = False
+        self.faust_fail_reason: str | None = None
+        self.faust_fail_time: float | None = None
+        #: (time, W) of every stable_i notification, for tests/experiments.
+        self.stable_notifications: list[tuple[float, tuple[int, ...]]] = []
+        self.user_operations_completed = 0
+        self.dummy_reads_issued = 0
+
+    # ---------------------------------------------------------------- #
+    # Wiring
+    # ---------------------------------------------------------------- #
+
+    def attach_offline(self, channel: OfflineChannel) -> None:
+        self._offline = channel
+
+    def start(self) -> None:
+        """Arm the periodic machinery (after binding to scheduler/network)."""
+        if self._enable_dummy and self._dummy_timer is None:
+            self._dummy_timer = PeriodicTimer(
+                self.scheduler,
+                self._dummy_period,
+                self._dummy_tick,
+                jitter=0.2,
+            )
+            self._dummy_timer.start()
+        if self._enable_probes and self._probe_timer is None:
+            self._probe_timer = PeriodicTimer(
+                self.scheduler,
+                self._probe_period,
+                self._probe_tick,
+                jitter=0.2,
+            )
+            self._probe_timer.start()
+
+    def stop_timers(self) -> None:
+        if self._dummy_timer is not None:
+            self._dummy_timer.stop()
+        if self._probe_timer is not None:
+            self._probe_timer.stop()
+
+    def enable_background(self, dummy_reads: bool = True, probes: bool = True) -> None:
+        """(Re)enable the periodic machinery — used by scenarios that start
+        a client quiet and wake its background activity later."""
+        self._enable_dummy = dummy_reads
+        self._enable_probes = probes
+        self.start()
+
+    def pause(self) -> None:
+        """Model a client going offline/asleep: background activity stops.
+
+        The client remains correct (it will resume) — contrast with
+        :meth:`crash`.  Pair with ``offline_channel.set_online(name, False)``
+        to also defer offline-message delivery.
+        """
+        if self._dummy_timer is not None:
+            self._dummy_timer.stop()
+            self._dummy_timer = None
+        if self._probe_timer is not None:
+            self._probe_timer.stop()
+            self._probe_timer = None
+
+    def resume(self) -> None:
+        """Wake up after :meth:`pause`."""
+        self.start()
+
+    # ---------------------------------------------------------------- #
+    # The application-facing operations (queued; responses carry t)
+    # ---------------------------------------------------------------- #
+
+    def write(
+        self, value: Value, callback: Callable[[OpOutcome], None] | None = None
+    ) -> None:
+        if not isinstance(value, bytes):
+            raise ProtocolError("register values are bytes")
+        self._enqueue(OpKind.WRITE, self._id, value, callback)
+
+    def read(
+        self,
+        register: RegisterId,
+        callback: Callable[[OpOutcome], None] | None = None,
+    ) -> None:
+        if not 0 <= register < self._n:
+            raise ProtocolError(f"register {register} out of range")
+        self._enqueue(OpKind.READ, register, None, callback)
+
+    def _enqueue(self, kind, register, value, callback) -> None:
+        if self.faust_failed or self.failed:
+            raise ProtocolError(f"{self.name} has failed and halted")
+        if self.crashed:
+            raise ProtocolError(f"{self.name} has crashed")
+        self._queue.append((kind, register, value, callback))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self.busy or not self._queue or self.failed or self.crashed:
+            return
+        kind, register, value, callback = self._queue.popleft()
+
+        def completed(outcome: OpOutcome, _cb=callback) -> None:
+            self._operation_completed(outcome, _cb, dummy=False)
+
+        if kind is OpKind.WRITE:
+            super().write(value, completed)
+        else:
+            super().read(register, completed)
+
+    @property
+    def idle(self) -> bool:
+        """No user operation in flight or queued."""
+        return not self.busy and not self._queue
+
+    # ---------------------------------------------------------------- #
+    # Version intake and notifications
+    # ---------------------------------------------------------------- #
+
+    def _operation_completed(self, outcome: OpOutcome, callback, dummy: bool) -> None:
+        if not dummy:
+            self.user_operations_completed += 1
+        # My own committed version.
+        self._absorb(self._id, outcome.version)
+        # The writer's version returned by a read.
+        if outcome.kind is OpKind.READ and outcome.reader_version is not None:
+            self._absorb(outcome.register, outcome.reader_version)
+        if callback is not None and not self.faust_failed:
+            callback(outcome)
+        self._pump()
+
+    def _absorb(self, source: ClientId, version) -> None:
+        if self.faust_failed:
+            return
+        result = self.tracker.absorb(source, version, self.now)
+        if result.incomparable:
+            self._fail_faust(
+                f"version received from {client_name(source)} is incomparable "
+                f"with the known maximum (forking evidence)"
+            )
+            return
+        if result.stability_advanced:
+            self._notify_stable()
+
+    def _notify_stable(self) -> None:
+        cut = self.tracker.stability_cut()
+        self.stable_notifications.append((self.now, cut))
+        trace = self.network.trace
+        if trace is not None:
+            trace.note(self.now, self.name, "stable", cut)
+        if self._on_stable is not None:
+            self._on_stable(cut)
+
+    # ---------------------------------------------------------------- #
+    # Periodic machinery
+    # ---------------------------------------------------------------- #
+
+    def _dummy_tick(self) -> None:
+        if self.faust_failed or self.failed or self.crashed or not self.idle:
+            return
+        register = self._next_dummy_register
+        self._next_dummy_register = (register + 1) % self._n
+        self.dummy_reads_issued += 1
+
+        def completed(outcome: OpOutcome) -> None:
+            self._operation_completed(outcome, None, dummy=True)
+
+        # Bypass the queue: dummy reads run only when the application is idle.
+        UstorClient.read(self, register, completed)
+
+    def _probe_tick(self) -> None:
+        if self.faust_failed or self.crashed or self._offline is None:
+            return
+        now = self.now
+        for peer in self.tracker.stale_peers(now, self.delta):
+            if now - self._last_probe_sent[peer] <= self.delta:
+                continue  # an answer to the previous probe may be in flight
+            self._last_probe_sent[peer] = now
+            self._offline.send(
+                self.name, client_name(peer), ProbeMessage(sender=self._id)
+            )
+
+    # ---------------------------------------------------------------- #
+    # Message dispatch
+    # ---------------------------------------------------------------- #
+
+    def on_message(self, src: str, message) -> None:
+        if isinstance(message, ReplyMessage):
+            super().on_message(src, message)
+            return
+        if self.faust_failed:
+            return
+        if isinstance(message, ProbeMessage):
+            self._handle_probe(message)
+        elif isinstance(message, VersionMessage):
+            self._absorb(message.sender, message.version)
+        elif isinstance(message, FailureMessage):
+            # The paper's third detection condition: another client holds
+            # proof.  Re-alerting is harmless (each client alerts at most
+            # once) and makes propagation robust to client crashes.
+            self._fail_faust(
+                f"FAILURE alert from {client_name(message.sender)}: {message.reason}"
+            )
+
+    def _handle_probe(self, message: ProbeMessage) -> None:
+        if self._offline is None:
+            return
+        self._offline.send(
+            self.name,
+            client_name(message.sender),
+            VersionMessage(sender=self._id, version=self.tracker.max_version),
+        )
+
+    # ---------------------------------------------------------------- #
+    # fail_i
+    # ---------------------------------------------------------------- #
+
+    def _ustor_failed(self, reason: str) -> None:
+        self._fail_faust(f"USTOR detection: {reason}")
+
+    def _fail_faust(self, reason: str, alert_others: bool = True) -> None:
+        if self.faust_failed:
+            return
+        self.faust_failed = True
+        self.faust_fail_reason = reason
+        self.faust_fail_time = self.now
+        self.halt_protocol()
+        self.stop_timers()
+        trace = self.network.trace
+        if trace is not None:
+            trace.note(self.now, self.name, "faust-fail", reason)
+        if alert_others and self._offline is not None:
+            for peer in range(self._n):
+                if peer == self._id:
+                    continue
+                self._offline.send(
+                    self.name,
+                    client_name(peer),
+                    FailureMessage(sender=self._id, reason=reason),
+                )
+        if self._on_faust_fail is not None:
+            self._on_faust_fail(reason)

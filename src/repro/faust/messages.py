@@ -1,0 +1,61 @@
+"""FAUST's offline client-to-client messages (Section 6, Figure 4).
+
+Three message types travel over the offline channel:
+
+* PROBE — "I have not heard a fresh version from you in more than DELTA
+  time units; what is the maximal version you know?"
+* VERSION — the reply (also sent spontaneously): the sender's maximal
+  known version ``VER_j[max_j]``.  Note the paper's remark: this version
+  was not necessarily *committed* by the sender.
+* FAILURE — the sender has proof of server misbehaviour; everyone should
+  output ``fail`` and stop using the server.
+
+The offline channel is authenticated (it connects mutually trusting
+clients), so these messages carry no additional signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import ClientId
+from repro.ustor.messages import INT_BYTES, MARKER_BYTES, version_wire_size
+from repro.ustor.version import Version
+
+
+@dataclass(frozen=True)
+class ProbeMessage:
+    """Request for the recipient's maximal version."""
+
+    sender: ClientId
+
+    kind = "PROBE"
+
+    def wire_size(self) -> int:
+        return MARKER_BYTES + INT_BYTES
+
+
+@dataclass(frozen=True)
+class VersionMessage:
+    """The sender's maximal known version ``VER_j[max_j]``."""
+
+    sender: ClientId
+    version: Version
+
+    kind = "VERSION"
+
+    def wire_size(self) -> int:
+        return MARKER_BYTES + INT_BYTES + version_wire_size(self.version)
+
+
+@dataclass(frozen=True)
+class FailureMessage:
+    """Alert: the server has demonstrably violated its specification."""
+
+    sender: ClientId
+    reason: str
+
+    kind = "FAILURE"
+
+    def wire_size(self) -> int:
+        return MARKER_BYTES + INT_BYTES + len(self.reason.encode("utf-8"))

@@ -1,0 +1,121 @@
+"""Version bookkeeping and stability cuts (Section 6).
+
+Client ``C_i`` maintains ``VER_i`` — the maximal version received from
+every client — and derives from it the stability vector ``W_i`` with
+``W_i[j] = V_j[i]`` where ``(V_j, M_j) = VER_i[j]``: how many of *my*
+operations client ``C_j``'s latest known version covers.  Every update
+that raises an entry of ``W_i`` triggers a ``stable_i(W_i)`` notification.
+
+The tracker also implements the failure test FAUST applies to every
+received version: comparability (Definition 7) with the maximal version
+already known.  Incomparable versions are *proof* of a forking attack —
+for honestly produced versions, ``<=`` coincides with the prefix relation
+on view histories, and two prefixes of a common history are always
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import ClientId
+from repro.ustor.version import Version
+
+
+@dataclass(frozen=True)
+class AbsorbOutcome:
+    """What happened when a version was fed to the tracker."""
+
+    #: The version contradicts the known maximum — server misbehaviour.
+    incomparable: bool
+    #: ``VER_i[source]`` grew.
+    updated: bool
+    #: Some entry of the stability vector ``W_i`` increased.
+    stability_advanced: bool
+
+
+class StabilityTracker:
+    """``VER_i``, ``W_i`` and the staleness clock of one FAUST client."""
+
+    def __init__(self, client_id: ClientId, num_clients: int) -> None:
+        self._id = client_id
+        self._n = num_clients
+        self.versions: list[Version] = [Version.zero(num_clients)] * num_clients
+        self.last_heard: list[float] = [0.0] * num_clients
+        self._max_index: ClientId = client_id
+        self._w: list[int] = [0] * num_clients
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_index(self) -> ClientId:
+        """``max_i`` — whose entry holds the maximal version."""
+        return self._max_index
+
+    @property
+    def max_version(self) -> Version:
+        return self.versions[self._max_index]
+
+    def stability_cut(self) -> tuple[int, ...]:
+        """The current vector ``W_i`` (Figure 2's stability cut)."""
+        return tuple(self._w)
+
+    def stable_timestamp_for(self, peer: ClientId) -> int:
+        """Up to which of my timestamps am I stable w.r.t. ``peer``?"""
+        return self._w[peer]
+
+    def stable_timestamp_for_all(self) -> int:
+        """My operations with timestamps up to this value are *stable*
+        (w.r.t. every client), hence on a linearizable prefix."""
+        return min(self._w)
+
+    # ------------------------------------------------------------------ #
+    # Version intake
+    # ------------------------------------------------------------------ #
+
+    def absorb(self, source: ClientId, version: Version, now: float) -> AbsorbOutcome:
+        """Feed a version received from ``source`` (server or offline path).
+
+        Updates ``VER_i[source]`` and its staleness clock only when the
+        version *grew* — the paper stores "the time when the entry was most
+        recently updated", and this is load-bearing: a forking server keeps
+        serving stale (but valid) versions of the other branch, and only an
+        update-based clock keeps probing until the genuinely newer version
+        arrives offline and exposes the fork.  Reports incomparability
+        instead of updating when the version contradicts the known maximum.
+        """
+        current_max = self.versions[self._max_index]
+        if not version.comparable(current_max):
+            return AbsorbOutcome(
+                incomparable=True, updated=False, stability_advanced=False
+            )
+        if not self.versions[source].lt(version):
+            return AbsorbOutcome(
+                incomparable=False, updated=False, stability_advanced=False
+            )
+        self.versions[source] = version
+        self.last_heard[source] = now
+        if current_max.le(version):
+            self._max_index = source
+        advanced = False
+        new_w = version.vector[self._id]
+        if new_w > self._w[source]:
+            self._w[source] = new_w
+            advanced = True
+        return AbsorbOutcome(
+            incomparable=False, updated=True, stability_advanced=advanced
+        )
+
+    # ------------------------------------------------------------------ #
+    # Staleness (drives PROBE messages)
+    # ------------------------------------------------------------------ #
+
+    def stale_peers(self, now: float, delta: float) -> list[ClientId]:
+        """Clients not heard from (directly or via the server) for > delta."""
+        return [
+            j
+            for j in range(self._n)
+            if j != self._id and now - self.last_heard[j] > delta
+        ]

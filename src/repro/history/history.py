@@ -1,0 +1,189 @@
+"""Histories: sequences of operations with the paper's derived notions.
+
+A :class:`History` is the record of one execution restricted to the
+register functionality ``F`` — what Section 2 calls ``sigma|F``.  It
+provides the constructions every definition in the paper is phrased in:
+``complete(sigma)``, per-client restriction ``sigma|C_i``, real-time
+precedence, prefixes ``sigma|o``, and the unique-values reads-from helpers
+that the consistency checkers build on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.common.errors import HistoryError
+from repro.common.types import BOTTOM, ClientId, OpKind, RegisterId
+from repro.history.events import Operation
+
+
+class History:
+    """An immutable collection of operations from one execution."""
+
+    def __init__(self, operations: Iterable[Operation]) -> None:
+        ops = sorted(operations, key=lambda o: (o.invoked_at, o.op_id))
+        seen: set[int] = set()
+        for op in ops:
+            if op.op_id in seen:
+                raise HistoryError(f"duplicate op_id {op.op_id} in history")
+            seen.add(op.op_id)
+        self._ops: tuple[Operation, ...] = tuple(ops)
+        self._by_id = {op.op_id: op for op in ops}
+        self._by_client: dict[ClientId, list[Operation]] = defaultdict(list)
+        for op in self._ops:
+            self._by_client[op.client].append(op)
+        self._check_well_formed()
+
+    def _check_well_formed(self) -> None:
+        """Each client must be sequential: alternating invoke/response."""
+        for client, ops in self._by_client.items():
+            previous: Operation | None = None
+            for op in ops:
+                if previous is not None:
+                    if previous.responded_at is None:
+                        raise HistoryError(
+                            f"client C{client + 1} invoked op {op.op_id} while "
+                            f"op {previous.op_id} was still pending"
+                        )
+                    if previous.responded_at > op.invoked_at:
+                        raise HistoryError(
+                            f"client C{client + 1} operations overlap "
+                            f"({previous.op_id} and {op.op_id})"
+                        )
+                previous = op
+
+    # ------------------------------------------------------------------ #
+    # Basic access
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __getitem__(self, index: int) -> Operation:
+        return self._ops[index]
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        return self._ops
+
+    def op(self, op_id: int) -> Operation:
+        try:
+            return self._by_id[op_id]
+        except KeyError:
+            raise HistoryError(f"no operation with id {op_id}") from None
+
+    def clients(self) -> list[ClientId]:
+        return sorted(self._by_client)
+
+    def registers(self) -> list[RegisterId]:
+        return sorted({op.register for op in self._ops})
+
+    # ------------------------------------------------------------------ #
+    # The paper's derived sequences
+    # ------------------------------------------------------------------ #
+
+    def complete(self) -> "History":
+        """``complete(sigma)``: the complete operations only."""
+        return History(op for op in self._ops if op.complete)
+
+    def restrict_to_client(self, client: ClientId) -> list[Operation]:
+        """``sigma|C_i`` as an ordered list."""
+        return list(self._by_client.get(client, ()))
+
+    def restrict_to_register(self, register: RegisterId) -> list[Operation]:
+        return [op for op in self._ops if op.register == register]
+
+    def writes_to(self, register: RegisterId) -> list[Operation]:
+        """All writes to a register in writer program order.
+
+        SWMR means a single (sequential) writer, so program order totally
+        orders these writes — the fact the fast linearizability checker
+        exploits.
+        """
+        return [
+            op
+            for op in self._by_client.get(register, ())
+            if op.is_write and op.register == register
+        ]
+
+    def reads_of(self, register: RegisterId) -> list[Operation]:
+        return [op for op in self._ops if op.is_read and op.register == register]
+
+    # ------------------------------------------------------------------ #
+    # Unique-values machinery (Section 2 assumes written values unique)
+    # ------------------------------------------------------------------ #
+
+    def assert_unique_write_values(self) -> None:
+        seen: dict[tuple[RegisterId, bytes], int] = {}
+        for op in self._ops:
+            if not op.is_write:
+                continue
+            key = (op.register, bytes(op.value))  # type: ignore[arg-type]
+            if key in seen:
+                raise HistoryError(
+                    f"writes {seen[key]} and {op.op_id} store the same value in "
+                    f"register {op.register}; unique values are assumed"
+                )
+            seen[key] = op.op_id
+
+    def write_of_value(self, register: RegisterId, value) -> Operation | None:
+        """The unique write that stored ``value`` in ``register``, if any."""
+        if value is BOTTOM:
+            return None
+        for op in self.writes_to(register):
+            if op.value == value:
+                return op
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Completion (the standard preprocessing for Definitions 1-3)
+    # ------------------------------------------------------------------ #
+
+    def completed_for_checking(self) -> "History":
+        """Resolve incomplete operations the way Definition 1 permits.
+
+        * incomplete reads are dropped (they returned nothing observable
+          and a response with *any* legal value may be appended, so they
+          never make a history inconsistent);
+        * incomplete writes are kept, completed with an open-ended response
+          (``+inf``): they may have taken effect — another client may have
+          read them — and since they then constrain nothing in real-time
+          order, keeping them is equivalence-preserving for every checker
+          in :mod:`repro.consistency` (an unread, real-time-unconstrained
+          write can always be appended at the writer's last position).
+        """
+        kept: list[Operation] = []
+        for op in self._ops:
+            if op.complete:
+                kept.append(op)
+            elif op.is_write:
+                kept.append(op.completed_copy(responded_at=float("inf")))
+        return History(kept)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        lines = []
+        for op in self._ops:
+            end = f"{op.responded_at:.3f}" if op.complete else "pending"
+            lines.append(f"[{op.invoked_at:.3f} .. {end}] {op.describe()}")
+        return "\n".join(lines)
+
+
+def prefix_up_to(sequence: list[Operation], op: Operation) -> list[Operation]:
+    """``pi|o``: the prefix of a sequential view ending with ``op``.
+
+    Raises if ``op`` does not occur in the sequence — callers are expected
+    to check membership first (the definitions always quantify over common
+    operations).
+    """
+    for index, candidate in enumerate(sequence):
+        if candidate.op_id == op.op_id:
+            return sequence[: index + 1]
+    raise HistoryError(f"operation {op.op_id} not in the given sequence")

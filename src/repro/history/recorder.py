@@ -1,0 +1,126 @@
+"""Recording histories from live protocol runs.
+
+Protocol clients report invocations and responses here; the recorder
+assembles the :class:`~repro.history.History` that the consistency
+checkers consume, and keeps the ``(client, protocol timestamp) -> op``
+mapping that lets the analysis layer reconstruct USTOR view histories.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import HistoryError
+from repro.common.types import Bottom, ClientId, OpKind, RegisterId, Value
+from repro.history.events import Operation
+from repro.history.history import History
+
+
+class _PendingOp:
+    __slots__ = ("op_id", "client", "kind", "register", "value", "invoked_at", "timestamp")
+
+    def __init__(self, op_id, client, kind, register, value, invoked_at, timestamp):
+        self.op_id = op_id
+        self.client = client
+        self.kind = kind
+        self.register = register
+        self.value = value
+        self.invoked_at = invoked_at
+        self.timestamp = timestamp
+
+
+class HistoryRecorder:
+    """Builds a history incrementally from begin/end calls."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self._pending: dict[int, _PendingOp] = {}
+        self._done: list[Operation] = []
+        self._by_key: dict[tuple[ClientId, int], int] = {}
+
+    def begin(
+        self,
+        client: ClientId,
+        kind: OpKind,
+        register: RegisterId,
+        invoked_at: float,
+        value: Value | None = None,
+        timestamp: int | None = None,
+    ) -> int:
+        """Record an invocation; returns the operation id.
+
+        ``timestamp`` is the protocol timestamp (USTOR assigns it before
+        sending SUBMIT, so it is known even for operations that never
+        complete).
+        """
+        op_id = self._next_id
+        self._next_id += 1
+        self._pending[op_id] = _PendingOp(
+            op_id, client, kind, register, value, invoked_at, timestamp
+        )
+        if timestamp is not None:
+            self._by_key[(client, timestamp)] = op_id
+        return op_id
+
+    def end(
+        self,
+        op_id: int,
+        responded_at: float,
+        value: Value | Bottom | None = None,
+        timestamp: int | None = None,
+    ) -> Operation:
+        """Record the matching response; returns the completed operation."""
+        try:
+            pending = self._pending.pop(op_id)
+        except KeyError:
+            raise HistoryError(f"no pending operation with id {op_id}") from None
+        if timestamp is not None:
+            pending.timestamp = timestamp
+            self._by_key[(pending.client, timestamp)] = op_id
+        final_value = pending.value if pending.kind is OpKind.WRITE else value
+        op = Operation(
+            op_id=op_id,
+            client=pending.client,
+            kind=pending.kind,
+            register=pending.register,
+            value=final_value,
+            invoked_at=pending.invoked_at,
+            responded_at=responded_at,
+            timestamp=pending.timestamp,
+        )
+        self._done.append(op)
+        return op
+
+    # ------------------------------------------------------------------ #
+    # Extraction
+    # ------------------------------------------------------------------ #
+
+    def history(self) -> History:
+        """The history so far, pending operations included (incomplete)."""
+        ops = list(self._done)
+        for pending in self._pending.values():
+            ops.append(
+                Operation(
+                    op_id=pending.op_id,
+                    client=pending.client,
+                    kind=pending.kind,
+                    register=pending.register,
+                    value=pending.value,
+                    invoked_at=pending.invoked_at,
+                    responded_at=None,
+                    timestamp=pending.timestamp,
+                )
+            )
+        return History(ops)
+
+    def op_id_for(self, client: ClientId, timestamp: int) -> int | None:
+        """Map a protocol ``(client, timestamp)`` pair to an operation id."""
+        return self._by_key.get((client, timestamp))
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,58 @@
+"""Sequential specification of the n-SWMR-register functionality ``F``.
+
+Section 2: *"each read operation returns the value written by the most
+recent preceding write operation, if there is one, and the initial value
+otherwise"*.  This module replays a candidate sequential permutation and
+decides whether it satisfies that specification — the core predicate behind
+"is a view" (Definition 1, condition 3) and thus behind every consistency
+checker in :mod:`repro.consistency`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.types import BOTTOM, RegisterId
+from repro.history.events import Operation
+
+
+def run_sequentially(
+    operations: Iterable[Operation],
+) -> tuple[bool, int | None, dict[RegisterId, object]]:
+    """Replay operations against fresh registers.
+
+    Returns ``(legal, first_bad_op_id, final_state)``.  ``first_bad_op_id``
+    is the id of the earliest read whose return value contradicts the
+    register state at its position (``None`` when legal).
+    """
+    state: dict[RegisterId, object] = {}
+    for op in operations:
+        if op.is_write:
+            state[op.register] = op.value
+        else:
+            expected = state.get(op.register, BOTTOM)
+            if op.value != expected:
+                return False, op.op_id, dict(state)
+    return True, None, dict(state)
+
+
+def is_legal_sequence(operations: Sequence[Operation]) -> bool:
+    """True iff the sequence satisfies the SWMR register specification."""
+    legal, _bad, _state = run_sequentially(operations)
+    return legal
+
+
+def explain_illegal(operations: Sequence[Operation]) -> str | None:
+    """Human-readable description of the first spec violation, if any."""
+    state: dict[RegisterId, object] = {}
+    for op in operations:
+        if op.is_write:
+            state[op.register] = op.value
+            continue
+        expected = state.get(op.register, BOTTOM)
+        if op.value != expected:
+            return (
+                f"{op.describe()} should have returned "
+                f"{expected!r} at this position"
+            )
+    return None

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation substrate (Figure 1's world).
+
+Provides the asynchronous system model of Section 2: a seeded event loop,
+reliable FIFO client-server channels, the offline client-to-client channel,
+crash-stop processes, periodic timers, and run tracing/metrics.
+"""
+
+from repro.sim.metrics import Counter, MetricsRegistry, Sample, Summary, summarize
+from repro.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    Network,
+    UniformLatency,
+    message_kind,
+    message_size,
+)
+from repro.sim.offline import OfflineChannel
+from repro.sim.process import Node
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import MessageRecord, NoteRecord, SimTrace
+
+__all__ = [
+    "Counter",
+    "EventHandle",
+    "ExponentialLatency",
+    "FixedLatency",
+    "LatencyModel",
+    "MessageRecord",
+    "MetricsRegistry",
+    "Network",
+    "Node",
+    "NoteRecord",
+    "OfflineChannel",
+    "PeriodicTimer",
+    "Sample",
+    "Scheduler",
+    "SimTrace",
+    "Summary",
+    "UniformLatency",
+    "message_kind",
+    "message_size",
+    "summarize",
+]

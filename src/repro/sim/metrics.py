@@ -1,0 +1,118 @@
+"""Lightweight metric aggregation for experiments.
+
+The benchmark harness needs summary statistics (mean / percentiles / max)
+over latencies and sizes collected from traces.  ``numpy`` is available but
+deliberately not required here: sample counts are small and keeping the
+kernel dependency-free makes the simulator embeddable anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Summary:
+    """Summary statistics of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    stddev: float
+
+    def format(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (
+            f"n={self.count} mean={self.mean:.3f}{suffix} "
+            f"p50={self.p50:.3f}{suffix} p95={self.p95:.3f}{suffix} "
+            f"max={self.maximum:.3f}{suffix}"
+        )
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile on an already-sorted sample."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; raises ``ValueError`` on empty input."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 0.50),
+        p95=percentile(data, 0.95),
+        stddev=math.sqrt(variance),
+    )
+
+
+@dataclass
+class Counter:
+    """A named monotonic counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("counters only go up")
+        self.value += by
+
+
+@dataclass
+class Sample:
+    """A named collection of observations."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def summary(self) -> Summary:
+        return summarize(self.values)
+
+
+class MetricsRegistry:
+    """Bag of counters and samples keyed by name."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._samples: dict[str, Sample] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def sample(self, name: str) -> Sample:
+        if name not in self._samples:
+            self._samples[name] = Sample(name)
+        return self._samples[name]
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def summaries(self) -> dict[str, Summary]:
+        return {
+            name: s.summary()
+            for name, s in sorted(self._samples.items())
+            if s.values
+        }

@@ -1,0 +1,214 @@
+"""Reliable FIFO channels between clients and the server.
+
+The model (Section 2, Figure 1) assumes *asynchronous reliable FIFO*
+channels between each client and the server.  FIFO matters for correctness:
+USTOR's check ``V^c[i] = V_i[i]`` (Algorithm 1, line 36) is sound only
+because the server processes a client's COMMIT before that client's next
+SUBMIT, which FIFO order guarantees.
+
+This module enforces FIFO per directed link regardless of the latency
+model: a message's delivery time is clamped to be no earlier than the
+previously scheduled delivery on the same link.  Latencies are sampled from
+pluggable distributions using the scheduler's seeded RNG, so adversarial
+and randomized schedules are reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.common.errors import ChannelError, SimulationError
+from repro.sim.process import Node
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import SimTrace
+
+#: Minimal spacing between deliveries on one link, keeping delivery times
+#: strictly increasing so event ordering is unambiguous.
+_FIFO_EPSILON = 1e-9
+
+
+class LatencyModel(ABC):
+    """Distribution of one-way message delays on a link."""
+
+    @abstractmethod
+    def sample(self, rng) -> float:
+        """Draw a non-negative delay."""
+
+
+class FixedLatency(LatencyModel):
+    """Constant delay — the workhorse for deterministic unit tests."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ChannelError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high]`` — models jittery WAN links."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ChannelError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponential delay with a mean and an optional cap.
+
+    Heavy-tailed enough to produce interesting interleavings (concurrent
+    operations, late COMMITs) while the cap keeps runs finite-horizon.
+    """
+
+    def __init__(self, mean: float, cap: float | None = None) -> None:
+        if mean <= 0:
+            raise ChannelError(f"mean latency must be positive, got {mean}")
+        if cap is not None and cap < mean:
+            raise ChannelError("latency cap must be at least the mean")
+        self.mean = mean
+        self.cap = cap
+
+    def sample(self, rng) -> float:
+        delay = rng.expovariate(1.0 / self.mean)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialLatency(mean={self.mean}, cap={self.cap})"
+
+
+def message_kind(message: Any) -> str:
+    """Best-effort short name of a message for traces and metrics."""
+    kind = getattr(message, "kind", None)
+    if isinstance(kind, str):
+        return kind
+    return type(message).__name__
+
+
+def message_size(message: Any) -> int:
+    """Wire size in bytes, if the message models it (else 0)."""
+    fn = getattr(message, "wire_size", None)
+    if callable(fn):
+        return int(fn())
+    return 0
+
+
+class _Link:
+    """One directed link with its latency model and FIFO clamp state."""
+
+    __slots__ = ("latency", "last_delivery", "extra_delay")
+
+    def __init__(self, latency: LatencyModel) -> None:
+        self.latency = latency
+        self.last_delivery = -1.0
+        self.extra_delay = 0.0
+
+
+class Network:
+    """The star topology of Figure 1: every client linked to the server.
+
+    Links are created lazily with a default latency model and can be
+    reconfigured per direction (``set_latency``) or slowed down
+    (``add_delay``) to build adversarial timings.  Channels are *reliable*:
+    nothing is ever dropped — messages to a crashed node are recorded as
+    undeliverable but that models the receiver's crash, not channel loss.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        default_latency: LatencyModel | None = None,
+        trace: SimTrace | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._default_latency = default_latency or FixedLatency(1.0)
+        self._trace = trace
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], _Link] = {}
+
+    @property
+    def trace(self) -> SimTrace | None:
+        return self._trace
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def register(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ChannelError(f"node name {node.name!r} already registered")
+        self._nodes[node.name] = node
+        node.bind(self._scheduler, self)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ChannelError(f"unknown node {name!r}") from None
+
+    def _link(self, src: str, dst: str) -> _Link:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = _Link(self._default_latency)
+            self._links[key] = link
+        return link
+
+    def set_latency(self, src: str, dst: str, latency: LatencyModel) -> None:
+        """Override the latency model of one directed link."""
+        self._link(src, dst).latency = latency
+
+    def add_delay(self, src: str, dst: str, extra: float) -> None:
+        """Add a constant extra delay on a link (adversarial slow-down)."""
+        if extra < 0:
+            raise ChannelError("extra delay must be non-negative")
+        self._link(src, dst).extra_delay = extra
+
+    # ------------------------------------------------------------------ #
+    # Transmission
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        if src not in self._nodes:
+            raise ChannelError(f"sender {src!r} is not registered")
+        if dst not in self._nodes:
+            raise ChannelError(f"recipient {dst!r} is not registered")
+        link = self._link(src, dst)
+        now = self._scheduler.now
+        candidate = now + link.latency.sample(self._scheduler.rng) + link.extra_delay
+        if candidate < now:
+            raise SimulationError("latency model produced a negative delay")
+        # FIFO clamp: never deliver before (or at) the previous delivery.
+        delivery = max(candidate, link.last_delivery + _FIFO_EPSILON)
+        link.last_delivery = delivery
+        if self._trace is not None:
+            self._trace.record_message(
+                sent_at=now,
+                delivered_at=delivery,
+                src=src,
+                dst=dst,
+                kind=message_kind(message),
+                size=message_size(message),
+            )
+        self._scheduler.schedule_at(delivery, self._deliver, src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None:  # pragma: no cover - nodes are never unregistered
+            return
+        node.deliver(src, message)

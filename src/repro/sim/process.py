@@ -1,0 +1,94 @@
+"""Process abstraction: anything that lives on the simulated network.
+
+A :class:`Node` is a named message handler bound to a scheduler and one or
+more channels.  Clients, servers (correct and Byzantine) and test stubs all
+derive from it.  Crashing is modelled here because the paper allows *any
+number of clients* to crash (Section 2): a crashed node silently stops
+receiving and sending, and its pending timers become inert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.network import Network
+    from repro.sim.scheduler import Scheduler
+
+
+class Node:
+    """Base class for every simulated party."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._scheduler: "Scheduler | None" = None
+        self._network: "Network | None" = None
+        self._crashed = False
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def bind(self, scheduler: "Scheduler", network: "Network") -> None:
+        """Attach this node to a run; called by :meth:`Network.register`."""
+        self._scheduler = scheduler
+        self._network = network
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        if self._scheduler is None:
+            raise SimulationError(f"node {self.name!r} is not bound to a scheduler")
+        return self._scheduler
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise SimulationError(f"node {self.name!r} is not bound to a network")
+        return self._network
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # ------------------------------------------------------------------ #
+    # Failure model
+    # ------------------------------------------------------------------ #
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Crash-stop this node: no further sends, receives, or timer work."""
+        self._crashed = True
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send over the network; silently dropped if this node has crashed.
+
+        (A crashed process takes no further steps, so the drop is the
+        simulation guarding itself against buggy callers, not a channel
+        fault: the paper's channels are reliable.)
+        """
+        if self._crashed:
+            return
+        self.network.send(self.name, dst, message)
+
+    def deliver(self, src: str, message: Any) -> None:
+        """Entry point used by channels; filters deliveries after a crash."""
+        if self._crashed:
+            return
+        self.on_message(src, message)
+
+    def on_message(self, src: str, message: Any) -> None:
+        """Handle one delivered message.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "crashed" if self._crashed else "up"
+        return f"<{type(self).__name__} {self.name} ({state})>"

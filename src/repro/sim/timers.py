@@ -1,0 +1,75 @@
+"""Periodic timers for protocol housekeeping.
+
+FAUST (Section 6) runs two periodic activities per client: dummy reads in
+round-robin over all registers when the client is idle, and a staleness
+check that probes clients whose versions have not been refreshed for more
+than ``DELTA`` time units.  Both are driven by :class:`PeriodicTimer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import SimulationError
+from repro.sim.scheduler import EventHandle, Scheduler
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period`` units of virtual time.
+
+    The timer re-arms itself *after* the callback returns, so a slow chain
+    of events cannot make ticks pile up.  ``jitter`` (a fraction of the
+    period, drawn uniformly) desynchronises the fleets of per-client timers
+    that would otherwise all fire at the same instant.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        period: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        initial_delay: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period}")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be a fraction in [0, 1)")
+        self._scheduler = scheduler
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._initial_delay = period if initial_delay is None else initial_delay
+        self._handle: EventHandle | None = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._arm(self._initial_delay)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _arm(self, delay: float) -> None:
+        jittered = delay
+        if self._jitter:
+            spread = delay * self._jitter
+            jittered = delay + self._scheduler.rng.uniform(-spread, spread)
+            jittered = max(jittered, 0.0)
+        self._handle = self._scheduler.schedule(jittered, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:  # the callback may have stopped the timer
+            self._arm(self._period)

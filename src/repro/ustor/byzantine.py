@@ -1,0 +1,359 @@
+"""Byzantine server behaviours used in the adversarial experiments.
+
+Each class subclasses :class:`~repro.ustor.server.UstorServer` and reuses
+the honest state-machine functions (:func:`apply_submit`,
+:func:`apply_commit`) on forked or frozen copies of the state, so every
+attack is expressed as a *deviation* from Algorithm 2 rather than a
+reimplementation.  None of these servers hold signing keys — whatever they
+send, they cannot forge client signatures (see
+:mod:`repro.crypto.keystore`), which is exactly the power the paper grants
+the adversary.
+
+Summary of attacks and the layer that (provably) catches them:
+
+=====================  =============================================
+:class:`TamperingServer`    corrupts read values — caught by the reader's
+                            DATA-signature check (Algorithm 1, line 50)
+:class:`ForgingServer`      fabricates a newer version — caught by the
+                            COMMIT-signature check (line 35)
+:class:`ReplayServer`       freezes and replays old state — caught by the
+                            version monotonicity check (line 36) or the
+                            self-concurrency check (line 43)
+:class:`CrashingServer`     stops responding — *not* USTOR-detectable
+                            (indistinguishable from slowness); FAUST keeps
+                            propagating stability via offline messages
+:class:`UnresponsiveServer` ignores selected clients only
+:class:`SplitBrainServer`   forks clients into isolated groups — invisible
+                            to USTOR (each branch is self-consistent);
+                            detected by FAUST version comparison
+:class:`Fig3Server`         the paper's Figure 3 attack: hides one write
+                            from one reader, then rejoins — produces a
+                            weakly-fork-linearizable, non-fork-linearizable,
+                            non-linearizable history without triggering any
+                            USTOR check
+=====================  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.common.types import BOTTOM, ClientId, OpKind, client_name, parse_client_name
+from repro.ustor.messages import (
+    InvocationTuple,
+    MemEntry,
+    ReplyMessage,
+    SignedVersion,
+    SubmitMessage,
+    CommitMessage,
+)
+from repro.ustor.server import ServerState, UstorServer, apply_commit, apply_submit
+from repro.ustor.version import Version
+
+
+class TamperingServer(UstorServer):
+    """Returns a corrupted value for reads of ``target_register``.
+
+    The stored DATA-signature no longer matches the mangled value, so the
+    reader's line-50 check fires immediately: this attack demonstrates
+    failure-detection *accuracy* with the fastest possible detection.
+    """
+
+    def __init__(self, num_clients: int, target_register: ClientId, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._target = target_register
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        if (
+            message.invocation.opcode is OpKind.READ
+            and message.invocation.register == self._target
+            and reply.mem is not None
+            and reply.mem.timestamp > 0
+            and reply.mem.value is not BOTTOM  # nothing written to corrupt yet
+        ):
+            corrupted = MemEntry(
+                timestamp=reply.mem.timestamp,
+                value=b"CORRUPTED|" + bytes(reply.mem.value),
+                data_sig=reply.mem.data_sig,
+            )
+            reply = ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending,
+                proofs=reply.proofs,
+                reader_version=reply.reader_version,
+                mem=corrupted,
+            )
+        self.send(src, reply)
+
+
+class ForgingServer(UstorServer):
+    """Advertises a version it cannot have: inflates ``V^c`` and attaches a
+    garbage COMMIT-signature.  Caught by line 35 on the next operation."""
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        honest = reply.last_version.version
+        inflated_vector = tuple(t + 1 for t in honest.vector)
+        forged = SignedVersion(
+            version=Version(inflated_vector, honest.digests),
+            commit_sig=b"\x00" * 64,  # the server holds no signing keys
+        )
+        self.send(
+            src,
+            ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=forged,
+                pending=reply.pending,
+                proofs=reply.proofs,
+                reader_version=reply.reader_version,
+                mem=reply.mem,
+            ),
+        )
+
+
+class ReplayServer(UstorServer):
+    """Honest until ``freeze_after_submits``, then replays the frozen state.
+
+    Once frozen, all SUBMITs are processed against a snapshot: any client
+    that commits an operation after the freeze and then operates again is
+    shown a version that no longer dominates its own — line 36 — or finds
+    its own previous operation listed as concurrent — line 43.
+    """
+
+    def __init__(self, num_clients: int, freeze_after_submits: int, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._freeze_after = freeze_after_submits
+        self._frozen: ServerState | None = None
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if self._frozen is None and self.submits_handled >= self._freeze_after:
+            self._frozen = self.state.clone()
+        if self._frozen is None:
+            super().handle_submit(src, message)
+            return
+        self.submits_handled += 1
+        reply = apply_submit(self._frozen, message)
+        self.send(src, reply)
+
+    def handle_commit(self, src: str, message: CommitMessage) -> None:
+        if self._frozen is not None:
+            return  # pretend the commit was lost
+        super().handle_commit(src, message)
+
+
+class CrashingServer(UstorServer):
+    """Crash-stops after a number of SUBMITs (a benign but fatal fault).
+
+    Not detectable as Byzantine — an asynchronous network permits arbitrary
+    delay — so USTOR operations simply never complete.  The FAUST layer's
+    offline VERSION exchange still drives stability among the operations
+    that did complete (experiment E8/E9 territory)."""
+
+    def __init__(self, num_clients: int, crash_after_submits: int, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._crash_after = crash_after_submits
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if self.submits_handled >= self._crash_after:
+            self.crash()
+            return
+        super().handle_submit(src, message)
+
+    def handle_commit(self, src: str, message: CommitMessage) -> None:
+        if self.crashed:
+            return
+        super().handle_commit(src, message)
+
+
+class UnresponsiveServer(UstorServer):
+    """Ignores all messages from a set of victim clients (targeted denial).
+
+    The victims' operations hang (allowed: wait-freedom is only promised
+    under a correct server); everyone else is served honestly, and the
+    victims' *earlier* versions still propagate offline via FAUST."""
+
+    def __init__(self, num_clients: int, victims: set[ClientId], name: str = "S"):
+        super().__init__(num_clients, name)
+        self._victims = set(victims)
+
+    def on_message(self, src: str, message) -> None:
+        client = parse_client_name(src)
+        if client is not None and client in self._victims:
+            return
+        super().on_message(src, message)
+
+
+class SplitBrainServer(UstorServer):
+    """The classic forking attack: from ``fork_time`` on, clients are split
+    into groups, each served from an independent copy of the state.
+
+    Within a group the server is indistinguishable from a correct one, so
+    USTOR never halts; across groups, versions eventually become
+    incomparable (both vectors strictly grow in different entries), which
+    is precisely what FAUST's comparability check detects once the offline
+    channel delivers a cross-group VERSION or a client probes a silent
+    peer."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        groups: list[set[ClientId]],
+        fork_time: float,
+        name: str = "S",
+    ):
+        super().__init__(num_clients, name)
+        cover = set().union(*groups) if groups else set()
+        if cover != set(range(num_clients)):
+            raise ProtocolError("groups must partition the client set")
+        for a in range(len(groups)):
+            for b in range(a + 1, len(groups)):
+                if groups[a] & groups[b]:
+                    raise ProtocolError("groups must be disjoint")
+        self._groups = [set(g) for g in groups]
+        self._fork_time = fork_time
+        self._branches: list[ServerState] | None = None
+
+    def _branch_of(self, client: ClientId) -> ServerState:
+        if self._branches is None:
+            self._branches = [self.state.clone() for _ in self._groups]
+        for group, branch in zip(self._groups, self._branches):
+            if client in group:
+                return branch
+        raise ProtocolError(f"client {client} not in any group")
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        client = message.invocation.client
+        if self.now < self._fork_time:
+            super().handle_submit(src, message)
+            return
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        state = self._branch_of(client)
+        reply = apply_submit(state, message)
+        self.submits_handled += 1
+        self.send(src, reply)
+
+    def handle_commit(self, src: str, message: CommitMessage) -> None:
+        client = parse_client_name(src)
+        if client is None:
+            raise ProtocolError(f"COMMIT from non-client node {src!r}")
+        if self.now < self._fork_time and self._branches is None:
+            super().handle_commit(src, message)
+            return
+        apply_commit(self._branch_of(client), client, message)
+        self.commits_handled += 1
+
+
+class Fig3Server(UstorServer):
+    """The scripted attack behind Figure 3 of the paper.
+
+    With ``writer = C1`` and ``victim = C2``: C1 executes
+    ``write(X1, u)``; C2 then reads X1 twice.  The server
+
+    1. answers C2's *first* read from a state snapshot taken before the
+       write was submitted (so the read returns BOTTOM and C2's version
+       does not include the write), and
+    2. answers C2's *second* read with a hand-crafted REPLY that presents
+       C2's own previous version as the last committed one, lists the
+       write as a *concurrent* operation (its invocation tuple in ``L``),
+       claims C1's COMMIT has not arrived (``SVER[j] = zero``), and serves
+       the genuine, correctly-signed value ``u``.
+
+    Every signature the reply carries is authentic, and every check of
+    Algorithm 1 passes, so the read returns ``u``: the resulting history
+    is exactly Figure 3 — weakly fork-linearizable but not
+    fork-linearizable (and not linearizable).  The forged join *is*
+    recorded in the digests: C2's ``M[writer]`` chains the hidden read
+    before the write, so C1's and C2's versions are incomparable, and
+    FAUST detects the attack as soon as the two clients exchange versions.
+    """
+
+    def __init__(self, num_clients: int, writer: ClientId, victim: ClientId, name: str = "S"):
+        super().__init__(num_clients, name)
+        if writer == victim:
+            raise ProtocolError("writer and victim must differ")
+        self._writer = writer
+        self._victim = victim
+        self._branch: ServerState | None = None  # pre-write snapshot
+        self._write_invocation: InvocationTuple | None = None
+        self._write_mem: MemEntry | None = None
+        self._victim_reads = 0
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        client = message.invocation.client
+        self.submits_handled += 1
+
+        if client == self._writer and message.invocation.opcode is OpKind.WRITE:
+            if self._branch is None:
+                # Snapshot the state the victim will be served from.
+                self._branch = self.state.clone()
+                self._write_invocation = message.invocation
+            reply = apply_submit(self.state, message)
+            self._write_mem = self.state.mem[self._writer]
+            self.send(src, reply)
+            return
+
+        if client == self._victim and self._branch is not None:
+            self._victim_reads += 1
+            if self._victim_reads == 1:
+                # Serve the first read from the pre-write snapshot.
+                reply = apply_submit(self._branch, message)
+                self.send(src, reply)
+                return
+            if self._victim_reads == 2:
+                self._send_join_reply(src, message)
+                return
+            # Afterwards keep serving the victim from its branch.
+            reply = apply_submit(self._branch, message)
+            self.send(src, reply)
+            return
+
+        # Everyone else (including the writer's later operations) is served
+        # honestly from the main state.
+        reply = apply_submit(self.state, message)
+        self.send(src, reply)
+
+    def _send_join_reply(self, src: str, message: SubmitMessage) -> None:
+        assert self._branch is not None
+        assert self._write_invocation is not None and self._write_mem is not None
+        branch = self._branch
+        # Bookkeeping so later victim operations stay consistent: record the
+        # submit on the branch but discard the honest reply.
+        apply_submit(branch, message)
+        victim_sver = branch.sver[self._victim]
+        proofs = list(branch.proofs)
+        proofs[self._writer] = None  # "the writer's COMMIT has not arrived"
+        crafted = ReplyMessage(
+            commit_index=self._victim,
+            last_version=victim_sver,
+            pending=(self._write_invocation,),
+            proofs=tuple(proofs),
+            reader_version=SignedVersion.zero(self.num_clients),
+            mem=self._write_mem,
+        )
+        self.send(src, crafted)
+
+    def handle_commit(self, src: str, message: CommitMessage) -> None:
+        client = parse_client_name(src)
+        if client is None:
+            raise ProtocolError(f"COMMIT from non-client node {src!r}")
+        if client == self._victim and self._branch is not None:
+            apply_commit(self._branch, client, message)
+            self.commits_handled += 1
+            return
+        super().handle_commit(src, message)
+
+    def describe_attack(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"hide write by {client_name(self._writer)} from "
+            f"{client_name(self._victim)}'s first read, rejoin on the second"
+        )

@@ -1,0 +1,256 @@
+"""Targeted attacks: one Byzantine server per check of Algorithm 1.
+
+:mod:`repro.ustor.byzantine` covers the headline attack classes; this
+module completes the coverage so that *every* verification line of the
+client has a dedicated adversary proving it is load-bearing:
+
+==========================  ==========================================
+line 35 (COMMIT-sig on V^c)  ``ForgingServer`` (byzantine.py)
+line 36 (version monotone)   ``ReplayServer`` (byzantine.py)
+line 41 (PROOF-sig)          :class:`WrongProofServer`
+line 43 (SUBMIT-sig in L)    :class:`FakePendingServer`
+line 43 (self-concurrency)   :class:`SelfEchoServer`
+line 49 (COMMIT-sig on V^j)  :class:`BadReaderVersionServer`
+line 50 (DATA-sig)           ``TamperingServer`` (byzantine.py)
+line 51 (t_j = V_i[j])       :class:`StaleReadServer`
+line 52 (V^j[j] vs t_j)      :class:`LaggingReaderVersionServer`
+==========================  ==========================================
+
+Each server behaves honestly except for the single deviation named, so a
+detection in a test attributes the catch to exactly one check.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import ClientId, OpKind, RegisterId, parse_client_name
+from repro.ustor.messages import (
+    InvocationTuple,
+    MemEntry,
+    ReplyMessage,
+    SignedVersion,
+    SubmitMessage,
+)
+from repro.ustor.server import UstorServer, apply_submit
+from repro.ustor.version import Version
+
+
+class WrongProofServer(UstorServer):
+    """Corrupts the PROOF-signature array ``P`` in replies.
+
+    Detected at line 41 by any client that must account for a concurrent
+    operation of a client with a non-BOTTOM digest entry — i.e. under
+    genuine concurrency; with no concurrency the corruption is never
+    consulted, which the tests document as well.
+    """
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        corrupted = tuple(
+            b"\x00" * 64 if p is not None else None for p in reply.proofs
+        )
+        self.send(
+            src,
+            ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending,
+                proofs=corrupted,
+                reader_version=reply.reader_version,
+                mem=reply.mem,
+            ),
+        )
+
+
+class FakePendingServer(UstorServer):
+    """Injects a fabricated invocation tuple into ``L``.
+
+    The server cannot sign for clients, so the tuple carries a garbage
+    SUBMIT-signature — caught at line 43 by the next operation.
+    """
+
+    def __init__(self, num_clients: int, ghost_client: ClientId, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._ghost = ghost_client
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        ghost = InvocationTuple(
+            client=self._ghost,
+            opcode=OpKind.WRITE,
+            register=self._ghost,
+            submit_sig=b"\xff" * 64,
+        )
+        self.send(
+            src,
+            ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending + (ghost,),
+                proofs=reply.proofs,
+                reader_version=reply.reader_version,
+                mem=reply.mem,
+            ),
+        )
+
+
+class SelfEchoServer(UstorServer):
+    """Lists the invoking client's *own previous* operation as concurrent.
+
+    Even with the genuine signature available (the server stores it!), the
+    ``k = i`` test of line 43 rejects the echo: a sequential client can
+    never be concurrent with itself.
+    """
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        echo = message.invocation  # genuine tuple, genuine signature
+        self.send(
+            src,
+            ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending + (echo,),
+                proofs=reply.proofs,
+                reader_version=reply.reader_version,
+                mem=reply.mem,
+            ),
+        )
+
+
+class BadReaderVersionServer(UstorServer):
+    """Mangles ``SVER[j]`` (the writer's signed version) in read replies.
+
+    The version/signature pair no longer verifies: line 49.
+    """
+
+    def __init__(self, num_clients: int, target_register: RegisterId, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._target = target_register
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        if (
+            message.invocation.opcode is OpKind.READ
+            and message.invocation.register == self._target
+            and reply.reader_version is not None
+            and not reply.reader_version.version.is_zero
+        ):
+            honest = reply.reader_version.version
+            mangled = SignedVersion(
+                version=Version(
+                    tuple(t + 1 for t in honest.vector), honest.digests
+                ),
+                commit_sig=reply.reader_version.commit_sig,  # stale signature
+            )
+            reply = ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending,
+                proofs=reply.proofs,
+                reader_version=mangled,
+                mem=reply.mem,
+            )
+        self.send(src, reply)
+
+
+class StaleReadServer(UstorServer):
+    """Serves an *old* value of the target register, with its old (genuine)
+    DATA-signature and timestamp, while presenting current versions.
+
+    The DATA-signature verifies (line 50 passes — the value is authentic,
+    just stale), but the stale timestamp no longer matches the reader's
+    ``V_i[j]``: line 51.
+    """
+
+    def __init__(self, num_clients: int, target_register: RegisterId, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._target = target_register
+        self._stale: MemEntry | None = None
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        # Remember the first version of the register ever written.
+        if (
+            message.invocation.client == self._target
+            and message.invocation.opcode is OpKind.WRITE
+            and self._stale is None
+        ):
+            self._stale = MemEntry(
+                timestamp=message.timestamp,
+                value=message.value,
+                data_sig=message.data_sig,
+            )
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        if (
+            message.invocation.opcode is OpKind.READ
+            and message.invocation.register == self._target
+            and self._stale is not None
+            and reply.mem is not None
+            and reply.mem.timestamp > self._stale.timestamp
+        ):
+            reply = ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending,
+                proofs=reply.proofs,
+                reader_version=reply.reader_version,
+                mem=self._stale,
+            )
+        self.send(src, reply)
+
+
+class LaggingReaderVersionServer(UstorServer):
+    """Presents the writer's *first* committed version alongside current
+    data for the target register.
+
+    Both the version (line 49) and the data (lines 50-51) are genuine, but
+    the lag shows: ``V^j[j]`` is more than one operation behind ``t_j``,
+    violating line 52.
+    """
+
+    def __init__(self, num_clients: int, target_register: RegisterId, name: str = "S"):
+        super().__init__(num_clients, name)
+        self._target = target_register
+        self._first_sver: SignedVersion | None = None
+
+    def handle_commit(self, src: str, message) -> None:
+        super().handle_commit(src, message)
+        client = parse_client_name(src)
+        if client == self._target and self._first_sver is None:
+            self._first_sver = self.state.sver[self._target]
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        if (
+            message.invocation.opcode is OpKind.READ
+            and message.invocation.register == self._target
+            and self._first_sver is not None
+            and reply.mem is not None
+            and reply.mem.timestamp >= self._first_sver.version.vector[self._target] + 2
+        ):
+            reply = ReplyMessage(
+                commit_index=reply.commit_index,
+                last_version=reply.last_version,
+                pending=reply.pending,
+                proofs=reply.proofs,
+                reader_version=self._first_sver,
+                mem=reply.mem,
+            )
+        self.send(src, reply)

@@ -1,0 +1,470 @@
+"""USTOR client — Algorithm 1 of the paper, line by line.
+
+The client executes one operation at a time: it sends a SUBMIT message,
+waits for the server's REPLY, runs ``updateVersion`` (and, for reads,
+``checkData``), sends an asynchronous COMMIT and returns.  Every check in
+the two procedures carries the line number of Algorithm 1 it implements.
+
+If any check fails the client **outputs fail_i and halts** — at this layer
+a detection is terminal; FAUST (Section 6) turns it into system-wide
+failure notifications.
+
+Two liberties are taken, both documented in DESIGN.md:
+
+* ``x_bar_i`` (the hash of the last written value) is initialised to
+  ``H(BOTTOM)`` rather than the literal ``BOTTOM`` so that line 50's check
+  ``verify_j(delta_j, DATA || t_j || H(x_j))`` also succeeds for clients
+  that read before ever writing; the paper elides this bootstrapping.
+* In *piggyback mode* the COMMIT message rides on the next SUBMIT
+  (Section 5: "this message can be eliminated by piggybacking its contents
+  on the SUBMIT message of the next operation"); experiment E10 measures
+  the garbage-collection cost of doing so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ProtocolError
+from repro.common.types import (
+    BOTTOM,
+    Bottom,
+    ClientId,
+    OpKind,
+    RegisterId,
+    Value,
+    client_name,
+)
+from repro.crypto.hashing import hash_register_value
+from repro.crypto.keystore import ClientSigner
+from repro.history.recorder import HistoryRecorder
+from repro.sim.process import Node
+from repro.ustor.digests import extend_digest
+from repro.ustor.messages import (
+    CommitMessage,
+    InvocationTuple,
+    ReplyMessage,
+    SubmitMessage,
+)
+from repro.ustor.version import Version
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """What an extended operation returns (lines 20 and 33).
+
+    ``version`` is the version this operation committed; ``reader_version``
+    is the writer's version ``(V_j, M_j)`` for reads (``None`` for writes).
+    ``timestamp`` is the operation's timestamp ``t`` — the value FAUST
+    reports to the application (Definition 5, Integrity).
+    """
+
+    kind: OpKind
+    register: RegisterId
+    value: Value | Bottom | None
+    timestamp: int
+    version: Version
+    reader_version: Version | None
+
+
+@dataclass(frozen=True)
+class ViewHistoryRecord:
+    """Analysis-side record of how this operation extended the view history.
+
+    ``VH(o) = VH(o_c) || omega_1..omega_m || o`` — ``parent`` identifies
+    ``o_c`` as ``(c, V^c[c])``, ``concurrent`` lists the ``omega`` operations
+    from ``L`` as ``(client, assigned timestamp)`` pairs, ``own`` identifies
+    ``o`` itself.  The analysis layer replays these records to rebuild exact
+    view histories and feed them to the weak-fork-linearizability validator.
+    """
+
+    parent: tuple[ClientId, int] | None
+    concurrent: tuple[tuple[ClientId, int], ...]
+    own: tuple[ClientId, int]
+
+
+class _PendingInvocation:
+    __slots__ = ("kind", "register", "timestamp", "value", "op_id", "callback")
+
+    def __init__(self, kind, register, timestamp, value, op_id, callback):
+        self.kind = kind
+        self.register = register
+        self.timestamp = timestamp
+        self.value = value
+        self.op_id = op_id
+        self.callback = callback
+
+
+class UstorClient(Node):
+    """State and code of client ``C_i`` (Algorithm 1)."""
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        num_clients: int,
+        signer: ClientSigner,
+        server_name: str = "S",
+        recorder: HistoryRecorder | None = None,
+        on_fail: Callable[[str], None] | None = None,
+        commit_piggyback: bool = False,
+    ) -> None:
+        super().__init__(name=client_name(client_id))
+        if signer.client != client_id:
+            raise ProtocolError("signer is bound to a different client id")
+        self._id = client_id
+        self._n = num_clients
+        self._signer = signer
+        self._server = server_name
+        self._recorder = recorder
+        self._on_fail = on_fail
+        self._piggyback = commit_piggyback
+
+        # -- Algorithm 1 state (lines 5-7) --------------------------------
+        self._last_write_hash = hash_register_value(BOTTOM)  # x_bar_i
+        self._version = Version.zero(num_clients)  # (V_i, M_i)
+
+        # -- bookkeeping ---------------------------------------------------
+        self._pending: _PendingInvocation | None = None
+        self._deferred_commit: CommitMessage | None = None
+        self._failed = False
+        self._fail_reason: str | None = None
+        self.vh_records: dict[tuple[ClientId, int], ViewHistoryRecord] = {}
+        self.completed_operations = 0
+
+    # ---------------------------------------------------------------- #
+    # Introspection
+    # ---------------------------------------------------------------- #
+
+    @property
+    def client_id(self) -> ClientId:
+        return self._id
+
+    @property
+    def version(self) -> Version:
+        """The client's current version ``(V_i, M_i)``."""
+        return self._version
+
+    @property
+    def failed(self) -> bool:
+        """Has ``fail_i`` been output (client halted)?"""
+        return self._failed
+
+    @property
+    def fail_reason(self) -> str | None:
+        return self._fail_reason
+
+    @property
+    def busy(self) -> bool:
+        return self._pending is not None
+
+    # ---------------------------------------------------------------- #
+    # Operations (lines 8-33)
+    # ---------------------------------------------------------------- #
+
+    def write(
+        self, value: Value, callback: Callable[[OpOutcome], None] | None = None
+    ) -> None:
+        """``write_i(x)`` — write ``x`` to this client's own register X_i."""
+        if not isinstance(value, bytes):
+            raise ProtocolError("register values are bytes")
+        self._invoke(OpKind.WRITE, self._id, value, callback)
+
+    def read(
+        self,
+        register: RegisterId,
+        callback: Callable[[OpOutcome], None] | None = None,
+    ) -> None:
+        """``read_i(j)`` — read register ``X_j`` (any register)."""
+        if not 0 <= register < self._n:
+            raise ProtocolError(f"register {register} out of range")
+        self._invoke(OpKind.READ, register, None, callback)
+
+    def _invoke(self, kind, register, value, callback) -> None:
+        if self._failed:
+            raise ProtocolError(f"{self.name} has failed and halted")
+        if self._crashed:
+            raise ProtocolError(f"{self.name} has crashed")
+        if self._pending is not None:
+            raise ProtocolError(
+                f"{self.name} already has an operation in progress (well-formed "
+                f"executions are sequential per client)"
+            )
+
+        t = self._version.vector[self._id] + 1  # line 12 / 25
+        if kind is OpKind.WRITE:
+            self._last_write_hash = hash_register_value(value)  # line 13
+
+        # lines 14 / 26: SUBMIT- and DATA-signatures
+        submit_sig = self._signer.sign("SUBMIT", kind, register, t)
+        data_sig = self._signer.sign("DATA", t, self._last_write_hash)
+
+        op_id = None
+        if self._recorder is not None:
+            op_id = self._recorder.begin(
+                client=self._id,
+                kind=kind,
+                register=register,
+                invoked_at=self.now,
+                value=value,
+                timestamp=t,
+            )
+        self._pending = _PendingInvocation(kind, register, t, value, op_id, callback)
+
+        message = SubmitMessage(
+            timestamp=t,
+            invocation=InvocationTuple(
+                client=self._id, opcode=kind, register=register, submit_sig=submit_sig
+            ),
+            value=value if kind is OpKind.WRITE else None,
+            data_sig=data_sig,
+            piggyback=self._take_deferred_commit(),
+        )
+        self.send(self._server, message)  # line 15 / 27
+
+    def _take_deferred_commit(self) -> CommitMessage | None:
+        deferred = self._deferred_commit
+        self._deferred_commit = None
+        return deferred
+
+    # ---------------------------------------------------------------- #
+    # REPLY handling (lines 16-20 / 28-33)
+    # ---------------------------------------------------------------- #
+
+    def on_message(self, src: str, message) -> None:
+        if self._failed:
+            return  # halted (line 35ff: "output fail_i; halt")
+        if not isinstance(message, ReplyMessage):
+            return
+        if self._pending is None:
+            # A correct server sends exactly one REPLY per SUBMIT over a
+            # FIFO channel; an unsolicited REPLY is ignored defensively.
+            return
+        pending = self._pending
+
+        if not self._update_version(message):  # line 17 / 29
+            return
+        if pending.kind is OpKind.READ:
+            if not self._check_data(message, pending.register):  # line 30
+                return
+
+        # lines 18-19 / 31-32: COMMIT- and PROOF-signatures, COMMIT message
+        commit_sig = self._signer.sign(
+            "COMMIT", self._version.vector, self._version.digests
+        )
+        proof_sig = self._signer.sign("PROOF", self._version.digests[self._id])
+        commit = CommitMessage(
+            version=self._version, commit_sig=commit_sig, proof_sig=proof_sig
+        )
+        if self._piggyback:
+            self._deferred_commit = commit
+        else:
+            self.send(self._server, commit)
+
+        # Return from the operation.
+        self._pending = None
+        self.completed_operations += 1
+        returned_value: Value | Bottom | None
+        reader_version: Version | None
+        if pending.kind is OpKind.READ:
+            assert message.mem is not None and message.reader_version is not None
+            returned_value = message.mem.value
+            reader_version = message.reader_version.version
+        else:
+            returned_value = pending.value
+            reader_version = None
+        if self._recorder is not None and pending.op_id is not None:
+            self._recorder.end(
+                pending.op_id,
+                responded_at=self.now,
+                value=returned_value,
+                timestamp=pending.timestamp,
+            )
+        outcome = OpOutcome(
+            kind=pending.kind,
+            register=pending.register,
+            value=returned_value,
+            timestamp=pending.timestamp,
+            version=self._version,
+            reader_version=reader_version,
+        )
+        if pending.callback is not None:
+            pending.callback(outcome)
+
+    # ---------------------------------------------------------------- #
+    # procedure updateVersion (lines 34-47)
+    # ---------------------------------------------------------------- #
+
+    def _update_version(self, reply: ReplyMessage) -> bool:
+        n = self._n
+        i = self._id
+        zero = Version.zero(n)
+
+        c = reply.commit_index
+        if not 0 <= c < n:
+            return self._fail(f"REPLY names an unknown commit index {c}")
+        vc = reply.last_version.version
+        if vc.num_clients != n or len(reply.proofs) != n:
+            return self._fail("REPLY carries malformed vectors")
+
+        # line 35: the last committed version must be zero or properly signed.
+        if not (
+            vc == zero
+            or (
+                reply.last_version.commit_sig is not None
+                and self._signer.verify(
+                    c, reply.last_version.commit_sig, "COMMIT", vc.vector, vc.digests
+                )
+            )
+        ):
+            return self._fail("COMMIT-signature on (V^c, M^c) invalid (line 35)")
+
+        # line 36: own version must be <= (V^c, M^c), and V^c may not count
+        # operations of C_i beyond those C_i itself performed.
+        if not (self._version.le(vc) and vc.vector[i] == self._version.vector[i]):
+            return self._fail(
+                "server presented a version inconsistent with mine (line 36)"
+            )
+
+        # line 37: adopt (V^c, M^c).
+        new_vector = list(vc.vector)
+        new_digests = list(vc.digests)
+        # line 38: digest accumulator starts at M^c[c].
+        digest = new_digests[c]
+
+        # lines 39-45: fold in the concurrent operations listed in L.
+        concurrent: list[tuple[ClientId, int]] = []
+        for entry in reply.pending:
+            k = entry.client
+            if not 0 <= k < n:
+                return self._fail(f"invocation tuple names unknown client {k}")
+            # line 41: the PROOF-signature must cover C_k's previous operation.
+            if not (
+                new_digests[k] is None
+                or (
+                    reply.proofs[k] is not None
+                    and self._signer.verify(k, reply.proofs[k], "PROOF", new_digests[k])
+                )
+            ):
+                return self._fail(
+                    f"PROOF-signature for {client_name(k)} missing/invalid (line 41)"
+                )
+            # line 42: account for the operation.
+            new_vector[k] += 1
+            # line 43: no concurrent operation with myself; SUBMIT-signature
+            # must match the expected timestamp.
+            if k == i or not self._signer.verify(
+                k,
+                entry.submit_sig,
+                "SUBMIT",
+                entry.opcode,
+                entry.register,
+                new_vector[k],
+            ):
+                return self._fail(
+                    f"SUBMIT-signature for {client_name(k)} invalid (line 43)"
+                )
+            # lines 44-45: extend the digest chain.
+            digest = extend_digest(digest, k)
+            new_digests[k] = digest
+            concurrent.append((k, new_vector[k]))
+
+        # lines 46-47: append my own operation.
+        new_vector[i] += 1
+        new_digests[i] = extend_digest(digest, i)
+        self._version = Version(tuple(new_vector), tuple(new_digests))
+
+        assert self._pending is not None
+        if new_vector[i] != self._pending.timestamp:
+            # The server omitted or injected operations of C_i itself; the
+            # line 36 check (V^c[i] = V_i[i]) makes this unreachable, kept
+            # as a defensive invariant.
+            return self._fail("timestamp drift after updateVersion")
+
+        self.vh_records[(i, self._pending.timestamp)] = ViewHistoryRecord(
+            parent=None if vc == zero else (c, vc.vector[c]),
+            concurrent=tuple(concurrent),
+            own=(i, self._pending.timestamp),
+        )
+        return True
+
+    # ---------------------------------------------------------------- #
+    # procedure checkData (lines 48-52)
+    # ---------------------------------------------------------------- #
+
+    def _check_data(self, reply: ReplyMessage, j: RegisterId) -> bool:
+        n = self._n
+        zero = Version.zero(n)
+        if reply.reader_version is None or reply.mem is None:
+            return self._fail("read REPLY lacks the register payload")
+        vj = reply.reader_version.version
+        if vj.num_clients != n:
+            return self._fail("reader version has the wrong population size")
+        tj = reply.mem.timestamp
+        xj = reply.mem.value
+
+        # line 49: the writer's version must be zero or properly signed.
+        if not (
+            vj == zero
+            or (
+                reply.reader_version.commit_sig is not None
+                and self._signer.verify(
+                    j,
+                    reply.reader_version.commit_sig,
+                    "COMMIT",
+                    vj.vector,
+                    vj.digests,
+                )
+            )
+        ):
+            return self._fail("COMMIT-signature on (V^j, M^j) invalid (line 49)")
+
+        # line 50: the returned value must carry the writer's DATA-signature.
+        if not (
+            tj == 0
+            or (
+                reply.mem.data_sig is not None
+                and self._signer.verify(
+                    j, reply.mem.data_sig, "DATA", tj, hash_register_value(xj)
+                )
+            )
+        ):
+            return self._fail("DATA-signature on returned value invalid (line 50)")
+
+        # line 51: writer's version is no newer than the last committed one,
+        # and the data is from the writer's most recent operation in my view.
+        vc = reply.last_version.version
+        if not (vj.le(vc) and tj == self._version.vector[j]):
+            return self._fail(
+                "returned data is not from the writer's latest operation (line 51)"
+            )
+
+        # line 52: the writer's committed version matches the data's
+        # timestamp up to the (possibly still in-flight) COMMIT.
+        if not (vj.vector[j] == tj or vj.vector[j] == tj - 1):
+            return self._fail("writer's version contradicts data timestamp (line 52)")
+        return True
+
+    # ---------------------------------------------------------------- #
+    # fail_i
+    # ---------------------------------------------------------------- #
+
+    def halt_protocol(self) -> None:
+        """Stop issuing/handling protocol messages without emitting fail_i.
+
+        Used by the FAUST layer when failure was detected elsewhere (e.g. a
+        FAILURE message from another client): the server must no longer be
+        used, but the local protocol did not itself catch it misbehaving.
+        """
+        self._failed = True
+
+    def _fail(self, reason: str) -> bool:
+        """Output ``fail_i`` and halt; always returns False for callers."""
+        self._failed = True
+        self._fail_reason = reason
+        trace = self.network.trace
+        if trace is not None:
+            trace.note(self.now, self.name, "ustor-fail", reason)
+        if self._on_fail is not None:
+            self._on_fail(reason)
+        return False

@@ -1,0 +1,36 @@
+"""Operation-sequence digests (Section 5).
+
+The protocol represents a client's expectation of another client's view
+history compactly as a hash chain over the *indices of the executing
+clients*:
+
+    D(omega_1 .. omega_m) = BOTTOM                         if m = 0
+    D(omega_1 .. omega_m) = H(D(omega_1 .. omega_{m-1}) || i_m)  otherwise
+
+Collision resistance of ``H`` makes the digest a unique representation of
+the sequence: no two distinct sequences occurring in an execution share a
+digest.  ``BOTTOM`` is represented as ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.types import ClientId
+from repro.crypto.hashing import hash_values
+
+#: The digest of the empty sequence (the paper's BOTTOM).
+EMPTY_DIGEST = None
+
+
+def extend_digest(digest: bytes | None, client: ClientId) -> bytes:
+    """``H(d || i)`` — append one operation by ``client`` to the chain."""
+    return hash_values("DIGEST", digest, client)
+
+
+def digest_of_sequence(clients: Iterable[ClientId]) -> bytes | None:
+    """``D(omega_1 .. omega_m)`` for a whole sequence of executing clients."""
+    digest: bytes | None = EMPTY_DIGEST
+    for client in clients:
+        digest = extend_digest(digest, client)
+    return digest

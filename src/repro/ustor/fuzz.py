@@ -1,0 +1,127 @@
+"""Randomized-adversary fuzzing for the detection machinery.
+
+:class:`RandomDeviationServer` behaves honestly except that, with a
+configured probability per REPLY, it applies one uniformly chosen
+deviation from a small catalogue (value tampering, version forging,
+stale-data replay, proof corruption).  Fuzz tests then assert the two
+sides of failure detection over many seeds:
+
+* **accuracy** — a client raises ``fail`` only in runs where at least one
+  deviation was actually delivered to it (never in deviation-free runs,
+  which the probability-0 control reproduces);
+* **containment** — whatever the adversary does, recorded histories stay
+  causally consistent and no client returns a fabricated value
+  (unforgeability holds by construction).
+
+The deviations reuse the honest state machine and never require signing
+keys, so the fuzzer explores exactly the paper's adversary class.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.types import BOTTOM, OpKind
+from repro.ustor.messages import MemEntry, ReplyMessage, SignedVersion, SubmitMessage
+from repro.ustor.server import UstorServer, apply_submit
+from repro.ustor.version import Version
+
+#: Names of the deviations the fuzzer can inject.
+DEVIATIONS = ("tamper-value", "forge-version", "stale-version", "corrupt-proofs")
+
+
+class RandomDeviationServer(UstorServer):
+    """Honest server with probabilistic single-reply deviations."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        deviation_probability: float,
+        seed: int,
+        name: str = "S",
+    ) -> None:
+        super().__init__(num_clients, name)
+        if not 0.0 <= deviation_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._probability = deviation_probability
+        self._rng = random.Random(seed)
+        #: (deviation name, recipient) for every injected deviation.
+        self.injected: list[tuple[str, str]] = []
+        self._first_sver: SignedVersion | None = None
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        if self._first_sver is None and not self.state.sver[0].version.is_zero:
+            self._first_sver = self.state.sver[0]
+        if self._rng.random() < self._probability:
+            deviation = self._rng.choice(DEVIATIONS)
+            mutated = self._apply(deviation, reply, message)
+            if mutated is not None:
+                self.injected.append((deviation, src))
+                reply = mutated
+        self.send(src, reply)
+
+    # ------------------------------------------------------------------ #
+    # Deviation catalogue
+    # ------------------------------------------------------------------ #
+
+    def _apply(
+        self, deviation: str, reply: ReplyMessage, message: SubmitMessage
+    ) -> ReplyMessage | None:
+        """Return the mutated reply, or None when inapplicable here."""
+        if deviation == "tamper-value":
+            if (
+                message.invocation.opcode is not OpKind.READ
+                or reply.mem is None
+                or reply.mem.value is BOTTOM
+            ):
+                return None
+            return self._replace(
+                reply,
+                mem=MemEntry(
+                    timestamp=reply.mem.timestamp,
+                    value=b"FUZZ|" + bytes(reply.mem.value),
+                    data_sig=reply.mem.data_sig,
+                ),
+            )
+        if deviation == "forge-version":
+            honest = reply.last_version.version
+            return self._replace(
+                reply,
+                last_version=SignedVersion(
+                    version=Version(
+                        tuple(t + 1 for t in honest.vector), honest.digests
+                    ),
+                    commit_sig=b"\xaa" * 64,
+                ),
+            )
+        if deviation == "stale-version":
+            if self._first_sver is None or reply.last_version == self._first_sver:
+                return None
+            return self._replace(reply, last_version=self._first_sver)
+        if deviation == "corrupt-proofs":
+            if all(p is None for p in reply.proofs):
+                return None
+            return self._replace(
+                reply,
+                proofs=tuple(
+                    b"\xbb" * 64 if p is not None else None for p in reply.proofs
+                ),
+            )
+        raise AssertionError(f"unknown deviation {deviation}")
+
+    @staticmethod
+    def _replace(reply: ReplyMessage, **changes) -> ReplyMessage:
+        fields = {
+            "commit_index": reply.commit_index,
+            "last_version": reply.last_version,
+            "pending": reply.pending,
+            "proofs": reply.proofs,
+            "reader_version": reply.reader_version,
+            "mem": reply.mem,
+        }
+        fields.update(changes)
+        return ReplyMessage(**fields)

@@ -1,0 +1,169 @@
+"""Wire messages of the USTOR protocol with an explicit size model.
+
+Three message types travel between a client and the server (Algorithms 1
+and 2): SUBMIT (client -> server, opens an operation), REPLY (server ->
+client, the only message on the operation's critical path), and COMMIT
+(client -> server, asynchronous).  Each message computes its wire size
+from the byte widths below; experiment E4 sums these to reproduce the
+paper's ``O(n)`` communication-overhead claim.
+
+Byte-width conventions (also used by the baselines for a fair comparison):
+8-byte integers, 1-byte opcodes/markers, 64-byte signatures (Ed25519),
+32-byte hashes/digests, values at their natural length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import BOTTOM, Bottom, ClientId, OpKind, RegisterId, Value
+from repro.crypto.hashing import HASH_BYTES
+from repro.crypto.signatures import SIGNATURE_BYTES
+from repro.ustor.version import Version
+
+INT_BYTES = 8
+MARKER_BYTES = 1
+
+
+def _sig_size(signature: bytes | None) -> int:
+    return SIGNATURE_BYTES if signature is not None else MARKER_BYTES
+
+
+def _value_size(value: Value | Bottom | None) -> int:
+    if value is None or value is BOTTOM:
+        return MARKER_BYTES
+    return len(value)
+
+
+def version_wire_size(version: Version) -> int:
+    """``V`` is n integers; ``M`` is n digests (1-byte marker when BOTTOM)."""
+    digest_bytes = sum(
+        HASH_BYTES if d is not None else MARKER_BYTES for d in version.digests
+    )
+    return INT_BYTES * version.num_clients + digest_bytes
+
+
+@dataclass(frozen=True)
+class InvocationTuple:
+    """``(i, oc, j, sigma)`` — Algorithm 1's representation of an operation.
+
+    ``client`` executes an operation of kind ``opcode`` on register
+    ``register``; ``submit_sig`` is the SUBMIT-signature over
+    ``(SUBMIT, oc, j, t)``.
+    """
+
+    client: ClientId
+    opcode: OpKind
+    register: RegisterId
+    submit_sig: bytes
+
+    def wire_size(self) -> int:
+        return INT_BYTES + MARKER_BYTES + INT_BYTES + _sig_size(self.submit_sig)
+
+
+@dataclass(frozen=True)
+class SignedVersion:
+    """``(V, M, phi)`` as stored in ``SVER[]`` — a version plus its
+    COMMIT-signature (``None`` only for the initial zero version)."""
+
+    version: Version
+    commit_sig: bytes | None
+
+    @classmethod
+    def zero(cls, num_clients: int) -> "SignedVersion":
+        return cls(version=Version.zero(num_clients), commit_sig=None)
+
+    def wire_size(self) -> int:
+        return version_wire_size(self.version) + _sig_size(self.commit_sig)
+
+
+@dataclass(frozen=True)
+class MemEntry:
+    """``(t, x, delta)`` as stored in ``MEM[]`` — last timestamp, register
+    value and DATA-signature received from a client."""
+
+    timestamp: int
+    value: Value | Bottom
+    data_sig: bytes | None
+
+    @classmethod
+    def initial(cls) -> "MemEntry":
+        return cls(timestamp=0, value=BOTTOM, data_sig=None)
+
+    def wire_size(self) -> int:
+        return INT_BYTES + _value_size(self.value) + _sig_size(self.data_sig)
+
+
+@dataclass(frozen=True)
+class CommitMessage:
+    """``<COMMIT, V_i, M_i, phi, psi>`` (lines 19 and 32)."""
+
+    version: Version
+    commit_sig: bytes  # phi — over (COMMIT, V, M)
+    proof_sig: bytes  # psi — over (PROOF, M[i])
+
+    kind = "COMMIT"
+
+    def wire_size(self) -> int:
+        return (
+            MARKER_BYTES
+            + version_wire_size(self.version)
+            + _sig_size(self.commit_sig)
+            + _sig_size(self.proof_sig)
+        )
+
+
+@dataclass(frozen=True)
+class SubmitMessage:
+    """``<SUBMIT, t, (i, oc, j, sigma), x, delta>`` (lines 15 and 27).
+
+    In piggyback mode (Section 5's garbage-collection remark) the previous
+    operation's COMMIT rides along in ``piggyback``.
+    """
+
+    timestamp: int
+    invocation: InvocationTuple
+    value: Value | None  # written value; None (BOTTOM) for reads
+    data_sig: bytes
+    piggyback: CommitMessage | None = None
+
+    kind = "SUBMIT"
+
+    def wire_size(self) -> int:
+        size = (
+            MARKER_BYTES
+            + INT_BYTES
+            + self.invocation.wire_size()
+            + _value_size(self.value)
+            + _sig_size(self.data_sig)
+        )
+        if self.piggyback is not None:
+            size += self.piggyback.wire_size()
+        return size
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """``<REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P>`` (lines 111/114).
+
+    ``reader_version`` and ``mem`` are present for read operations only.
+    """
+
+    commit_index: ClientId  # c — who committed the last scheduled operation
+    last_version: SignedVersion  # SVER[c]
+    pending: tuple[InvocationTuple, ...]  # L — submitted, not yet committed
+    proofs: tuple[bytes | None, ...]  # P — PROOF-signatures
+    reader_version: SignedVersion | None = None  # SVER[j]
+    mem: MemEntry | None = None  # MEM[j]
+
+    kind = "REPLY"
+
+    def wire_size(self) -> int:
+        size = MARKER_BYTES + INT_BYTES + self.last_version.wire_size()
+        size += sum(t.wire_size() for t in self.pending)
+        size += sum(_sig_size(p) for p in self.proofs)
+        if self.reader_version is not None:
+            size += self.reader_version.wire_size()
+        if self.mem is not None:
+            size += self.mem.wire_size()
+        return size

@@ -1,0 +1,168 @@
+"""USTOR server — Algorithm 2 of the paper.
+
+The correct server is a pure state machine over :class:`ServerState`; all
+handler logic is expressed as functions of an explicit state object so
+that Byzantine variants (:mod:`repro.ustor.byzantine`) can fork, replay,
+or selectively apply the honest logic to cloned states.
+
+The server never verifies signatures — it only stores and forwards them
+(the clients do all checking), which is why the honest implementation
+needs no key material at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProtocolError
+from repro.common.types import ClientId, OpKind, parse_client_name
+from repro.sim.process import Node
+from repro.ustor.messages import (
+    CommitMessage,
+    InvocationTuple,
+    MemEntry,
+    ReplyMessage,
+    SignedVersion,
+    SubmitMessage,
+)
+
+
+@dataclass
+class ServerState:
+    """Algorithm 2's variables (lines 101-106), cloneable for forking."""
+
+    num_clients: int
+    mem: list[MemEntry] = field(default_factory=list)  # MEM
+    commit_index: ClientId = 0  # c (paper: initially 1; 0-based here)
+    sver: list[SignedVersion] = field(default_factory=list)  # SVER
+    pending: list[InvocationTuple] = field(default_factory=list)  # L
+    proofs: list[bytes | None] = field(default_factory=list)  # P
+
+    @classmethod
+    def initial(cls, num_clients: int) -> "ServerState":
+        return cls(
+            num_clients=num_clients,
+            mem=[MemEntry.initial() for _ in range(num_clients)],
+            commit_index=0,
+            sver=[SignedVersion.zero(num_clients) for _ in range(num_clients)],
+            pending=[],
+            proofs=[None] * num_clients,
+        )
+
+    def clone(self) -> "ServerState":
+        """Deep-enough copy: entries are immutable, lists are fresh."""
+        return ServerState(
+            num_clients=self.num_clients,
+            mem=list(self.mem),
+            commit_index=self.commit_index,
+            sver=list(self.sver),
+            pending=list(self.pending),
+            proofs=list(self.proofs),
+        )
+
+
+def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
+    """Handle a SUBMIT on ``state`` (lines 107-116); returns the REPLY.
+
+    Mutates ``state``: updates ``MEM[i]`` and appends the invocation tuple
+    to ``L`` *after* computing the reply, exactly as the pseudocode does.
+    """
+    invocation = message.invocation
+    i = invocation.client
+    if not 0 <= i < state.num_clients:
+        raise ProtocolError(f"SUBMIT from unknown client index {i}")
+
+    if invocation.opcode is OpKind.READ:
+        # line 109-110: keep the stored value, refresh timestamp + DATA-sig.
+        old = state.mem[i]
+        state.mem[i] = MemEntry(
+            timestamp=message.timestamp, value=old.value, data_sig=message.data_sig
+        )
+        j = invocation.register
+        reply = ReplyMessage(
+            commit_index=state.commit_index,
+            last_version=state.sver[state.commit_index],
+            pending=tuple(state.pending),
+            proofs=tuple(state.proofs),
+            reader_version=state.sver[j],
+            mem=state.mem[j],
+        )
+    else:
+        # line 113: store the new value.
+        state.mem[i] = MemEntry(
+            timestamp=message.timestamp, value=message.value, data_sig=message.data_sig
+        )
+        reply = ReplyMessage(
+            commit_index=state.commit_index,
+            last_version=state.sver[state.commit_index],
+            pending=tuple(state.pending),
+            proofs=tuple(state.proofs),
+        )
+
+    # line 116: append after building the reply — the submitting operation
+    # is never listed as concurrent with itself.
+    state.pending.append(invocation)
+    return reply
+
+
+def apply_commit(state: ServerState, client: ClientId, message: CommitMessage) -> None:
+    """Handle a COMMIT on ``state`` (lines 117-123)."""
+    if not 0 <= client < state.num_clients:
+        raise ProtocolError(f"COMMIT from unknown client index {client}")
+    last = state.sver[state.commit_index].version
+    # line 119: V_i > V^c — this operation is now the schedule's last commit.
+    if message.version.dominates_vector(last):
+        state.commit_index = client
+        # line 121: drop the client's tuple and everything scheduled before.
+        cut = None
+        for index in range(len(state.pending) - 1, -1, -1):
+            if state.pending[index].client == client:
+                cut = index
+                break
+        if cut is not None:
+            del state.pending[: cut + 1]
+    # lines 122-123: store version, COMMIT- and PROOF-signatures.
+    state.sver[client] = SignedVersion(
+        version=message.version, commit_sig=message.commit_sig
+    )
+    state.proofs[client] = message.proof_sig
+
+
+class UstorServer(Node):
+    """The correct server process."""
+
+    def __init__(self, num_clients: int, name: str = "S") -> None:
+        super().__init__(name=name)
+        self._n = num_clients
+        self.state = ServerState.initial(num_clients)
+        # E10 instrumentation: pending-list pressure over the run.
+        self.max_pending_len = 0
+        self.submits_handled = 0
+        self.commits_handled = 0
+
+    @property
+    def num_clients(self) -> int:
+        return self._n
+
+    def on_message(self, src: str, message) -> None:
+        if isinstance(message, SubmitMessage):
+            self.handle_submit(src, message)
+        elif isinstance(message, CommitMessage):
+            self.handle_commit(src, message)
+
+    # Subclass hook points ------------------------------------------------
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        if message.piggyback is not None:
+            self.handle_commit(src, message.piggyback)
+        reply = apply_submit(self.state, message)
+        self.submits_handled += 1
+        self.max_pending_len = max(self.max_pending_len, len(self.state.pending))
+        self.send(src, reply)
+
+    def handle_commit(self, src: str, message: CommitMessage) -> None:
+        client = parse_client_name(src)
+        if client is None:
+            raise ProtocolError(f"COMMIT from non-client node {src!r}")
+        apply_commit(self.state, client, message)
+        self.commits_handled += 1

@@ -1,0 +1,126 @@
+"""Reconstruction of USTOR view histories for offline analysis.
+
+``VH(o)`` (Section 5) is defined recursively from the REPLY message each
+operation received:
+
+    VH(o) = omega_1 .. omega_m || o                 if V^c = 0^n
+    VH(o) = VH(o_c) || omega_1 .. omega_m || o      otherwise
+
+Clients record, per operation, the identity ``(c, V^c[c])`` of the parent
+operation ``o_c`` and the ``(client, timestamp)`` pairs of the concurrent
+operations in ``L`` (:class:`~repro.ustor.client.ViewHistoryRecord`).
+This module replays those records into concrete operation sequences and
+assembles the per-client views that the paper's correctness argument
+exhibits — the inputs to
+:func:`repro.consistency.validate_weak_fork_linearizability`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import ProtocolError
+from repro.common.types import ClientId
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.history.recorder import HistoryRecorder
+from repro.ustor.client import UstorClient, ViewHistoryRecord
+
+#: An operation identity as USTOR sees it: (client, timestamp).
+OpKey = tuple[ClientId, int]
+
+
+def merge_vh_records(
+    clients: Iterable[UstorClient],
+) -> dict[OpKey, ViewHistoryRecord]:
+    """Union of all clients' view-history records, keyed by (client, ts)."""
+    merged: dict[OpKey, ViewHistoryRecord] = {}
+    for client in clients:
+        merged.update(client.vh_records)
+    return merged
+
+
+def reconstruct_view_history(
+    records: Mapping[OpKey, ViewHistoryRecord],
+    op_key: OpKey,
+    _cache: dict[OpKey, tuple[OpKey, ...]] | None = None,
+) -> tuple[OpKey, ...]:
+    """``VH(o)`` as a sequence of (client, timestamp) identities."""
+    cache: dict[OpKey, tuple[OpKey, ...]] = {} if _cache is None else _cache
+    if op_key in cache:
+        return cache[op_key]
+    try:
+        record = records[op_key]
+    except KeyError:
+        raise ProtocolError(
+            f"no view-history record for operation {op_key} — only operations "
+            f"that completed updateVersion have one"
+        ) from None
+    prefix: tuple[OpKey, ...] = ()
+    if record.parent is not None:
+        prefix = reconstruct_view_history(records, record.parent, cache)
+    full = prefix + record.concurrent + (record.own,)
+    cache[op_key] = full
+    return full
+
+
+def view_from_keys(
+    history: History,
+    recorder: HistoryRecorder,
+    keys: Iterable[OpKey],
+) -> list[Operation]:
+    """Map VH identities onto recorded operations, building a view.
+
+    Incomplete reads are omitted (Definition 1 lets each view complete
+    them with whatever legal value, so dropping them preserves view-hood);
+    incomplete writes are included as their ``+inf``-completed versions,
+    matching :meth:`History.completed_for_checking`.
+    """
+    prepared = history.completed_for_checking()
+    available = {op.op_id: op for op in prepared}
+    view: list[Operation] = []
+    for client, timestamp in keys:
+        op_id = recorder.op_id_for(client, timestamp)
+        if op_id is None:
+            raise ProtocolError(
+                f"view history mentions operation ({client}, {timestamp}) "
+                f"that was never recorded"
+            )
+        op = available.get(op_id)
+        if op is None:
+            continue  # an incomplete read, dropped from the prepared history
+        view.append(op)
+    return view
+
+
+def build_client_views(
+    history: History,
+    recorder: HistoryRecorder,
+    clients: Iterable[UstorClient],
+    view_clients: Iterable[ClientId] | None = None,
+) -> dict[ClientId, list[Operation]]:
+    """Per-client views from each client's *last completed* operation.
+
+    ``clients`` supplies the view-history records and should include
+    *every* client of the run — even crashed ones, since a survivor's view
+    history may pass through an operation a crashed client committed.
+    ``view_clients`` restricts whose views are built (default: all).
+    Clients that completed no operations get no view (they impose no
+    constraints: an empty view is trivially valid).  These views are the
+    constructive witnesses for weak fork-linearizability of the run.
+    """
+    client_list = list(clients)
+    records = merge_vh_records(client_list)
+    wanted = set(view_clients) if view_clients is not None else None
+    cache: dict[OpKey, tuple[OpKey, ...]] = {}
+    views: dict[ClientId, list[Operation]] = {}
+    for client in client_list:
+        if wanted is not None and client.client_id not in wanted:
+            continue
+        own_keys = [key for key in client.vh_records if key[0] == client.client_id]
+        if not own_keys:
+            continue
+        last_key = max(own_keys, key=lambda key: key[1])
+        keys = reconstruct_view_history(records, last_key, cache)
+        views[client.client_id] = view_from_keys(history, recorder, keys)
+    return views

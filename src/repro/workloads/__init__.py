@@ -1,0 +1,39 @@
+"""Workloads: system assembly, scripted/random drivers, paper scenarios."""
+
+from repro.workloads.churn import ChurnSchedule, OfflineWindow
+from repro.workloads.generator import (
+    Driver,
+    DriverStats,
+    PlannedOp,
+    WorkloadConfig,
+    generate_scripts,
+    unique_value,
+)
+from repro.workloads.runner import StorageSystem, SystemBuilder
+from repro.workloads.scenarios import (
+    Figure2Result,
+    Figure3Result,
+    SplitBrainResult,
+    figure2_scenario,
+    figure3_scenario,
+    split_brain_scenario,
+)
+
+__all__ = [
+    "ChurnSchedule",
+    "Driver",
+    "OfflineWindow",
+    "DriverStats",
+    "Figure2Result",
+    "Figure3Result",
+    "PlannedOp",
+    "SplitBrainResult",
+    "StorageSystem",
+    "SystemBuilder",
+    "WorkloadConfig",
+    "figure2_scenario",
+    "figure3_scenario",
+    "generate_scripts",
+    "split_brain_scenario",
+    "unique_value",
+]

@@ -1,0 +1,88 @@
+"""Client churn: the disconnected-operation patterns the paper motivates.
+
+Section 1: *"the clients in our model are not simultaneously present and
+may be disconnected temporarily"* — the reason eventual (stability-based)
+consistency is the right notion for this setting.  :class:`ChurnSchedule`
+drives FAUST clients through random offline windows: while offline a
+client pauses its background machinery and the offline channel buffers
+its mail; on return everything resumes.
+
+Churn must be *invisible* to failure detection (a sleeping client is not
+a faulty server) and must only *delay* stability — properties the churn
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import ClientId
+from repro.workloads.runner import StorageSystem
+
+
+@dataclass(frozen=True)
+class OfflineWindow:
+    """One planned disconnection."""
+
+    client: ClientId
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class ChurnSchedule:
+    """Applies offline windows to a FAUST deployment."""
+
+    def __init__(self, system: StorageSystem) -> None:
+        self._system = system
+        self.windows: list[OfflineWindow] = []
+
+    def add_window(self, client: ClientId, start: float, duration: float) -> None:
+        if duration <= 0:
+            raise ValueError("offline windows need positive duration")
+        window = OfflineWindow(client=client, start=start, duration=duration)
+        self.windows.append(window)
+        self._system.scheduler.schedule_at(window.start, self._go_offline, window)
+        self._system.scheduler.schedule_at(window.end, self._come_back, window)
+
+    def random_windows(
+        self,
+        count: int,
+        horizon: float,
+        mean_duration: float,
+        exclude: set[ClientId] | None = None,
+    ) -> None:
+        """Draw ``count`` random windows over ``[0, horizon]``."""
+        rng = self._system.scheduler.rng
+        exclude = exclude or set()
+        eligible = [
+            c.client_id for c in self._system.clients if c.client_id not in exclude
+        ]
+        for _ in range(count):
+            client = rng.choice(eligible)
+            start = rng.uniform(0.0, horizon)
+            duration = max(rng.expovariate(1.0 / mean_duration), 1.0)
+            self.add_window(client, start, duration)
+
+    # ------------------------------------------------------------------ #
+
+    def _go_offline(self, window: OfflineWindow) -> None:
+        client = self._system.clients[window.client]
+        if client.crashed or getattr(client, "faust_failed", False):
+            return
+        client.pause()
+        self._system.offline.set_online(client.name, False)
+        self._system.trace.note(
+            self._system.now, client.name, "offline", window.duration
+        )
+
+    def _come_back(self, window: OfflineWindow) -> None:
+        client = self._system.clients[window.client]
+        if client.crashed or getattr(client, "faust_failed", False):
+            return
+        self._system.offline.set_online(client.name, True)
+        client.resume()
+        self._system.trace.note(self._system.now, client.name, "online")

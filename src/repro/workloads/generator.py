@@ -1,0 +1,164 @@
+"""Workload generation and the driver that feeds operations to clients.
+
+A workload is, per client, a list of :class:`PlannedOp` — operation kind,
+target register, value, and a think-time before issuing.  The
+:class:`Driver` walks each client through its script, issuing the next
+operation when the previous one completes, and keeps completion statistics
+(essential for the wait-freedom experiments, where *not completing* is the
+phenomenon under study).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ClientId, OpKind, RegisterId
+from repro.workloads.runner import StorageSystem
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """One scripted operation."""
+
+    kind: OpKind
+    register: RegisterId
+    value: bytes | None = None  # writes only
+    think_time: float = 0.0  # delay between previous completion and issue
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for random workload generation."""
+
+    ops_per_client: int = 20
+    read_fraction: float = 0.5
+    value_size: int = 32
+    mean_think_time: float = 2.0
+    #: clients that issue no operations (pure observers)
+    silent_clients: frozenset[ClientId] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        if self.ops_per_client < 0 or self.value_size < 1:
+            raise ConfigurationError("invalid workload parameters")
+
+
+def unique_value(client: ClientId, sequence: int, size: int) -> bytes:
+    """A distinct, self-describing register value (Section 2 assumes
+    written values are unique; we make them traceable too)."""
+    stem = f"C{client + 1}#{sequence}|".encode()
+    if len(stem) >= size:
+        return stem
+    return stem + bytes((client * 131 + sequence * 17 + k) % 256 for k in range(size - len(stem)))
+
+
+def generate_scripts(
+    num_clients: int, config: WorkloadConfig, rng: random.Random
+) -> dict[ClientId, list[PlannedOp]]:
+    """Random per-client scripts under ``config``."""
+    scripts: dict[ClientId, list[PlannedOp]] = {}
+    for client in range(num_clients):
+        ops: list[PlannedOp] = []
+        if client in config.silent_clients:
+            scripts[client] = ops
+            continue
+        write_count = 0
+        for _ in range(config.ops_per_client):
+            think = rng.expovariate(1.0 / config.mean_think_time) if config.mean_think_time > 0 else 0.0
+            if rng.random() < config.read_fraction:
+                target = rng.randrange(num_clients)
+                ops.append(PlannedOp(OpKind.READ, target, think_time=think))
+            else:
+                write_count += 1
+                ops.append(
+                    PlannedOp(
+                        OpKind.WRITE,
+                        client,
+                        value=unique_value(client, write_count, config.value_size),
+                        think_time=think,
+                    )
+                )
+        scripts[client] = ops
+    return scripts
+
+
+@dataclass
+class DriverStats:
+    """Per-client completion accounting."""
+
+    issued: dict[ClientId, int] = field(default_factory=dict)
+    completed: dict[ClientId, int] = field(default_factory=dict)
+    planned: dict[ClientId, int] = field(default_factory=dict)
+
+    def total_completed(self) -> int:
+        return sum(self.completed.values())
+
+    def total_planned(self) -> int:
+        return sum(self.planned.values())
+
+    def all_done(self) -> bool:
+        return all(
+            self.completed.get(c, 0) >= planned
+            for c, planned in self.planned.items()
+        )
+
+
+class Driver:
+    """Feeds scripts to clients, one operation at a time per client."""
+
+    def __init__(self, system: StorageSystem) -> None:
+        self._system = system
+        self.stats = DriverStats()
+
+    def attach(self, client_id: ClientId, script: list[PlannedOp]) -> None:
+        self.stats.planned[client_id] = len(script)
+        self.stats.issued.setdefault(client_id, 0)
+        self.stats.completed.setdefault(client_id, 0)
+        if script:
+            self._schedule_next(client_id, script, 0)
+
+    def attach_all(self, scripts: dict[ClientId, list[PlannedOp]]) -> None:
+        for client_id, script in scripts.items():
+            self.attach(client_id, script)
+
+    def _schedule_next(self, client_id: ClientId, script, index: int) -> None:
+        planned = script[index]
+        self._system.scheduler.schedule(
+            planned.think_time, self._issue, client_id, script, index
+        )
+
+    def _issue(self, client_id: ClientId, script, index: int) -> None:
+        client = self._system.clients[client_id]
+        if client.crashed or getattr(client, "failed", False):
+            return  # a crashed or halted client takes no more steps
+        if getattr(client, "faust_failed", False):
+            return
+        planned: PlannedOp = script[index]
+        self.stats.issued[client_id] += 1
+
+        def completed(_outcome) -> None:
+            self.stats.completed[client_id] += 1
+            if index + 1 < len(script):
+                self._schedule_next(client_id, script, index + 1)
+
+        if planned.kind is OpKind.WRITE:
+            client.write(planned.value, completed)
+        else:
+            client.read(planned.register, completed)
+
+    # ------------------------------------------------------------------ #
+    # Run helpers
+    # ------------------------------------------------------------------ #
+
+    def run_to_completion(self, timeout: float = 100_000.0) -> bool:
+        """Run until every script finished; False if blocked/failed first."""
+        return self._system.run_until(self.stats.all_done, timeout=timeout)
+
+    def completion_fraction(self) -> float:
+        planned = self.stats.total_planned()
+        if planned == 0:
+            return 1.0
+        return self.stats.total_completed() / planned

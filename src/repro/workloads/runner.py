@@ -1,0 +1,186 @@
+"""System assembly and run orchestration.
+
+:class:`SystemBuilder` wires a complete simulated deployment — scheduler,
+FIFO network, offline channel, keystore, server (correct or Byzantine),
+clients, history recorder — and :class:`StorageSystem` drives it.  All
+tests, examples and benchmarks build their worlds through this module, so
+a deployment is always described by a handful of declarative knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ClientId
+from repro.crypto.keystore import KeyStore
+from repro.history.history import History
+from repro.history.recorder import HistoryRecorder
+from repro.sim.network import FixedLatency, LatencyModel, Network
+from repro.sim.offline import OfflineChannel
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import SimTrace
+from repro.ustor.client import UstorClient
+from repro.ustor.server import UstorServer
+
+#: Builds a server given (num_clients, name); lets tests inject Byzantine ones.
+ServerFactory = Callable[[int, str], UstorServer]
+
+
+@dataclass
+class StorageSystem:
+    """A fully wired simulated deployment."""
+
+    scheduler: Scheduler
+    network: Network
+    offline: OfflineChannel
+    server: UstorServer
+    clients: list
+    recorder: HistoryRecorder
+    trace: SimTrace
+    keystore: KeyStore
+    faust_clients: list = field(default_factory=list)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the simulation; returns the number of events fired."""
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        return self.scheduler.run_until(predicate, timeout=timeout)
+
+    def run_until_quiescent(
+        self, check_every: float = 1.0, timeout: float = 10_000.0
+    ) -> None:
+        """Run until no operation is pending at any client (or timeout)."""
+
+        def quiet() -> bool:
+            return all(
+                not getattr(c, "busy", False) for c in self.clients if not c.crashed
+            )
+
+        self.run_until(quiet, timeout=timeout)
+
+    def history(self) -> History:
+        """The recorded history (pending operations included)."""
+        return self.recorder.history()
+
+    def client(self, client_id: ClientId):
+        return self.clients[client_id]
+
+    def crash_client_at(self, client_id: ClientId, time: float) -> None:
+        """Schedule a crash-stop of one client at an absolute virtual time."""
+        node = self.clients[client_id]
+        self.scheduler.schedule_at(
+            time, lambda: (node.crash(), self.trace.note(time, node.name, "crash"))
+        )
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+
+class SystemBuilder:
+    """Declarative construction of a :class:`StorageSystem`.
+
+    >>> system = SystemBuilder(num_clients=2, seed=1).build()
+    >>> system.clients[0].write(b"hello")
+    >>> system.run(until=10)  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        seed: int = 0,
+        scheme: str = "hmac",
+        latency: LatencyModel | None = None,
+        offline_latency: LatencyModel | None = None,
+        server_factory: ServerFactory | None = None,
+        commit_piggyback: bool = False,
+        server_name: str = "S",
+    ) -> None:
+        if num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        self.num_clients = num_clients
+        self.seed = seed
+        self.scheme = scheme
+        self.latency = latency or FixedLatency(1.0)
+        self.offline_latency = offline_latency or FixedLatency(5.0)
+        self.server_factory = server_factory or (
+            lambda n, name: UstorServer(n, name=name)
+        )
+        self.commit_piggyback = commit_piggyback
+        self.server_name = server_name
+
+    def _core(self):
+        scheduler = Scheduler(seed=self.seed)
+        trace = SimTrace()
+        network = Network(scheduler, default_latency=self.latency, trace=trace)
+        offline = OfflineChannel(scheduler, latency=self.offline_latency, trace=trace)
+        keystore = KeyStore(self.num_clients, scheme=self.scheme)
+        recorder = HistoryRecorder()
+        server = self.server_factory(self.num_clients, self.server_name)
+        network.register(server)
+        return scheduler, trace, network, offline, keystore, recorder, server
+
+    def build(self) -> StorageSystem:
+        """A plain USTOR deployment (no fail-aware layer)."""
+        scheduler, trace, network, offline, keystore, recorder, server = self._core()
+        clients = []
+        for i in range(self.num_clients):
+            client = UstorClient(
+                client_id=i,
+                num_clients=self.num_clients,
+                signer=keystore.signer(i),
+                server_name=self.server_name,
+                recorder=recorder,
+                commit_piggyback=self.commit_piggyback,
+            )
+            network.register(client)
+            offline.register(client)
+            clients.append(client)
+        return StorageSystem(
+            scheduler=scheduler,
+            network=network,
+            offline=offline,
+            server=server,
+            clients=clients,
+            recorder=recorder,
+            trace=trace,
+            keystore=keystore,
+        )
+
+    def build_faust(self, **faust_kwargs) -> StorageSystem:
+        """A FAUST deployment: USTOR plus the fail-aware layer (Section 6)."""
+        from repro.faust.client import FaustClient
+
+        scheduler, trace, network, offline, keystore, recorder, server = self._core()
+        clients = []
+        for i in range(self.num_clients):
+            client = FaustClient(
+                client_id=i,
+                num_clients=self.num_clients,
+                signer=keystore.signer(i),
+                server_name=self.server_name,
+                recorder=recorder,
+                commit_piggyback=self.commit_piggyback,
+                **faust_kwargs,
+            )
+            network.register(client)
+            offline.register(client)
+            client.attach_offline(offline)
+            client.start()
+            clients.append(client)
+        return StorageSystem(
+            scheduler=scheduler,
+            network=network,
+            offline=offline,
+            server=server,
+            clients=clients,
+            recorder=recorder,
+            trace=trace,
+            keystore=keystore,
+            faust_clients=list(clients),
+        )

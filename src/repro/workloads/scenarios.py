@@ -1,0 +1,224 @@
+"""The paper's concrete scenarios, scripted end to end.
+
+* :func:`figure2_scenario` — the Alice/Bob/Carlos collaboration of
+  Figure 2, reproducing the exact stability cut
+  ``stable_Alice([10, 8, 3])`` and then (optionally) Carlos's return,
+  after which every operation becomes stable at all clients.
+* :func:`figure3_scenario` — the Figure 3 history: a server hides
+  ``write_1(X1, u)`` from ``C2``'s first read and rejoins on the second,
+  yielding a weakly-fork-linearizable, non-fork-linearizable history.
+* :func:`split_brain_scenario` — a general forking attack driving two
+  client groups on divergent branches, used by the detection experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import BOTTOM, client_name
+from repro.history.history import History
+from repro.sim.network import FixedLatency
+from repro.ustor.byzantine import Fig3Server, SplitBrainServer
+from repro.ustor.client import OpOutcome
+from repro.workloads.generator import Driver, PlannedOp, WorkloadConfig, generate_scripts
+from repro.workloads.runner import StorageSystem, SystemBuilder
+
+ALICE, BOB, CARLOS = 0, 1, 2
+
+
+@dataclass
+class Figure2Result:
+    system: StorageSystem
+    #: Alice's stability cuts in notification order.
+    alice_cuts: list[tuple[int, ...]]
+    #: True once the exact cut (10, 8, 3) was emitted.
+    reproduced: bool
+
+
+def _sync_op(system: StorageSystem, client, op: str, argument) -> OpOutcome:
+    """Run one operation to completion, then let a moment pass.
+
+    The settle gap makes consecutive scripted operations *strictly* ordered
+    in real time (``o <_sigma o'``), as the paper's scenarios assume —
+    without it the next invocation lands at the exact virtual instant the
+    previous response occurred and the operations count as concurrent.
+    """
+    box: list[OpOutcome] = []
+    getattr(client, op)(argument, box.append)
+    completed = system.run_until(lambda: bool(box), timeout=10_000.0)
+    if not completed:
+        raise RuntimeError(f"{client.name} {op} did not complete")
+    system.run(until=system.now + 0.1)
+    return box[0]
+
+
+def figure2_scenario(
+    seed: int = 2, include_carlos_return: bool = True
+) -> Figure2Result:
+    """Reproduce Figure 2's stability cut ``stable_Alice([10, 8, 3])``.
+
+    Day in Europe: Alice and Bob collaborate; Carlos read Alice's document
+    early (up to her 3rd operation) and went to sleep.  Alice keeps
+    working; her cut shows consistency with herself up to t=10, with Bob
+    up to t=8, with Carlos up to t=3.
+    """
+    system = SystemBuilder(
+        num_clients=3,
+        seed=seed,
+        latency=FixedLatency(0.5),
+        offline_latency=FixedLatency(3.0),
+    ).build_faust(
+        enable_dummy_reads=False,  # scripted reads make the cut exact
+        enable_probes=False,
+        delta=200.0,
+    )
+    alice, bob, carlos = system.clients
+
+    def doc(version: int) -> bytes:
+        return f"shared-document-v{version}".encode()
+
+    # Alice edits the document three times (timestamps 1..3).
+    for v in range(1, 4):
+        _sync_op(system, alice, "write", doc(v))
+    # Carlos catches up on Alice's work, then goes to sleep.
+    _sync_op(system, carlos, "read", ALICE)
+    _sync_op(system, alice, "read", CARLOS)  # Alice's t=4: learns Carlos's version
+    carlos.pause()
+    system.offline.set_online(carlos.name, False)
+
+    # Alice keeps editing (t = 5..8).
+    for v in range(5, 9):
+        _sync_op(system, alice, "write", doc(v))
+    # Bob reads Alice's latest edit; Alice then reads Bob (t=9), and makes
+    # one final edit (t=10) — at which point her cut is exactly [10, 8, 3].
+    _sync_op(system, bob, "read", ALICE)
+    _sync_op(system, alice, "read", BOB)
+    _sync_op(system, alice, "write", doc(10))
+
+    reproduced = (10, 8, 3) in [cut for _, cut in alice.stable_notifications]
+
+    if include_carlos_return:
+        # America wakes up: Carlos returns, reads, and background version
+        # exchange makes everything stable at every client.
+        system.offline.set_online(carlos.name, True)
+        carlos.resume()
+        for client in system.clients:
+            client.enable_background(dummy_reads=True, probes=True)
+        system.run(until=system.now + 400.0)
+
+    return Figure2Result(
+        system=system,
+        alice_cuts=[cut for _, cut in alice.stable_notifications],
+        reproduced=reproduced,
+    )
+
+
+@dataclass
+class Figure3Result:
+    system: StorageSystem
+    history: History
+    #: The three operations in the order of Figure 3.
+    write_outcome: OpOutcome
+    read1_outcome: OpOutcome
+    read2_outcome: OpOutcome
+    #: Whether any USTOR client output fail (must be False: the attack is
+    #: designed to pass every check of Algorithm 1).
+    ustor_detected: bool
+
+
+def figure3_scenario(seed: int = 3, faust: bool = False) -> Figure3Result:
+    """Run the Figure 3 attack: write1(X1,u); read2(X1)->BOTTOM; read2(X1)->u.
+
+    With ``faust=True`` the clients run the fail-aware layer with probing
+    enabled, so the (undetectable-at-USTOR-level) fork is exposed once the
+    clients exchange versions offline.
+    """
+    builder = SystemBuilder(
+        num_clients=2,
+        seed=seed,
+        latency=FixedLatency(0.5),
+        offline_latency=FixedLatency(2.0),
+        server_factory=lambda n, name: Fig3Server(n, writer=0, victim=1, name=name),
+    )
+    if faust:
+        system = builder.build_faust(
+            enable_dummy_reads=False,
+            enable_probes=True,
+            delta=20.0,
+            probe_check_period=5.0,
+        )
+    else:
+        system = builder.build()
+    writer, victim = system.clients
+
+    write_outcome = _sync_op(system, writer, "write", b"u")
+    read1 = _sync_op(system, victim, "read", 0)
+    read2 = _sync_op(system, victim, "read", 0)
+
+    assert read1.value is BOTTOM, "the hidden write must be invisible to read 1"
+    assert read2.value == b"u", "the rejoin must expose the write to read 2"
+
+    detected = any(c.failed for c in system.clients)
+    return Figure3Result(
+        system=system,
+        history=system.history(),
+        write_outcome=write_outcome,
+        read1_outcome=read1,
+        read2_outcome=read2,
+        ustor_detected=detected,
+    )
+
+
+@dataclass
+class SplitBrainResult:
+    system: StorageSystem
+    driver: Driver
+    groups: list[set[int]]
+    fork_time: float
+
+
+def split_brain_scenario(
+    num_clients: int = 4,
+    seed: int = 11,
+    fork_time: float = 30.0,
+    ops_per_client: int = 12,
+    faust: bool = True,
+    delta: float = 25.0,
+    run_for: float = 600.0,
+) -> SplitBrainResult:
+    """A forking attack over a random workload.
+
+    Clients are split into two groups (even/odd ids) at ``fork_time``;
+    both groups keep operating on divergent branches.  With FAUST enabled,
+    cross-group version exchange eventually proves the fork.
+    """
+    groups = [
+        {c for c in range(num_clients) if c % 2 == 0},
+        {c for c in range(num_clients) if c % 2 == 1},
+    ]
+    builder = SystemBuilder(
+        num_clients=num_clients,
+        seed=seed,
+        server_factory=lambda n, name: SplitBrainServer(
+            n, groups=groups, fork_time=fork_time, name=name
+        ),
+    )
+    if faust:
+        system = builder.build_faust(delta=delta, probe_check_period=delta / 3)
+    else:
+        system = builder.build()
+
+    import random as _random
+
+    rng = _random.Random(seed)
+    scripts = generate_scripts(
+        num_clients,
+        WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5),
+        rng,
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=run_for)
+    return SplitBrainResult(
+        system=system, driver=driver, groups=groups, fork_time=fork_time
+    )

@@ -1,0 +1,56 @@
+"""Shared fixtures and history-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.types import BOTTOM, OpKind
+from repro.crypto.keystore import KeyStore
+from repro.history.events import Operation
+from repro.history.history import History
+
+_ids = itertools.count(1)
+
+
+def w(client, value, start, end, op_id=None, timestamp=None):
+    """A write operation literal (client writes its own register)."""
+    return Operation(
+        op_id=next(_ids) if op_id is None else op_id,
+        client=client,
+        kind=OpKind.WRITE,
+        register=client,
+        value=value,
+        invoked_at=start,
+        responded_at=end,
+        timestamp=timestamp,
+    )
+
+
+def r(client, register, value, start, end, op_id=None, timestamp=None):
+    """A read operation literal; ``value`` is the returned value."""
+    return Operation(
+        op_id=next(_ids) if op_id is None else op_id,
+        client=client,
+        kind=OpKind.READ,
+        register=register,
+        value=value,
+        invoked_at=start,
+        responded_at=end,
+        timestamp=timestamp,
+    )
+
+
+def h(*operations) -> History:
+    return History(operations)
+
+
+@pytest.fixture(scope="session")
+def keystore3() -> KeyStore:
+    return KeyStore(3, scheme="hmac")
+
+
+@pytest.fixture()
+def bottom():
+    return BOTTOM

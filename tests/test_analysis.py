@@ -1,0 +1,88 @@
+"""Analysis utilities: regression fits, table rendering, trace reductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    bytes_per_operation,
+    critical_path_rounds,
+    linear_fit,
+    messages_per_operation,
+)
+from repro.analysis.tables import format_table
+from repro.sim.trace import SimTrace
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 10])
+        assert fit.predict(2) == pytest.approx(20.0)
+
+    def test_noisy_line_r_squared_below_one(self):
+        fit = linear_fit([1, 2, 3, 4], [2.0, 4.1, 5.9, 8.2])
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_constant_y(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1, 2, 3])
+
+
+class TestTraceReductions:
+    def _trace(self):
+        trace = SimTrace()
+        for _ in range(4):
+            trace.record_message(0, 1, "C1", "S", "SUBMIT", 100)
+            trace.record_message(1, 2, "S", "C1", "REPLY", 300)
+            trace.record_message(2, 3, "C1", "S", "COMMIT", 200)
+        return trace
+
+    def test_bytes_per_operation(self):
+        trace = self._trace()
+        assert bytes_per_operation(trace, 4, ["SUBMIT", "REPLY", "COMMIT"]) == 600
+
+    def test_messages_per_operation(self):
+        assert messages_per_operation(self._trace(), 4, ["SUBMIT", "REPLY", "COMMIT"]) == 3
+
+    def test_critical_path_rounds(self):
+        assert critical_path_rounds(self._trace(), 4) == 1.0
+
+    def test_zero_operations_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_per_operation(self._trace(), 0, ["SUBMIT"])
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["n", "bytes/op"],
+            [[2, 100.5], [16, 800.25]],
+            title="E4",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "E4"
+        assert lines[1].startswith("n")
+        assert "100.500" in text and "800.250" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["claim", "holds"], [["wait-free", True], ["blocking", False]])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,75 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import SERVERS, main
+
+
+class TestAttacksCommand:
+    def test_lists_all_servers(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in SERVERS:
+            assert name in out
+
+
+class TestRunCommand:
+    def test_correct_server_run(self, capsys):
+        code = main(
+            ["run", "--clients", "2", "--ops", "3", "--seed", "5", "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed 6/6" in out
+        assert "linearizability: OK" in out
+        assert "weak-fork-linearizability: OK" in out
+
+    def test_history_flag(self, capsys):
+        main(["run", "--clients", "2", "--ops", "2", "--history"])
+        out = capsys.readouterr().out
+        assert "write_C" in out or "read_C" in out
+
+    def test_tampering_server_detection(self, capsys):
+        # seed 1: C1 writes register X1 and someone reads it — the
+        # corrupted value trips line 50.
+        main(["run", "--clients", "3", "--ops", "6", "--server", "tampering",
+              "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "USTOR fail" in out and "line 50" in out
+
+    def test_split_brain_with_faust(self, capsys):
+        main(
+            [
+                "run",
+                "--clients",
+                "4",
+                "--ops",
+                "6",
+                "--server",
+                "split-brain",
+                "--faust",
+                "--until",
+                "900",
+                "--seed",
+                "11",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "FAUST fail" in out
+
+    def test_unknown_server_rejected(self, capsys):
+        assert main(["run", "--server", "nonsense"]) == 2
+
+    def test_message_statistics_printed(self, capsys):
+        main(["run", "--clients", "2", "--ops", "2"])
+        out = capsys.readouterr().out
+        assert "SUBMIT" in out and "REPLY" in out
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_quick(self, capsys):
+        assert main(["experiments", "--quick", "--only", "E12"]) == 0
+        out = capsys.readouterr().out
+        assert "E12" in out and "incomparable" in out

@@ -1,0 +1,116 @@
+"""Canonical encoding: injectivity is what the signatures rely on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.encoding import encode, encode_sequence
+from repro.common.errors import EncodingError
+from repro.common.types import OpKind
+
+
+class TestBasicEncoding:
+    def test_none_encodes(self):
+        assert isinstance(encode(None), bytes)
+
+    def test_ints_encode(self):
+        assert encode(0) != encode(1)
+
+    def test_negative_int_differs_from_positive(self):
+        assert encode(-5) != encode(5)
+
+    def test_large_int(self):
+        big = 2**200 + 17
+        assert encode(big) != encode(big + 1)
+
+    def test_bool_differs_from_int(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_bytes_and_str_differ(self):
+        assert encode(b"abc") != encode("abc")
+
+    def test_enum_members_distinct(self):
+        assert encode(OpKind.READ) != encode(OpKind.WRITE)
+
+    def test_enum_differs_from_its_name(self):
+        assert encode(OpKind.READ) != encode("READ")
+
+    def test_nested_sequences(self):
+        assert encode((1, (2, 3))) != encode((1, 2, 3))
+
+    def test_empty_sequence(self):
+        assert encode(()) != encode((None,))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(EncodingError):
+            encode(object())
+
+    def test_float_rejected(self):
+        # Floats have no canonical form; protocols must not sign them.
+        with pytest.raises(EncodingError):
+            encode(1.5)
+
+    def test_encode_sequence_matches_tuple(self):
+        assert encode_sequence([1, 2]) == encode((1, 2))
+
+    def test_bytearray_and_bytes_agree(self):
+        assert encode(bytearray(b"xy")) == encode(b"xy")
+
+
+class TestConcatenationAmbiguity:
+    """The classical ambiguities plain concatenation suffers from."""
+
+    def test_string_split_points(self):
+        assert encode("ab", "c") != encode("a", "bc")
+
+    def test_bytes_split_points(self):
+        assert encode(b"ab", b"c") != encode(b"a", b"bc")
+
+    def test_empty_vs_missing(self):
+        assert encode("a", "") != encode("a")
+
+    def test_protocol_payload_shapes(self):
+        # The exact payload shapes USTOR signs must be mutually distinct.
+        submit = encode("SUBMIT", OpKind.WRITE, 0, 1)
+        data = encode("DATA", 1, b"\x00" * 32)
+        commit = encode("COMMIT", (1, 0), (b"\x01" * 32, None))
+        proof = encode("PROOF", b"\x01" * 32)
+        payloads = [submit, data, commit, proof]
+        assert len(set(payloads)) == 4
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.binary(max_size=24),
+    st.text(max_size=24),
+)
+_values = st.recursive(
+    _scalars, lambda inner: st.lists(inner, max_size=4).map(tuple), max_leaves=8
+)
+
+
+class TestEncodingProperties:
+    @given(st.lists(_values, max_size=5), st.lists(_values, max_size=5))
+    def test_injective_on_random_values(self, left, right):
+        if tuple(left) != tuple(right):
+            assert encode(*left) != encode(*right)
+        else:
+            assert encode(*left) == encode(*right)
+
+    @given(_values)
+    def test_deterministic(self, value):
+        assert encode(value) == encode(value)
+
+    @given(_values, _values)
+    def test_prefix_code(self, a, b):
+        # No encoding is a strict prefix of another (needed for streaming
+        # safety of concatenated fields).
+        ea, eb = encode(a), encode(b)
+        if ea != eb:
+            assert not eb.startswith(ea)
+            assert not ea.startswith(eb)

@@ -1,0 +1,62 @@
+"""Identifiers, BOTTOM, and name rendering."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.common.types import (
+    BOTTOM,
+    Bottom,
+    OpKind,
+    client_name,
+    parse_client_name,
+    register_name,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_not_equal_to_bytes(self):
+        assert BOTTOM != b""
+        assert BOTTOM != b"BOTTOM"
+
+    def test_outside_value_domain(self):
+        assert not isinstance(BOTTOM, bytes)
+
+
+class TestNames:
+    def test_client_name_is_one_based(self):
+        assert client_name(0) == "C1"
+        assert client_name(9) == "C10"
+
+    def test_register_name_is_one_based(self):
+        assert register_name(0) == "X1"
+
+    def test_parse_roundtrip(self):
+        for i in (0, 1, 7, 42):
+            assert parse_client_name(client_name(i)) == i
+
+    def test_parse_rejects_server(self):
+        assert parse_client_name("S") is None
+
+    def test_parse_rejects_garbage(self):
+        assert parse_client_name("C") is None
+        assert parse_client_name("Cx") is None
+        assert parse_client_name("C0") is None  # 1-based names start at C1
+        assert parse_client_name("") is None
+
+
+class TestOpKind:
+    def test_two_kinds(self):
+        assert {OpKind.READ, OpKind.WRITE} == set(OpKind)
+
+    def test_str(self):
+        assert str(OpKind.READ) == "READ"

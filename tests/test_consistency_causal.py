@@ -1,0 +1,145 @@
+"""Causal consistency (Definition 3): hand cases + exhaustive cross-check."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CheckerError
+from repro.common.types import BOTTOM
+from repro.consistency.causal import (
+    check_causal_consistency,
+    check_causal_exhaustive,
+)
+
+from conftest import h, r, w
+from test_consistency_linearizability import _random_history
+
+
+class TestCausallyConsistent:
+    def test_empty(self):
+        assert check_causal_consistency(h())
+
+    def test_sequential(self):
+        assert check_causal_consistency(h(w(0, b"a", 0, 1), r(1, 0, b"a", 2, 3)))
+
+    def test_stale_read_without_causal_path_is_causal(self):
+        # C2 reads an old value long after a newer write completed: not
+        # linearizable, but causally consistent — C2 never observed
+        # anything that depends on the newer write.
+        hist = h(
+            w(0, b"a", 0, 1),
+            w(0, b"b", 2, 3),
+            r(1, 0, b"a", 10, 11),
+        )
+        assert check_causal_consistency(hist)
+
+    def test_figure3_history_is_causal(self):
+        hist = h(w(0, b"u", 0, 1), r(1, 0, BOTTOM, 2, 3), r(1, 0, b"u", 4, 5))
+        assert check_causal_consistency(hist)
+
+    def test_clients_may_disagree_on_concurrent_write_order(self):
+        # Classic causal-but-not-sequentially-consistent pattern.
+        hist = h(
+            w(0, b"a", 0, 1),
+            w(1, b"b", 0, 1),
+            r(2, 0, b"a", 2, 3),
+            r(2, 1, BOTTOM, 4, 5),
+            r(3, 1, b"b", 2, 3),
+            r(3, 0, BOTTOM, 4, 5),
+        )
+        assert check_causal_consistency(hist)
+
+
+class TestCausalViolations:
+    def test_fabricated_read(self):
+        result = check_causal_consistency(h(r(0, 1, b"ghost", 0, 1)))
+        assert not result
+        assert "never written" in result.violation
+
+    def test_causally_overwritten_read(self):
+        # C1 writes a then b (program order: a -> b causally).  C2 reads b
+        # and *then* reads a: the write of b causally precedes the second
+        # read via C2's own first read.
+        hist = h(
+            w(0, b"a", 0, 1),
+            w(0, b"b", 2, 3),
+            r(1, 0, b"b", 4, 5),
+            r(1, 0, b"a", 6, 7),
+        )
+        result = check_causal_consistency(hist)
+        assert not result
+        assert "causally overwritten" in result.violation
+
+    def test_bottom_read_after_causally_known_write(self):
+        # C2 read C1's write, wrote its own value, then read BOTTOM from
+        # C1's register: the write causally precedes the read.
+        hist = h(
+            w(0, b"a", 0, 1),
+            r(1, 0, b"a", 2, 3),
+            r(1, 0, BOTTOM, 4, 5),
+        )
+        result = check_causal_consistency(hist)
+        assert not result
+
+    def test_own_writes_must_be_observed(self):
+        # A client reading its own register must see its own latest write
+        # (program order is causal).
+        hist = h(w(0, b"a", 0, 1), r(0, 0, BOTTOM, 2, 3))
+        assert not check_causal_consistency(hist)
+
+    def test_cycle_is_violation(self):
+        hist = h(
+            r(0, 1, b"y", 0, 1),
+            w(0, b"x", 2, 3),
+            r(1, 0, b"x", 4, 5),
+            w(1, b"y", 6, 7),
+        )
+        result = check_causal_consistency(hist)
+        assert not result
+        assert "cycle" in result.violation
+
+
+class TestExhaustive:
+    def test_witness_views_per_client(self):
+        hist = h(w(0, b"a", 0, 1), r(1, 0, b"a", 2, 3))
+        result = check_causal_exhaustive(hist)
+        assert result
+        assert set(result.witness) == {0, 1}
+
+    def test_cap(self):
+        ops = [w(0, bytes([i]), 2 * i, 2 * i + 1) for i in range(10)]
+        with pytest.raises(CheckerError):
+            check_causal_exhaustive(h(*ops), max_ops=5)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_axiomatic_equals_exhaustive(self, seed):
+        rng = random.Random(seed)
+        hist = _random_history(rng, num_clients=2, max_ops=6)
+        fast = check_causal_consistency(hist)
+        slow = check_causal_exhaustive(hist)
+        assert fast.ok == slow.ok, (
+            f"disagreement on seed {seed}:\n{hist.describe()}\n"
+            f"fast={fast}\nslow={slow}"
+        )
+
+    def test_seeded_regression_batch(self):
+        for seed in range(150):
+            hist = _random_history(random.Random(seed), 2, 5)
+            fast = check_causal_consistency(hist).ok
+            slow = check_causal_exhaustive(hist).ok
+            assert fast == slow, f"seed {seed}"
+
+
+class TestRelationBetweenNotions:
+    def test_linearizable_implies_causal_on_samples(self):
+        from repro.consistency.linearizability import check_linearizability
+
+        for seed in range(200):
+            hist = _random_history(random.Random(seed), 3, 7)
+            if check_linearizability(hist).ok:
+                assert check_causal_consistency(hist).ok, f"seed {seed}"

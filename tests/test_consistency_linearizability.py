@@ -1,0 +1,189 @@
+"""Linearizability checking: hand cases plus brute-force cross-validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CheckerError
+from repro.common.types import BOTTOM, OpKind
+from repro.consistency.linearizability import (
+    check_linearizability,
+    check_linearizability_exhaustive,
+)
+from repro.history.events import Operation
+from repro.history.history import History
+from repro.history.register_spec import is_legal_sequence
+
+from conftest import h, r, w
+
+
+class TestLegalHistories:
+    def test_empty_history(self):
+        assert check_linearizability(h())
+
+    def test_sequential_write_then_read(self):
+        assert check_linearizability(h(w(0, b"a", 0, 1), r(1, 0, b"a", 2, 3)))
+
+    def test_read_bottom_before_any_write(self):
+        assert check_linearizability(h(r(1, 0, BOTTOM, 0, 1), w(0, b"a", 2, 3)))
+
+    def test_concurrent_read_may_see_old_or_new(self):
+        write = w(0, b"a", 0, 10)
+        old = h(write, r(1, 0, BOTTOM, 2, 3))
+        new = h(write, r(2, 0, b"a", 4, 5))
+        assert check_linearizability(old)
+        assert check_linearizability(new)
+
+    def test_two_registers_compose(self):
+        hist = h(
+            w(0, b"a", 0, 1),
+            w(1, b"b", 0, 1),
+            r(2, 0, b"a", 2, 3),
+            r(2, 1, b"b", 4, 5),
+        )
+        assert check_linearizability(hist)
+
+    def test_read_own_write(self):
+        hist = h(w(0, b"a", 0, 1), r(0, 0, b"a", 2, 3))
+        assert check_linearizability(hist)
+
+    def test_incomplete_write_read_by_other(self):
+        # The pending write took effect; the read is legal.
+        hist = h(w(0, b"a", 0, None), r(1, 0, b"a", 5, 6))
+        assert check_linearizability(hist)
+
+    def test_incomplete_read_ignored(self):
+        hist = h(w(0, b"a", 0, 1), r(1, 0, None, 2, None))
+        assert check_linearizability(hist)
+
+
+class TestViolations:
+    def test_stale_read(self):
+        hist = h(
+            w(0, b"a", 0, 1),
+            w(0, b"b", 2, 3),
+            r(1, 0, b"a", 4, 5),  # b completed before this read began
+        )
+        result = check_linearizability(hist)
+        assert not result
+        assert "stale" in result.violation
+
+    def test_bottom_read_after_completed_write(self):
+        hist = h(w(0, b"a", 0, 1), r(1, 0, BOTTOM, 2, 3))
+        result = check_linearizability(hist)
+        assert not result
+
+    def test_value_from_the_future(self):
+        hist = h(r(1, 0, b"a", 0, 1), w(0, b"a", 2, 3))
+        result = check_linearizability(hist)
+        assert not result
+        assert "future" in result.violation
+
+    def test_new_old_inversion(self):
+        write1 = w(0, b"a", 0, 1)
+        write2 = w(0, b"b", 2, 3)
+        fresh = r(1, 0, b"b", 4, 5)
+        stale = r(2, 0, b"a", 6, 7)
+        result = check_linearizability(h(write1, write2, fresh, stale))
+        assert not result
+
+    def test_inversion_requires_real_time_order(self):
+        # Reads concurrent with the second write (and with each other) may
+        # legitimately disagree about whether it already happened.
+        write1 = w(0, b"a", 0, 1)
+        write2 = w(0, b"b", 2, 20)
+        fresh = r(1, 0, b"b", 4, 10)
+        stale = r(2, 0, b"a", 4, 10)
+        assert check_linearizability(h(write1, write2, fresh, stale))
+
+    def test_fabricated_value(self):
+        result = check_linearizability(h(r(1, 0, b"ghost", 0, 1)))
+        assert not result
+        assert "never written" in result.violation
+
+    def test_figure3_history_not_linearizable(self):
+        hist = h(
+            w(0, b"u", 0, 1),
+            r(1, 0, BOTTOM, 2, 3),
+            r(1, 0, b"u", 4, 5),
+        )
+        assert not check_linearizability(hist)
+        assert not check_linearizability_exhaustive(hist)
+
+
+class TestExhaustiveChecker:
+    def test_returns_witness(self):
+        hist = h(w(0, b"a", 0, 10), r(1, 0, BOTTOM, 2, 3))
+        result = check_linearizability_exhaustive(hist)
+        assert result
+        witness = result.witness
+        assert [op.op_id for op in witness] == [hist[1].op_id, hist[0].op_id]
+        assert is_legal_sequence(witness)
+
+    def test_size_cap(self):
+        ops = [w(0, bytes([i]), 2 * i, 2 * i + 1) for i in range(20)]
+        with pytest.raises(CheckerError):
+            check_linearizability_exhaustive(h(*ops), max_ops=10)
+
+
+def _random_history(rng: random.Random, num_clients: int, max_ops: int) -> History:
+    """Random well-formed histories with adversarial read values.
+
+    Read values are chosen among all written values of the register (and
+    BOTTOM), irrespective of plausibility — so the sample contains both
+    linearizable and non-linearizable histories.
+    """
+    ops = []
+    op_id = 0
+    clock = {c: 0.0 for c in range(num_clients)}
+    writes: dict[int, list[bytes]] = {c: [] for c in range(num_clients)}
+    for _ in range(max_ops):
+        client = rng.randrange(num_clients)
+        start = clock[client] + rng.random() * 3
+        duration = rng.random() * 3
+        end = start + duration
+        clock[client] = end + 0.01
+        if rng.random() < 0.5:
+            value = f"v{op_id}".encode()
+            writes[client].append(value)
+            ops.append(
+                Operation(op_id, client, OpKind.WRITE, client, value, start, end)
+            )
+        else:
+            register = rng.randrange(num_clients)
+            pool = writes[register]
+            value = rng.choice(pool + [BOTTOM]) if pool else BOTTOM
+            ops.append(
+                Operation(op_id, client, OpKind.READ, register, value, start, end)
+            )
+        op_id += 1
+    return History(ops)
+
+
+class TestCrossValidation:
+    """The fast checker must agree with Wing&Gong on random histories."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_fast_equals_exhaustive(self, seed):
+        rng = random.Random(seed)
+        hist = _random_history(rng, num_clients=3, max_ops=7)
+        fast = check_linearizability(hist)
+        slow = check_linearizability_exhaustive(hist)
+        assert fast.ok == slow.ok, (
+            f"disagreement on seed {seed}:\n{hist.describe()}\n"
+            f"fast={fast}\nslow={slow}"
+        )
+
+    def test_seeded_regression_batch(self):
+        # A fixed batch large enough to catch regressions deterministically.
+        agree = 0
+        for seed in range(300):
+            hist = _random_history(random.Random(seed), 2, 6)
+            if check_linearizability(hist).ok == check_linearizability_exhaustive(hist).ok:
+                agree += 1
+        assert agree == 300

@@ -1,0 +1,174 @@
+"""Hashing, the three signature schemes, and the keystore trust boundary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import UnknownSignerError
+from repro.common.types import BOTTOM
+from repro.crypto.hashing import (
+    HASH_BYTES,
+    hash_bytes,
+    hash_register_value,
+    hash_values,
+)
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signatures import (
+    SIGNATURE_BYTES,
+    Ed25519Scheme,
+    HmacScheme,
+    InsecureScheme,
+    make_scheme,
+)
+
+
+class TestHashing:
+    def test_hash_size(self):
+        assert len(hash_bytes(b"x")) == HASH_BYTES
+
+    def test_deterministic(self):
+        assert hash_values("a", 1) == hash_values("a", 1)
+
+    def test_structured_inputs_distinct(self):
+        assert hash_values("ab", "c") != hash_values("a", "bc")
+
+    def test_bottom_value_hash_is_stable(self):
+        assert hash_register_value(BOTTOM) == hash_register_value(BOTTOM)
+
+    def test_bottom_differs_from_empty_bytes(self):
+        assert hash_register_value(BOTTOM) != hash_register_value(b"")
+
+    def test_value_hash_injective_on_samples(self):
+        values = [b"", b"a", b"b", b"ab", b"\x00", b"\x00\x00"]
+        hashes = {hash_register_value(v) for v in values}
+        assert len(hashes) == len(values)
+
+
+@pytest.fixture(params=["hmac", "insecure", "ed25519"])
+def scheme(request):
+    return make_scheme(request.param, 3)
+
+
+class TestSchemes:
+    def test_sign_verify_roundtrip(self, scheme):
+        payload = b"payload"
+        sig = scheme.sign(1, payload)
+        assert scheme.verify(1, sig, payload)
+
+    def test_wrong_signer_rejected(self, scheme):
+        sig = scheme.sign(1, b"payload")
+        assert not scheme.verify(2, sig, b"payload")
+
+    def test_wrong_payload_rejected(self, scheme):
+        sig = scheme.sign(1, b"payload")
+        assert not scheme.verify(1, sig, b"payload2")
+
+    def test_tampered_signature_rejected(self, scheme):
+        sig = bytearray(scheme.sign(0, b"m"))
+        sig[0] ^= 0xFF
+        assert not scheme.verify(0, bytes(sig), b"m")
+
+    def test_garbage_signature_rejected(self, scheme):
+        assert not scheme.verify(0, b"\x00" * 10, b"m")
+
+    def test_non_bytes_signature_rejected(self, scheme):
+        assert not scheme.verify(0, None, b"m")  # type: ignore[arg-type]
+
+    def test_unknown_signer_sign_raises(self, scheme):
+        with pytest.raises(UnknownSignerError):
+            scheme.sign(7, b"m")
+
+    def test_unknown_signer_verify_false(self, scheme):
+        assert not scheme.verify(7, b"x" * SIGNATURE_BYTES, b"m")
+
+    def test_signature_length(self, scheme):
+        assert len(scheme.sign(0, b"m")) == SIGNATURE_BYTES
+
+    def test_deterministic_keygen(self, scheme):
+        fresh = make_scheme(
+            {"HmacScheme": "hmac", "InsecureScheme": "insecure", "Ed25519Scheme": "ed25519"}[
+                type(scheme).__name__
+            ],
+            3,
+        )
+        sig = scheme.sign(2, b"m")
+        assert fresh.verify(2, sig, b"m")
+
+
+class TestSchemeSpecifics:
+    def test_insecure_scheme_is_forgeable(self):
+        # The point of InsecureScheme: anyone can forge, which adversarial
+        # tests exploit to model a broken signature scheme.
+        scheme = InsecureScheme(2)
+        forged = InsecureScheme.forge(0, b"m")
+        assert scheme.verify(0, forged, b"m")
+
+    def test_hmac_keys_differ_per_client(self):
+        scheme = HmacScheme(2)
+        assert scheme.sign(0, b"m") != scheme.sign(1, b"m")
+
+    def test_different_seeds_are_independent(self):
+        a = HmacScheme(2, seed=b"a")
+        b = HmacScheme(2, seed=b"b")
+        assert not b.verify(0, a.sign(0, b"m"), b"m")
+
+    def test_ed25519_is_real(self):
+        scheme = Ed25519Scheme(1)
+        sig = scheme.sign(0, b"m")
+        assert len(sig) == 64
+        assert scheme.verify(0, sig, b"m")
+
+    def test_make_scheme_rejects_unknown(self):
+        with pytest.raises(UnknownSignerError):
+            make_scheme("rsa", 2)
+
+    def test_population_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HmacScheme(0)
+
+
+class TestKeyStore:
+    def test_signer_bound_to_client(self):
+        store = KeyStore(3)
+        signer = store.signer(1)
+        assert signer.client == 1
+        sig = signer.sign("COMMIT", (1, 2, 3))
+        assert signer.verify(1, sig, "COMMIT", (1, 2, 3))
+
+    def test_verifier_cannot_sign(self):
+        store = KeyStore(3)
+        verifier = store.verifier()
+        assert not hasattr(verifier, "sign")
+
+    def test_cross_client_verification(self):
+        store = KeyStore(3)
+        sig = store.signer(0).sign("PROOF", b"digest")
+        assert store.signer(2).verify(0, sig, "PROOF", b"digest")
+
+    def test_structured_payloads(self):
+        store = KeyStore(2)
+        signer = store.signer(0)
+        sig = signer.sign("DATA", 5, None)
+        assert signer.verify(0, sig, "DATA", 5, None)
+        assert not signer.verify(0, sig, "DATA", 5, b"")
+
+    def test_scheme_population_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore(3, scheme=HmacScheme(2))
+
+
+class TestSignatureProperties:
+    @settings(max_examples=50)
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_hmac_distinct_payloads_distinct_sigs(self, a, b):
+        scheme = HmacScheme(1)
+        if a != b:
+            assert scheme.sign(0, a) != scheme.sign(0, b)
+
+    @settings(max_examples=50)
+    @given(st.binary(max_size=64))
+    def test_hmac_never_cross_verifies(self, payload):
+        scheme = HmacScheme(2)
+        assert not scheme.verify(1, scheme.sign(0, payload), payload)

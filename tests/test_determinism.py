@@ -1,0 +1,89 @@
+"""Whole-system determinism: identical seeds give identical runs.
+
+DESIGN.md §5 makes determinism a requirement; these tests pin it at the
+strongest observable level — full message traces and notification logs —
+for plain USTOR, FAUST (timers, probes, offline traffic included), and a
+Byzantine deployment.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ustor.byzantine import SplitBrainServer
+from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
+from repro.workloads.runner import SystemBuilder
+
+
+def trace_fingerprint(system):
+    messages = [
+        (m.sent_at, m.delivered_at, m.src, m.dst, m.kind, m.size)
+        for m in system.trace.messages
+    ]
+    notes = [(n.time, n.source, n.kind, repr(n.payload)) for n in system.trace.notes]
+    history = [
+        (op.client, op.kind.value, op.register, op.invoked_at, op.responded_at)
+        for op in system.history()
+    ]
+    return messages, notes, history
+
+
+def run_ustor(seed):
+    system = SystemBuilder(num_clients=3, seed=seed).build()
+    scripts = generate_scripts(
+        3, WorkloadConfig(ops_per_client=8, mean_think_time=1.0), random.Random(seed)
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=300)
+    return trace_fingerprint(system)
+
+
+def run_faust(seed):
+    system = SystemBuilder(num_clients=3, seed=seed).build_faust(
+        dummy_read_period=3.0, probe_check_period=4.0, delta=12.0
+    )
+    scripts = generate_scripts(
+        3, WorkloadConfig(ops_per_client=5, mean_think_time=1.0), random.Random(seed)
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=200)
+    return trace_fingerprint(system)
+
+
+def run_attack(seed):
+    system = SystemBuilder(
+        num_clients=4,
+        seed=seed,
+        server_factory=lambda n, name: SplitBrainServer(
+            n, groups=[{0, 1}, {2, 3}], fork_time=10.0, name=name
+        ),
+    ).build_faust(delta=15.0, probe_check_period=5.0)
+    scripts = generate_scripts(
+        4, WorkloadConfig(ops_per_client=5, mean_think_time=1.0), random.Random(seed)
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=400)
+    return trace_fingerprint(system)
+
+
+class TestDeterminism:
+    def test_ustor_trace_identical(self):
+        assert run_ustor(7) == run_ustor(7)
+
+    def test_faust_trace_identical(self):
+        assert run_faust(7) == run_faust(7)
+
+    def test_attack_trace_identical(self):
+        assert run_attack(7) == run_attack(7)
+
+    def test_different_seeds_differ(self):
+        assert run_faust(7) != run_faust(8)
+
+    def test_notifications_deterministic(self):
+        _m1, notes1, _h1 = run_faust(9)
+        _m2, notes2, _h2 = run_faust(9)
+        assert notes1 == notes2
+        assert any(kind == "stable" for _t, _s, kind, _p in notes1)

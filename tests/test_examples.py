@@ -1,0 +1,50 @@
+"""Every example script must run to completion (its asserts are checks)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout  # every example narrates what it shows
+
+
+def test_quickstart_reports_stability():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert "stable w.r.t. all clients: True" in completed.stdout
+
+
+def test_forking_attack_shows_separation():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "forking_attack.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    out = completed.stdout
+    assert "linearizability" in out and "violated" in out
+    assert "weak fork-linearizability" in out and "HOLDS" in out

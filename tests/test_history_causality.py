@@ -1,0 +1,98 @@
+"""Reads-from and potential causality (the Definition 3 machinery)."""
+
+from __future__ import annotations
+
+from repro.common.types import BOTTOM
+from repro.history.causality import build_causal_structure
+
+from conftest import h, r, w
+
+
+class TestReadsFrom:
+    def test_read_maps_to_unique_writer(self):
+        a = w(0, b"a", 0, 1)
+        b = r(1, 0, b"a", 2, 3)
+        cs = build_causal_structure(h(a, b))
+        assert cs.reads_from == {b.op_id: a.op_id}
+
+    def test_bottom_read_has_no_source(self):
+        b = r(1, 0, BOTTOM, 0, 1)
+        cs = build_causal_structure(h(b))
+        assert cs.reads_from == {}
+        assert not cs.fabricated_reads
+
+    def test_fabricated_read_flagged(self):
+        b = r(1, 0, b"never-written", 0, 1)
+        cs = build_causal_structure(h(b))
+        assert cs.fabricated_reads == [b.op_id]
+
+
+class TestCausalOrder:
+    def test_program_order(self):
+        a = w(0, b"a", 0, 1)
+        b = r(0, 1, BOTTOM, 2, 3)
+        cs = build_causal_structure(h(a, b))
+        assert cs.causally_precedes(a, b)
+        assert not cs.causally_precedes(b, a)
+
+    def test_reads_from_edge(self):
+        a = w(0, b"a", 0, 1)
+        b = r(1, 0, b"a", 2, 3)
+        cs = build_causal_structure(h(a, b))
+        assert cs.causally_precedes(a, b)
+
+    def test_transitivity_across_clients(self):
+        # C1 writes a; C2 reads a then writes b; C3 reads b.
+        # The write of a causally precedes C3's read via C2.
+        a = w(0, b"a", 0, 1)
+        b = r(1, 0, b"a", 2, 3)
+        c = w(1, b"b", 4, 5)
+        d = r(2, 1, b"b", 6, 7)
+        cs = build_causal_structure(h(a, b, c, d))
+        assert cs.causally_precedes(a, d)
+
+    def test_not_reflexive(self):
+        a = w(0, b"a", 0, 1)
+        cs = build_causal_structure(h(a))
+        assert not cs.causally_precedes(a, a)
+
+    def test_concurrent_unrelated_ops(self):
+        a = w(0, b"a", 0, 1)
+        b = w(1, b"b", 0, 1)
+        cs = build_causal_structure(h(a, b))
+        assert not cs.causally_precedes(a, b)
+        assert not cs.causally_precedes(b, a)
+
+    def test_real_time_alone_is_not_causality(self):
+        # Potential causality ignores real-time order between different
+        # clients with no data flow.
+        a = w(0, b"a", 0, 1)
+        b = w(1, b"b", 5, 6)
+        cs = build_causal_structure(h(a, b))
+        assert not cs.causally_precedes(a, b)
+
+    def test_ancestors_and_descendants(self):
+        a = w(0, b"a", 0, 1)
+        b = r(1, 0, b"a", 2, 3)
+        c = w(1, b"b", 4, 5)
+        cs = build_causal_structure(h(a, b, c))
+        assert cs.ancestors(c.op_id) == {a.op_id, b.op_id}
+        assert cs.descendants(a.op_id) == {b.op_id, c.op_id}
+
+    def test_acyclic_in_honest_history(self):
+        ops = [w(0, b"a", 0, 1), r(1, 0, b"a", 2, 3), w(1, b"b", 4, 5)]
+        cs = build_causal_structure(h(*ops))
+        assert not cs.has_cycle()
+
+    def test_cycle_detected_in_pathological_history(self):
+        # A server colluding with value prediction: C1 reads C2's value
+        # before C2 writes it, and vice versa — only possible if causality
+        # is already broken, and has_cycle must say so.
+        r1 = r(0, 1, b"y", 0, 1)
+        w1 = w(0, b"x", 2, 3)
+        r2 = r(1, 0, b"x", 4, 5)
+        w2 = w(1, b"y", 6, 7)
+        cs = build_causal_structure(h(r1, w1, r2, w2))
+        # Edges: w1 -> r2 (reads-from), r2 -> w2 (program), w2 -> r1
+        # (reads-from), r1 -> w1 (program): a cycle.
+        assert cs.has_cycle()

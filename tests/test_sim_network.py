@@ -1,0 +1,181 @@
+"""FIFO channels, latency models, crash filtering, and tracing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ChannelError
+from repro.sim.network import (
+    ExponentialLatency,
+    FixedLatency,
+    Network,
+    UniformLatency,
+    message_kind,
+    message_size,
+)
+from repro.sim.process import Node
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import SimTrace
+
+
+class Recorder(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message, self.now))
+
+
+def make_net(latency=None, seed=0):
+    sched = Scheduler(seed=seed)
+    trace = SimTrace()
+    net = Network(sched, default_latency=latency or FixedLatency(1.0), trace=trace)
+    a, b = Recorder("A"), Recorder("B")
+    net.register(a)
+    net.register(b)
+    return sched, net, a, b, trace
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sched, net, a, b, _ = make_net()
+        a.send("B", "hello")
+        sched.run()
+        assert b.received == [("A", "hello", 1.0)]
+
+    def test_unknown_recipient_rejected(self):
+        _sched, net, a, _b, _ = make_net()
+        with pytest.raises(ChannelError):
+            a.send("Z", "hello")
+
+    def test_unknown_sender_rejected(self):
+        sched, net, _a, _b, _ = make_net()
+        with pytest.raises(ChannelError):
+            net.send("Z", "A", "hello")
+
+    def test_duplicate_name_rejected(self):
+        _sched, net, _a, _b, _ = make_net()
+        with pytest.raises(ChannelError):
+            net.register(Recorder("A"))
+
+    def test_fifo_on_fixed_latency(self):
+        sched, net, a, b, _ = make_net()
+        for i in range(5):
+            a.send("B", i)
+        sched.run()
+        assert [m for _, m, _ in b.received] == [0, 1, 2, 3, 4]
+
+    def test_fifo_under_random_latency(self):
+        sched, net, a, b, _ = make_net(latency=ExponentialLatency(2.0), seed=3)
+        for i in range(50):
+            sched.schedule(float(i) * 0.1, a.send, "B", i)
+        sched.run()
+        assert [m for _, m, _ in b.received] == list(range(50))
+
+    def test_directions_are_independent(self):
+        sched, net, a, b, _ = make_net()
+        net.set_latency("A", "B", FixedLatency(10.0))
+        net.set_latency("B", "A", FixedLatency(1.0))
+        a.send("B", "slow")
+        b.send("A", "fast")
+        sched.run()
+        assert a.received[0][2] == 1.0
+        assert b.received[0][2] == 10.0
+
+    def test_add_delay_slows_link(self):
+        sched, net, a, b, _ = make_net()
+        net.add_delay("A", "B", 5.0)
+        a.send("B", "m")
+        sched.run()
+        assert b.received[0][2] == 6.0
+
+    def test_negative_extra_delay_rejected(self):
+        _sched, net, _a, _b, _ = make_net()
+        with pytest.raises(ChannelError):
+            net.add_delay("A", "B", -1.0)
+
+
+class TestCrash:
+    def test_crashed_node_receives_nothing(self):
+        sched, net, a, b, _ = make_net()
+        b.crash()
+        a.send("B", "m")
+        sched.run()
+        assert b.received == []
+
+    def test_crashed_node_sends_nothing(self):
+        sched, net, a, b, _ = make_net()
+        a.crash()
+        a.send("B", "m")
+        sched.run()
+        assert b.received == []
+
+    def test_crash_mid_flight_drops_delivery(self):
+        sched, net, a, b, _ = make_net()
+        a.send("B", "m")
+        sched.schedule(0.5, b.crash)
+        sched.run()
+        assert b.received == []
+
+
+class TestLatencyModels:
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ChannelError):
+            FixedLatency(-1)
+
+    def test_uniform_bounds(self):
+        sched = Scheduler(seed=1)
+        model = UniformLatency(1.0, 2.0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(sched.rng) <= 2.0
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ChannelError):
+            UniformLatency(2.0, 1.0)
+
+    def test_exponential_positive_and_capped(self):
+        sched = Scheduler(seed=1)
+        model = ExponentialLatency(mean=1.0, cap=3.0)
+        samples = [model.sample(sched.rng) for _ in range(200)]
+        assert all(0 <= s <= 3.0 for s in samples)
+
+    def test_exponential_rejects_bad_params(self):
+        with pytest.raises(ChannelError):
+            ExponentialLatency(0)
+        with pytest.raises(ChannelError):
+            ExponentialLatency(2.0, cap=1.0)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_deterministic_given_seed(self, seed):
+        def run(s):
+            sched, net, a, b, _ = make_net(latency=ExponentialLatency(1.5), seed=s)
+            for i in range(10):
+                a.send("B", i)
+            sched.run()
+            return [t for _, _, t in b.received]
+
+        assert run(seed) == run(seed)
+
+
+class TestTraceIntegration:
+    def test_messages_recorded_with_kind_and_size(self):
+        class Sized:
+            kind = "TEST"
+
+            @staticmethod
+            def wire_size():
+                return 123
+
+        sched, net, a, b, trace = make_net()
+        a.send("B", Sized())
+        sched.run()
+        assert trace.message_count("TEST") == 1
+        assert trace.total_bytes("TEST") == 123
+
+    def test_message_kind_fallback(self):
+        assert message_kind("plain string") == "str"
+        assert message_size("plain string") == 0

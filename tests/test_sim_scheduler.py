@@ -1,0 +1,167 @@
+"""The discrete-event scheduler: ordering, determinism, bounded runs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.scheduler import Scheduler
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(2.0, fired.append, "late")
+        sched.schedule(1.0, fired.append, "early")
+        sched.run()
+        assert fired == ["early", "late"]
+
+    def test_fifo_tie_break(self):
+        sched = Scheduler()
+        fired = []
+        for tag in range(5):
+            sched.schedule(1.0, fired.append, tag)
+        sched.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.schedule(3.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [3.5]
+        assert sched.now == 3.5
+
+    def test_nested_scheduling(self):
+        sched = Scheduler()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sched.schedule(1.0, fired.append, "inner")
+
+        sched.schedule(1.0, outer)
+        sched.run()
+        assert fired == ["outer", "inner"]
+        assert sched.now == 2.0
+
+    def test_zero_delay_runs_at_current_time(self):
+        sched = Scheduler()
+        times = []
+        sched.schedule(5.0, lambda: sched.schedule(0.0, lambda: times.append(sched.now)))
+        sched.run()
+        assert times == [5.0]
+
+
+class TestBounds:
+    def test_run_until_time_bound_inclusive(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(2.0, fired.append, 2)
+        sched.schedule(3.0, fired.append, 3)
+        sched.run(until=2.0)
+        assert fired == [1, 2]
+        assert sched.now == 2.0
+        sched.run()
+        assert fired == [1, 2, 3]
+
+    def test_run_until_advances_clock_to_bound(self):
+        sched = Scheduler()
+        sched.schedule(10.0, lambda: None)
+        sched.run(until=4.0)
+        assert sched.now == 4.0
+
+    def test_max_events(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.schedule(float(i), fired.append, i)
+        assert sched.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_until_predicate(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.schedule(float(i + 1), fired.append, i)
+        assert sched.run_until(lambda: len(fired) >= 4)
+        assert len(fired) == 4
+
+    def test_run_until_predicate_timeout(self):
+        sched = Scheduler()
+        sched.schedule(100.0, lambda: None)
+        assert not sched.run_until(lambda: False, timeout=5.0)
+        assert sched.now == 5.0
+
+    def test_run_until_true_immediately(self):
+        sched = Scheduler()
+        assert sched.run_until(lambda: True)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sched = Scheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sched = Scheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending == 1
+        assert not keep.cancelled
+
+
+class TestErrors:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        sched = Scheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule_at(1.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_rng_is_seeded(self):
+        a = Scheduler(seed=42).rng.random()
+        b = Scheduler(seed=42).rng.random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert Scheduler(seed=1).rng.random() != Scheduler(seed=2).rng.random()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+    def test_any_delay_set_fires_in_order(self, delays):
+        sched = Scheduler()
+        fired = []
+        for delay in delays:
+            sched.schedule(delay, lambda d=delay: fired.append(d))
+        sched.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for i in range(7):
+            sched.schedule(float(i), lambda: None)
+        sched.run()
+        assert sched.events_processed == 7

@@ -1,0 +1,136 @@
+"""Per-line detection coverage: one adversary per check of Algorithm 1."""
+
+from __future__ import annotations
+
+from repro.ustor.byzantine_targeted import (
+    BadReaderVersionServer,
+    FakePendingServer,
+    LaggingReaderVersionServer,
+    SelfEchoServer,
+    StaleReadServer,
+    WrongProofServer,
+)
+from repro.workloads.runner import SystemBuilder
+
+from test_ustor_protocol import run_ops
+
+
+def build(server_factory, n=3, seed=1):
+    return SystemBuilder(num_clients=n, seed=seed, server_factory=server_factory).build()
+
+
+class TestLine41WrongProof:
+    def test_detected_under_concurrency(self):
+        system = build(lambda n, name: WrongProofServer(n, name=name))
+        c0, c1 = system.clients[0], system.clients[1]
+        # C1 commits once (so its digest entry is non-BOTTOM)...
+        done = []
+        c0.write(b"first", done.append)
+        assert system.run_until(lambda: len(done) == 1, timeout=50)
+        # ...then submits again but its COMMIT crawls, so the operation
+        # stays in L while C2 operates.
+        c0.write(b"second", done.append)
+        system.scheduler.schedule(0.1, system.network.add_delay, "C1", "S", 500.0)
+        box = []
+        system.scheduler.schedule(3.0, c1.read, 0, box.append)
+        system.run(until=100)
+        assert c1.failed
+        assert "line 41" in c1.fail_reason
+
+    def test_not_consulted_without_concurrency(self):
+        # Sequential operations never look at P: the corruption is latent.
+        system = build(lambda n, name: WrongProofServer(n, name=name))
+        outcomes = run_ops(system, [(0, "write", b"a"), (1, "read", 0)])
+        assert outcomes[1].value == b"a"
+        assert not any(c.failed for c in system.clients)
+
+
+class TestLine43FakePending:
+    def test_fabricated_tuple_detected(self):
+        system = build(lambda n, name: FakePendingServer(n, ghost_client=2, name=name))
+        box = []
+        system.clients[0].write(b"x", box.append)
+        system.run(until=50)
+        assert system.clients[0].failed
+        assert "line 43" in system.clients[0].fail_reason
+        assert not box
+
+
+class TestLine43SelfEcho:
+    def test_own_operation_as_concurrent_detected(self):
+        # The signature in the echoed tuple is GENUINE; only the k = i
+        # check stands between the server and a double-counted operation.
+        system = build(lambda n, name: SelfEchoServer(n, name=name))
+        box = []
+        system.clients[0].write(b"x", box.append)
+        system.run(until=50)
+        assert system.clients[0].failed
+        assert "line 43" in system.clients[0].fail_reason
+
+
+class TestLine49BadReaderVersion:
+    def test_mangled_writer_version_detected(self):
+        system = build(lambda n, name: BadReaderVersionServer(n, 0, name=name))
+        run_ops(system, [(0, "write", b"v")])
+        box = []
+        system.clients[1].read(0, box.append)
+        system.run(until=50)
+        assert system.clients[1].failed
+        assert "line 49" in system.clients[1].fail_reason
+
+    def test_writes_unaffected(self):
+        system = build(lambda n, name: BadReaderVersionServer(n, 0, name=name))
+        outcomes = run_ops(system, [(0, "write", b"v"), (0, "write", b"w")])
+        assert len(outcomes) == 2 and not system.clients[0].failed
+
+
+class TestLine51StaleRead:
+    def test_authentic_but_stale_value_detected(self):
+        system = build(lambda n, name: StaleReadServer(n, 0, name=name))
+        run_ops(system, [(0, "write", b"old"), (0, "write", b"new")])
+        box = []
+        system.clients[1].read(0, box.append)
+        system.run(until=50)
+        reader = system.clients[1]
+        assert reader.failed
+        # The DATA-signature verified (the value is genuine!); what failed
+        # is freshness.
+        assert "line 51" in reader.fail_reason
+        assert not box
+
+    def test_first_read_before_second_write_is_fine(self):
+        system = build(lambda n, name: StaleReadServer(n, 0, name=name))
+        outcomes = run_ops(system, [(0, "write", b"old"), (1, "read", 0)])
+        assert outcomes[1].value == b"old"
+        assert not system.clients[1].failed
+
+
+class TestLine52LaggingVersion:
+    def test_two_generations_behind_detected(self):
+        system = build(lambda n, name: LaggingReaderVersionServer(n, 0, name=name))
+        run_ops(
+            system,
+            [(0, "write", b"g1"), (0, "write", b"g2"), (0, "write", b"g3")],
+        )
+        box = []
+        system.clients[1].read(0, box.append)
+        system.run(until=50)
+        assert system.clients[1].failed
+        assert "line 52" in system.clients[1].fail_reason
+
+    def test_one_generation_behind_is_legal(self):
+        # V^j[j] = t_j - 1 is explicitly allowed (the COMMIT may be in
+        # flight): a server doing that must NOT be flagged.
+        system = build(lambda n, name: LaggingReaderVersionServer(n, 0, name=name))
+        outcomes = run_ops(system, [(0, "write", b"g1"), (0, "write", b"g2"), (1, "read", 0)])
+        assert outcomes[2].value == b"g2"
+        assert not system.clients[1].failed
+
+
+class TestDetectionMatrixSummary:
+    def test_every_line_has_an_adversary(self):
+        """Documents the full coverage map (see module docstring)."""
+        covered_lines = {35, 36, 41, 43, 49, 50, 51, 52}
+        # Lines 35/36/50 are covered in test_ustor_byzantine.py; the rest
+        # here.  This test pins the intent: extend it when adding checks.
+        assert covered_lines == {35, 36, 41, 43, 49, 50, 51, 52}

@@ -1,0 +1,134 @@
+"""Wire-size model of the protocol messages (the basis of E4)."""
+
+from __future__ import annotations
+
+from repro.common.types import BOTTOM, OpKind
+from repro.crypto.hashing import HASH_BYTES
+from repro.crypto.signatures import SIGNATURE_BYTES
+from repro.ustor.messages import (
+    CommitMessage,
+    InvocationTuple,
+    MemEntry,
+    ReplyMessage,
+    SignedVersion,
+    SubmitMessage,
+    version_wire_size,
+)
+from repro.ustor.version import Version
+
+SIG = b"\x01" * SIGNATURE_BYTES
+DIGEST = b"\x02" * HASH_BYTES
+
+
+def make_version(n: int, filled: int | None = None) -> Version:
+    filled = n if filled is None else filled
+    return Version(
+        tuple(1 if i < filled else 0 for i in range(n)),
+        tuple(DIGEST if i < filled else None for i in range(n)),
+    )
+
+
+def invocation() -> InvocationTuple:
+    return InvocationTuple(client=0, opcode=OpKind.WRITE, register=0, submit_sig=SIG)
+
+
+class TestVersionSize:
+    def test_linear_in_population(self):
+        small = version_wire_size(make_version(4))
+        large = version_wire_size(make_version(8))
+        assert large == 2 * small
+
+    def test_empty_digests_cost_one_byte(self):
+        full = version_wire_size(make_version(4, filled=4))
+        empty = version_wire_size(make_version(4, filled=0))
+        assert full - empty == 4 * (HASH_BYTES - 1)
+
+    def test_signed_version_adds_signature(self):
+        version = make_version(4)
+        signed = SignedVersion(version=version, commit_sig=SIG)
+        assert signed.wire_size() == version_wire_size(version) + SIGNATURE_BYTES
+
+    def test_zero_signed_version_marker(self):
+        signed = SignedVersion.zero(4)
+        assert signed.wire_size() == version_wire_size(Version.zero(4)) + 1
+
+
+class TestSubmitSize:
+    def test_write_carries_value(self):
+        base = SubmitMessage(
+            timestamp=1, invocation=invocation(), value=b"x" * 100, data_sig=SIG
+        )
+        empty = SubmitMessage(
+            timestamp=1, invocation=invocation(), value=None, data_sig=SIG
+        )
+        assert base.wire_size() - empty.wire_size() == 99  # marker byte vs 100
+
+    def test_piggyback_adds_commit_size(self):
+        commit = CommitMessage(version=make_version(4), commit_sig=SIG, proof_sig=SIG)
+        plain = SubmitMessage(
+            timestamp=1, invocation=invocation(), value=None, data_sig=SIG
+        )
+        stuffed = SubmitMessage(
+            timestamp=1,
+            invocation=invocation(),
+            value=None,
+            data_sig=SIG,
+            piggyback=commit,
+        )
+        assert stuffed.wire_size() == plain.wire_size() + commit.wire_size()
+
+    def test_submit_size_independent_of_population(self):
+        # SUBMIT carries no vectors: O(1) in n.
+        assert (
+            SubmitMessage(1, invocation(), None, SIG).wire_size()
+            == SubmitMessage(1, invocation(), None, SIG).wire_size()
+        )
+
+
+class TestReplySize:
+    def _reply(self, n: int, pending: int = 0, read: bool = False) -> ReplyMessage:
+        return ReplyMessage(
+            commit_index=0,
+            last_version=SignedVersion(make_version(n), SIG),
+            pending=tuple(invocation() for _ in range(pending)),
+            proofs=tuple(SIG for _ in range(n)),
+            reader_version=SignedVersion(make_version(n), SIG) if read else None,
+            mem=MemEntry(1, b"v" * 10, SIG) if read else None,
+        )
+
+    def test_linear_in_population(self):
+        small = self._reply(4).wire_size()
+        large = self._reply(8).wire_size()
+        # V (8B/entry) + M (32B/entry) + P (64B/entry).
+        assert large - small == 4 * (8 + HASH_BYTES + SIGNATURE_BYTES)
+
+    def test_pending_entries_additive(self):
+        base = self._reply(4).wire_size()
+        plus2 = self._reply(4, pending=2).wire_size()
+        assert plus2 == base + 2 * invocation().wire_size()
+
+    def test_read_reply_larger_than_write_reply(self):
+        write_reply = self._reply(4, read=False).wire_size()
+        read_reply = self._reply(4, read=True).wire_size()
+        assert read_reply > write_reply
+
+    def test_bottom_mem_entry_is_small(self):
+        empty = MemEntry.initial()
+        assert empty.wire_size() < MemEntry(1, b"v" * 100, SIG).wire_size()
+
+
+class TestCommitSize:
+    def test_commit_is_version_plus_two_signatures(self):
+        version = make_version(6)
+        commit = CommitMessage(version=version, commit_sig=SIG, proof_sig=SIG)
+        assert (
+            commit.wire_size()
+            == 1 + version_wire_size(version) + 2 * SIGNATURE_BYTES
+        )
+
+    def test_kinds(self):
+        assert SubmitMessage(1, invocation(), None, SIG).kind == "SUBMIT"
+        assert CommitMessage(make_version(2), SIG, SIG).kind == "COMMIT"
+        assert (
+            ReplyMessage(0, SignedVersion.zero(2), (), (None, None)).kind == "REPLY"
+        )

@@ -1,0 +1,152 @@
+"""Algorithm 2 state machine unit tests (apply_submit / apply_commit)."""
+
+from __future__ import annotations
+
+from repro.common.types import BOTTOM, OpKind
+from repro.crypto.keystore import KeyStore
+from repro.ustor.messages import (
+    CommitMessage,
+    InvocationTuple,
+    SubmitMessage,
+)
+from repro.ustor.server import ServerState, apply_commit, apply_submit
+from repro.ustor.version import Version
+
+STORE = KeyStore(3, scheme="hmac")
+
+
+def submit(client, kind, register, t, value=None):
+    signer = STORE.signer(client)
+    return SubmitMessage(
+        timestamp=t,
+        invocation=InvocationTuple(
+            client=client,
+            opcode=kind,
+            register=register,
+            submit_sig=signer.sign("SUBMIT", kind, register, t),
+        ),
+        value=value,
+        data_sig=signer.sign("DATA", t, b"h"),
+    )
+
+
+def commit(client, vector, digests=None):
+    signer = STORE.signer(client)
+    version = Version(
+        tuple(vector),
+        tuple(digests) if digests else tuple(b"d%d" % v if v else None for v in vector),
+    )
+    return CommitMessage(
+        version=version,
+        commit_sig=signer.sign("COMMIT", version.vector, version.digests),
+        proof_sig=signer.sign("PROOF", version.digests[client]),
+    )
+
+
+class TestApplySubmit:
+    def test_write_stores_value(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        assert state.mem[0].value == b"v"
+        assert state.mem[0].timestamp == 1
+
+    def test_read_keeps_value_updates_timestamp(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        apply_submit(state, submit(0, OpKind.READ, 1, 2))
+        assert state.mem[0].value == b"v"  # value untouched
+        assert state.mem[0].timestamp == 2  # timestamp refreshed
+
+    def test_reply_excludes_own_invocation(self):
+        state = ServerState.initial(3)
+        reply = apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        assert reply.pending == ()
+        assert [t.client for t in state.pending] == [0]
+
+    def test_pending_accumulates_in_schedule_order(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        reply = apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        assert [t.client for t in reply.pending] == [0]
+        assert [t.client for t in state.pending] == [0, 1]
+
+    def test_read_reply_carries_register_payload(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        reply = apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        assert reply.mem is not None and reply.mem.value == b"v"
+        assert reply.reader_version is not None
+
+    def test_write_reply_has_no_register_payload(self):
+        state = ServerState.initial(3)
+        reply = apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        assert reply.mem is None and reply.reader_version is None
+
+    def test_read_own_register_sees_refreshed_timestamp(self):
+        state = ServerState.initial(2)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        reply = apply_submit(state, submit(0, OpKind.READ, 0, 2))
+        # MEM[i] is updated before MEM[j] is read (lines 109-111), and
+        # i == j here, so the reply carries the read's own timestamp.
+        assert reply.mem is not None and reply.mem.timestamp == 2
+        assert reply.mem.value == b"v"
+
+    def test_never_written_register_reads_bottom(self):
+        state = ServerState.initial(2)
+        reply = apply_submit(state, submit(0, OpKind.READ, 1, 1))
+        assert reply.mem is not None
+        assert reply.mem.value is BOTTOM and reply.mem.timestamp == 0
+
+
+class TestApplyCommit:
+    def test_commit_updates_sver_and_proofs(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        message = commit(0, [1, 0, 0])
+        apply_commit(state, 0, message)
+        assert state.sver[0].version == message.version
+        assert state.proofs[0] == message.proof_sig
+
+    def test_dominating_commit_moves_index_and_prunes(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        apply_commit(state, 0, commit(0, [1, 0, 0]))
+        assert state.commit_index == 0
+        assert [t.client for t in state.pending] == [1]
+        apply_commit(state, 1, commit(1, [1, 1, 0]))
+        assert state.commit_index == 1
+        assert state.pending == []
+
+    def test_stale_commit_does_not_regress_index(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        # The later-scheduled op's commit arrives first.
+        apply_commit(state, 1, commit(1, [1, 1, 0]))
+        assert state.commit_index == 1
+        # Now the earlier op's commit arrives: no domination, index stays.
+        apply_commit(state, 0, commit(0, [1, 0, 0]))
+        assert state.commit_index == 1
+        assert state.sver[0].version.vector == (1, 0, 0)
+
+    def test_prune_removes_all_preceding_tuples(self):
+        state = ServerState.initial(3)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        apply_submit(state, submit(2, OpKind.READ, 0, 1))
+        apply_commit(state, 1, commit(1, [1, 1, 0]))
+        # C2's tuple and everything before it (C1's) are gone; C3 remains.
+        assert [t.client for t in state.pending] == [2]
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        state = ServerState.initial(2)
+        apply_submit(state, submit(0, OpKind.WRITE, 0, 1, b"v"))
+        snapshot = state.clone()
+        apply_submit(state, submit(1, OpKind.READ, 0, 1))
+        apply_commit(state, 0, commit(0, [1, 0]))
+        assert snapshot.pending != state.pending
+        assert snapshot.sver[0].version.is_zero
+        assert snapshot.mem[0].value == b"v"  # shared immutable entry is fine

@@ -1,0 +1,204 @@
+"""Versions (Definition 7) and the digest chain."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.ustor.digests import EMPTY_DIGEST, digest_of_sequence, extend_digest
+from repro.ustor.version import Version, max_version
+
+
+def v(vector, digests=None):
+    if digests is None:
+        digests = tuple(
+            digest_of_sequence(range(t)) if t else None for t in vector
+        )
+    return Version(tuple(vector), tuple(digests))
+
+
+class TestVersionBasics:
+    def test_zero(self):
+        z = Version.zero(3)
+        assert z.is_zero and z.vector == (0, 0, 0) and z.digests == (None,) * 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            Version((0, 0), (None,))
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ProtocolError):
+            Version((-1,), (None,))
+
+    def test_total_operations(self):
+        assert v([2, 3]).total_operations() == 5
+
+    def test_timestamp_of(self):
+        assert v([2, 3]).timestamp_of(1) == 3
+
+
+class TestDefinition7Order:
+    def test_zero_below_everything_honest(self):
+        z = Version.zero(2)
+        other = v([1, 2])
+        assert z.le(other)
+        assert not other.le(z)
+
+    def test_vector_dominance_required(self):
+        assert not v([2, 0]).le(v([1, 5]))
+
+    def test_equal_entries_need_equal_digests(self):
+        d1 = extend_digest(None, 0)
+        d2 = extend_digest(extend_digest(None, 1), 0)
+        a = Version((1, 0), (d1, None))
+        b = Version((1, 1), (d2, extend_digest(None, 1)))
+        # a.vector <= b.vector but digests differ at the equal entry 0.
+        assert not a.le(b)
+
+    def test_le_with_digest_agreement(self):
+        d1 = extend_digest(None, 0)
+        a = Version((1, 0), (d1, None))
+        b = Version((1, 1), (d1, extend_digest(d1, 1)))
+        assert a.le(b)
+        assert a.lt(b)
+        assert a.comparable(b)
+
+    def test_incomparable_divergent_versions(self):
+        a = v([2, 0])
+        b = v([0, 2])
+        assert not a.comparable(b)
+
+    def test_le_is_reflexive(self):
+        a = v([1, 2])
+        assert a.le(a) and not a.lt(a)
+
+    def test_population_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            v([1]).le(v([1, 2]))
+
+    def test_dominates_vector(self):
+        assert v([1, 1]).dominates_vector(v([1, 0]))
+        assert not v([1, 0]).dominates_vector(v([1, 0]))
+        assert not v([1, 0]).dominates_vector(v([0, 1]))
+
+
+class TestMaxVersion:
+    def test_max_of_chain(self):
+        d1 = extend_digest(None, 0)
+        a = Version((1, 0), (d1, None))
+        b = Version((1, 1), (d1, extend_digest(d1, 1)))
+        assert max_version(a, b) is b
+        assert max_version(b, a) is b
+
+    def test_incomparable_raises(self):
+        with pytest.raises(ProtocolError):
+            max_version(v([2, 0]), v([0, 2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            max_version()
+
+
+# Versions built as honest prefixes of one long schedule: the digests are
+# the protocol's actual representation, so prefix-versions must be chained.
+def _prefix_version(schedule, length, num_clients):
+    vector = [0] * num_clients
+    digests = [None] * num_clients
+    digest = None
+    for client in schedule[:length]:
+        vector[client] += 1
+        digest = extend_digest(digest, client)
+        digests[client] = digest
+    return Version(tuple(vector), tuple(digests))
+
+
+class TestPrefixCorrespondence:
+    """Definition 7's order mirrors the prefix relation on view histories."""
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=0, max_size=10),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_prefixes_are_ordered(self, schedule, i, j):
+        i, j = min(i, len(schedule)), min(j, len(schedule))
+        a = _prefix_version(schedule, i, 3)
+        b = _prefix_version(schedule, j, 3)
+        if i <= j:
+            assert a.le(b)
+        else:
+            assert b.le(a)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=8),
+    )
+    def test_prefix_schedules_always_comparable(self, left, right):
+        full_left = _prefix_version(left, len(left), 2)
+        full_right = _prefix_version(right, len(right), 2)
+        if left == right[: len(left)]:
+            assert full_left.le(full_right)
+        elif right == left[: len(right)]:
+            assert full_right.le(full_left)
+
+    def test_forked_schedules_incomparable(self):
+        # The canonical fork: the server shows C1's op first to one branch
+        # and C2's op first to the other.  Same operation *counts*, but the
+        # digests disagree at equal vector entries — incomparable, which is
+        # exactly the evidence FAUST relies on.
+        branch_a = _prefix_version([0, 1], 2, 2)
+        branch_b = _prefix_version([1, 0], 2, 2)
+        assert branch_a.vector == branch_b.vector
+        assert not branch_a.comparable(branch_b)
+
+    def test_diverging_suffixes_incomparable(self):
+        common = [0, 1]
+        branch_a = _prefix_version(common + [0, 0], 4, 2)  # C1 keeps going
+        branch_b = _prefix_version(common + [1, 1], 4, 2)  # C2 keeps going
+        assert not branch_a.comparable(branch_b)
+        # Both still extend the common prefix.
+        base = _prefix_version(common, 2, 2)
+        assert base.le(branch_a) and base.le(branch_b)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2), min_size=0, max_size=9),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_transitivity_on_protocol_versions(self, schedule, i, j, k):
+        lengths = sorted(min(x, len(schedule)) for x in (i, j, k))
+        a = _prefix_version(schedule, lengths[0], 3)
+        b = _prefix_version(schedule, lengths[1], 3)
+        c = _prefix_version(schedule, lengths[2], 3)
+        assert a.le(b) and b.le(c)
+        assert a.le(c)
+
+
+class TestDigestChain:
+    def test_empty_digest(self):
+        assert digest_of_sequence([]) is EMPTY_DIGEST is None
+
+    def test_extension_matches_sequence(self):
+        d = digest_of_sequence([0, 1, 2])
+        assert d == extend_digest(extend_digest(extend_digest(None, 0), 1), 2)
+
+    def test_order_sensitivity(self):
+        assert digest_of_sequence([0, 1]) != digest_of_sequence([1, 0])
+
+    def test_length_sensitivity(self):
+        assert digest_of_sequence([0]) != digest_of_sequence([0, 0])
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), max_size=12),
+        st.lists(st.integers(min_value=0, max_value=5), max_size=12),
+    )
+    def test_injective_on_samples(self, a, b):
+        if a != b:
+            assert digest_of_sequence(a) != digest_of_sequence(b)

@@ -1,0 +1,147 @@
+"""Workload generation, the driver, the FaustService facade, scenarios."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import BOTTOM, OpKind
+from repro.faust.service import FaustService, OperationFailed
+from repro.workloads.generator import (
+    Driver,
+    WorkloadConfig,
+    generate_scripts,
+    unique_value,
+)
+from repro.workloads.runner import SystemBuilder
+from repro.workloads.scenarios import figure3_scenario, split_brain_scenario
+
+
+class TestWorkloadGenerator:
+    def test_unique_values_are_unique(self):
+        values = {unique_value(c, s, 32) for c in range(5) for s in range(50)}
+        assert len(values) == 250
+
+    def test_unique_value_size(self):
+        assert len(unique_value(0, 1, 32)) == 32
+        assert len(unique_value(0, 1, 4)) >= 4  # stem may exceed tiny sizes
+
+    def test_scripts_respect_counts(self):
+        scripts = generate_scripts(3, WorkloadConfig(ops_per_client=7), random.Random(1))
+        assert all(len(s) == 7 for s in scripts.values())
+
+    def test_read_fraction_extremes(self):
+        all_reads = generate_scripts(
+            2, WorkloadConfig(ops_per_client=20, read_fraction=1.0), random.Random(1)
+        )
+        assert all(op.kind is OpKind.READ for s in all_reads.values() for op in s)
+        all_writes = generate_scripts(
+            2, WorkloadConfig(ops_per_client=20, read_fraction=0.0), random.Random(1)
+        )
+        assert all(op.kind is OpKind.WRITE for s in all_writes.values() for op in s)
+
+    def test_writes_target_own_register(self):
+        scripts = generate_scripts(
+            3, WorkloadConfig(ops_per_client=20, read_fraction=0.3), random.Random(2)
+        )
+        for client, script in scripts.items():
+            for op in script:
+                if op.kind is OpKind.WRITE:
+                    assert op.register == client
+
+    def test_silent_clients(self):
+        scripts = generate_scripts(
+            3,
+            WorkloadConfig(ops_per_client=5, silent_clients=frozenset({1})),
+            random.Random(3),
+        )
+        assert scripts[1] == [] and len(scripts[0]) == 5
+
+    def test_deterministic_given_seed(self):
+        a = generate_scripts(2, WorkloadConfig(ops_per_client=9), random.Random(4))
+        b = generate_scripts(2, WorkloadConfig(ops_per_client=9), random.Random(4))
+        assert a == b
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(read_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(ops_per_client=-1)
+
+
+class TestDriver:
+    def test_completion_fraction(self):
+        system = SystemBuilder(num_clients=2, seed=1).build()
+        scripts = generate_scripts(2, WorkloadConfig(ops_per_client=4), random.Random(1))
+        driver = Driver(system)
+        driver.attach_all(scripts)
+        assert driver.run_to_completion()
+        assert driver.completion_fraction() == 1.0
+        assert driver.stats.total_completed() == 8
+
+    def test_crashed_client_stops_mid_script(self):
+        system = SystemBuilder(num_clients=2, seed=2).build()
+        scripts = generate_scripts(
+            2, WorkloadConfig(ops_per_client=10, mean_think_time=1.0), random.Random(2)
+        )
+        driver = Driver(system)
+        driver.attach_all(scripts)
+        system.crash_client_at(0, time=5.0)
+        system.run(until=1_000)
+        assert driver.stats.completed[1] == 10
+        assert driver.stats.completed[0] < 10
+
+    def test_empty_script_counts_done(self):
+        system = SystemBuilder(num_clients=1, seed=3).build()
+        driver = Driver(system)
+        driver.attach(0, [])
+        assert driver.stats.all_done()
+        assert driver.completion_fraction() == 1.0
+
+
+class TestFaustService:
+    def test_write_read_roundtrip(self):
+        system = SystemBuilder(num_clients=2, seed=5).build_faust()
+        alice = FaustService(system, 0)
+        bob = FaustService(system, 1)
+        t = alice.write(b"hello")
+        assert t >= 1
+        value, _t2 = bob.read(0)
+        assert value == b"hello"
+
+    def test_read_unwritten_register(self):
+        system = SystemBuilder(num_clients=2, seed=5).build_faust()
+        value, _t = FaustService(system, 0).read(1)
+        assert value is BOTTOM
+
+    def test_wait_for_stability(self):
+        system = SystemBuilder(num_clients=2, seed=6).build_faust(dummy_read_period=2.0)
+        alice = FaustService(system, 0)
+        t = alice.write(b"document")
+        assert alice.wait_for_stability(t, timeout=2_000)
+        assert min(alice.stability_cut) >= t
+
+    def test_operation_failed_surface(self):
+        from repro.ustor.byzantine import TamperingServer
+
+        system = SystemBuilder(
+            num_clients=2,
+            seed=7,
+            server_factory=lambda n, name: TamperingServer(n, 0, name=name),
+        ).build_faust()
+        FaustService(system, 0).write(b"genuine")
+        with pytest.raises(OperationFailed):
+            FaustService(system, 1).read(0)
+
+
+class TestScenarios:
+    def test_figure3_deterministic(self):
+        a = figure3_scenario(seed=3)
+        b = figure3_scenario(seed=3)
+        assert [op.describe() for op in a.history] == [op.describe() for op in b.history]
+
+    def test_split_brain_without_faust_is_silent(self):
+        result = split_brain_scenario(num_clients=4, seed=99, faust=False, run_for=300.0)
+        assert not any(getattr(c, "failed", False) for c in result.system.clients)
