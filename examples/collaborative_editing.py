@@ -26,7 +26,7 @@ from repro.workloads.scenarios import figure2_scenario
 def main() -> None:
     print("Day phase: Alice edits, Bob follows, Carlos sleeps after 3 edits.")
     result = figure2_scenario(include_carlos_return=True)
-    alice, bob, carlos = result.system.clients
+    system = result.system
 
     print("\nAlice's stability notifications (before Carlos returns):")
     for cut in result.alice_cuts:
@@ -37,16 +37,26 @@ def main() -> None:
 
     assert result.reproduced, "the Figure 2 cut must be reproduced exactly"
 
-    print("\nNight phase: Carlos returned; background exchange resumed.")
-    system = result.system
-    system.run_until(
-        lambda: alice.tracker.stable_timestamp_for_all() >= 10, timeout=3_000
-    )
-    for client in (alice, bob, carlos):
-        cut = client.tracker.stability_cut()
-        print(f"  {client.name}: final cut {list(cut)}  failed={client.faust_failed}")
+    # The same notifications, as typed events off the system's hub —
+    # every stable_i(W) of every client, in global emission order.
+    alice_events = [
+        e for e in system.notifications.stability_events() if e.client == 0
+    ]
+    assert (10, 8, 3) in [e.cut for e in alice_events]
 
-    assert alice.tracker.stable_timestamp_for_all() >= 10
+    print("\nNight phase: Carlos returned; background exchange resumed.")
+    alice = system.session(0)
+    system.run_until(
+        lambda: alice.client.tracker.stable_timestamp_for_all() >= 10, timeout=3_000
+    )
+    for session in system.sessions():
+        cut = session.stability_cut
+        print(
+            f"  {session.client.name}: final cut {list(cut)}  "
+            f"failed={session.failed}"
+        )
+
+    assert alice.client.tracker.stable_timestamp_for_all() >= 10
     print("\nAll of Alice's day-phase operations are now stable at all clients.")
 
 

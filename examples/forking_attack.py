@@ -16,6 +16,7 @@ offline channel, both output ``fail``.
 Run:  python examples/forking_attack.py
 """
 
+from repro.api import FailureNotification
 from repro.consistency.causal import check_causal_consistency
 from repro.consistency.fork import check_fork_linearizability_exhaustive
 from repro.consistency.linearizability import check_linearizability
@@ -49,13 +50,12 @@ def main() -> None:
     print("\nPhase 2: the same attack, against FAUST clients with probing")
     faust = figure3_scenario(faust=True)
     system = faust.system
+    alerts = system.notifications.subscribe(kinds=FailureNotification)
     system.run(until=system.now + 400)
-    for client in system.clients:
-        print(
-            f"  {client.name}: fail={client.faust_failed}"
-            + (f"  ({client.faust_fail_reason})" if client.faust_failed else "")
-        )
+    for event in alerts.events:
+        print(f"  t={event.time:5.1f}  fail_C{event.client + 1}: {event.reason}")
     assert all(c.faust_failed for c in system.clients)
+    assert {e.client for e in alerts.events} == {0, 1}
     print("\nThe offline version exchange turned an undetectable fork into")
     print("accurate, complete failure notifications at every client.")
 

@@ -2,35 +2,42 @@
 """Quickstart: a fail-aware untrusted storage service in ~40 lines.
 
 Three clients share n SWMR registers through a simulated (correct) server.
-The fail-aware layer returns a timestamp with every operation, emits
-``stable`` notifications as consistency is established across clients, and
-would emit ``fail`` if the server misbehaved.
+The unified ``repro.api`` facade opens the system on the FAUST backend:
+per-client sessions return a timestamp with every operation, the
+notification hub delivers typed ``stable`` events as consistency is
+established across clients, and would deliver ``fail`` events if the
+server misbehaved.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.faust.service import FaustService
-from repro.workloads.runner import SystemBuilder
+from repro.api import FaustBackend, FaustParams, StabilityNotification, SystemConfig
 
 
 def main() -> None:
     # Build a world: deterministic scheduler, FIFO network, offline
     # channel, correct server, three FAUST clients with background
     # version propagation enabled.
-    system = SystemBuilder(num_clients=3, seed=42).build_faust(dummy_read_period=3.0)
-    alice = FaustService(system, 0)
-    bob = FaustService(system, 1)
+    system = FaustBackend().open_system(
+        SystemConfig(num_clients=3, seed=42, faust=FaustParams(dummy_read_period=3.0))
+    )
+    alice = system.session(0)
+    bob = system.session(1)
+
+    # Watch the fail-aware layer's output actions as typed events.
+    subscription = system.notifications.subscribe()
 
     # Alice writes her register; the response carries a timestamp.
-    t1 = alice.write(b"design-doc v1")
+    t1 = alice.write_sync(b"design-doc v1")
     print(f"alice wrote v1           -> timestamp {t1}")
 
-    # Bob reads Alice's register.
-    value, t_bob = bob.read(0)
-    print(f"bob read register X1     -> {value!r} (bob's timestamp {t_bob})")
+    # Bob reads Alice's register — as a future this time.
+    result = bob.read(0).result()
+    print(f"bob read register X1     -> {result.value!r} "
+          f"(bob's timestamp {result.timestamp})")
 
     # Alice keeps editing.
-    t2 = alice.write(b"design-doc v2")
+    t2 = alice.write_sync(b"design-doc v2")
     print(f"alice wrote v2           -> timestamp {t2}")
 
     # Wait until Alice's v2 write is STABLE w.r.t. every client: from here
@@ -39,9 +46,11 @@ def main() -> None:
     print(f"alice's v2 stable w.r.t. all clients: {stable}")
     print(f"alice's stability cut W = {list(alice.stability_cut)}")
 
-    # Nothing went wrong, so no fail notifications fired.
+    # Nothing went wrong, so only stability notifications fired.
+    events = subscription.events
+    assert events and all(isinstance(e, StabilityNotification) for e in events)
     assert not alice.failed and not bob.failed
-    print("no failure notifications — the server behaved. all done.")
+    print(f"{len(events)} stable notifications, no failures — the server behaved.")
 
 
 if __name__ == "__main__":

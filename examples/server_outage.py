@@ -15,54 +15,61 @@ Byzantine evidence.
 Run:  python examples/server_outage.py
 """
 
+from repro.api import (
+    FaustBackend,
+    FaustParams,
+    OperationTimeout,
+    SystemConfig,
+)
 from repro.ustor.byzantine import CrashingServer
-from repro.workloads.runner import SystemBuilder
 
 
 def main() -> None:
     # The server will crash after serving exactly two SUBMITs — Alice's
     # write and Bob's read both complete, then the lights go out.
-    system = SystemBuilder(
-        num_clients=2,
-        seed=33,
-        server_factory=lambda n, name: CrashingServer(n, crash_after_submits=2, name=name),
-    ).build_faust(
-        dummy_read_period=1_000.0,  # isolate the offline path
-        probe_check_period=3.0,
-        delta=10.0,
+    system = FaustBackend().open_system(
+        SystemConfig(
+            num_clients=2,
+            seed=33,
+            server_factory=lambda n, name: CrashingServer(
+                n, crash_after_submits=2, name=name
+            ),
+            faust=FaustParams(
+                dummy_read_period=1_000.0,  # isolate the offline path
+                probe_check_period=3.0,
+                delta=10.0,
+            ),
+        )
     )
-    alice, bob = system.clients
+    alice, bob = system.session(0), system.session(1)
 
-    done = []
-    alice.write(b"final-report.pdf", done.append)
-    system.run_until(lambda: len(done) == 1, timeout=100)
-    bob.read(0, done.append)
-    system.run_until(lambda: len(done) == 2, timeout=100)
-    print(f"alice wrote her report (t={done[0].timestamp}); bob read it: "
-          f"{done[1].value!r}")
+    write = alice.write(b"final-report.pdf").result(timeout=100)
+    read = bob.read(0).result(timeout=100)
+    print(f"alice wrote her report (t={write.timestamp}); bob read it: "
+          f"{read.value!r}")
 
     print("\n... the provider goes down (next request kills it) ...")
     system.run(until=system.now + 60)
 
-    t = done[0].timestamp
+    t = write.timestamp
     print(f"\nwaiting for alice's write (t={t}) to become stable w.r.t. bob,")
     print("with the server dead — only PROBE/VERSION exchange can do it:")
     reached = system.run_until(
-        lambda: alice.tracker.stable_timestamp_for(1) >= t, timeout=2_000
+        lambda: alice.client.tracker.stable_timestamp_for(1) >= t, timeout=2_000
     )
     print(f"  stable w.r.t. bob: {reached}")
-    print(f"  alice's stability cut: {list(alice.tracker.stability_cut())}")
+    print(f"  alice's stability cut: {list(alice.stability_cut)}")
 
     print("\nmeanwhile, a new operation hangs (wait-freedom needs a correct server):")
-    box = []
+    handle = alice.write(b"new-draft")
     try:
-        alice.write(b"new-draft", box.append)
-    except Exception as exc:  # the client may have halted ops — not here
+        handle.result(timeout=200)
+    except OperationTimeout as exc:
         print(f"  {exc}")
-    system.run(until=system.now + 200)
-    print(f"  new write completed: {bool(box)} (expected: False)")
+    print(f"  new write completed: {handle.done()} (expected: False)")
 
     print("\nand nobody cried wolf — a crash is not provable misbehaviour:")
+    assert not system.notifications.failure_events()
     for client in system.clients:
         print(f"  {client.name}: fail raised = {client.faust_failed}")
     assert reached and not any(c.faust_failed for c in system.clients)

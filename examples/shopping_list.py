@@ -6,19 +6,22 @@ the :class:`repro.apps.kvstore.KvStore` composition on top: every client
 appends updates to its own register, readers merge all logs in Lamport
 order.  The map inherits the storage guarantees — and when the same
 deployment is pointed at a forking server, the divergence both *shows up
-in the application state* and is *detected* by the fail-aware layer.
+in the application state* and is *detected* by the fail-aware layer,
+delivered here as typed failure notifications.
 
 Run:  python examples/shopping_list.py
 """
 
+from repro.api import FailureNotification, FaustBackend, FaustParams, SystemConfig
 from repro.apps.kvstore import KvStore
 from repro.ustor.byzantine import SplitBrainServer
-from repro.workloads.runner import SystemBuilder
 
 
 def honest_session() -> None:
     print("=== Honest provider ===")
-    system = SystemBuilder(num_clients=3, seed=21).build_faust(dummy_read_period=3.0)
+    system = FaustBackend().open_system(
+        SystemConfig(num_clients=3, seed=21, faust=FaustParams(dummy_read_period=3.0))
+    )
     alice, bob, carol = (KvStore(system, i) for i in range(3))
 
     alice.put("milk", "2 bottles")
@@ -40,13 +43,19 @@ def honest_session() -> None:
 
 def forked_session() -> None:
     print("\n=== Forking provider (split brain) ===")
-    system = SystemBuilder(
-        num_clients=2,
-        seed=22,
-        server_factory=lambda n, name: SplitBrainServer(
-            n, groups=[{0}, {1}], fork_time=0.0, name=name
-        ),
-    ).build_faust(dummy_read_period=5.0, probe_check_period=4.0, delta=15.0)
+    system = FaustBackend().open_system(
+        SystemConfig(
+            num_clients=2,
+            seed=22,
+            server_factory=lambda n, name: SplitBrainServer(
+                n, groups=[{0}, {1}], fork_time=0.0, name=name
+            ),
+            faust=FaustParams(
+                dummy_read_period=5.0, probe_check_period=4.0, delta=15.0
+            ),
+        )
+    )
+    alerts = system.notifications.subscribe(kinds=FailureNotification)
     alice, bob = KvStore(system, 0), KvStore(system, 1)
 
     alice.put("party", "saturday")
@@ -60,6 +69,7 @@ def forked_session() -> None:
         status = "FAIL raised" if client.faust_failed else "no detection"
         print(f"  {client.name}: {status}")
     assert all(c.faust_failed for c in system.clients)
+    assert {e.client for e in alerts.events} == {0, 1}
     print("  offline probing exposed the fork at both clients.")
 
 

@@ -13,31 +13,38 @@ operation (before acknowledging the server's reply).
   fork-linearizability: no fork-linearizable storage protocol can be
   wait-free.
 
+Both protocols run through the same ``repro.api`` surface — only the
+backend (and with it, the guarantee) changes.
+
 Run:  python examples/wait_freedom.py
 """
 
-from repro.baselines.lockstep import build_lockstep_system
+from repro.api import LockstepBackend, SystemConfig, UstorBackend
 from repro.sim.network import FixedLatency
-from repro.workloads.runner import SystemBuilder
 
 
 def crash_scenario(system, label: str) -> None:
-    clients = system.clients
     print(f"\n=== {label} ===")
 
     # C1 submits a write and crashes before it can acknowledge the reply.
-    clients[0].write(b"doomed-operation", lambda outcome: None)
-    system.scheduler.schedule(1.5, clients[0].crash)
+    doomed = system.session(0).write(b"doomed-operation")
+    system.scheduler.schedule(1.5, system.clients[0].crash)
     print("  t=0.0  C1 submits write; t=1.5 C1 crashes (reply lands at t=2)")
 
     # Later, the surviving clients try to work.
     completions = []
-    system.scheduler.schedule(
-        5.0, clients[1].write, b"from-C2", lambda o: completions.append(("C2", system.now))
-    )
-    system.scheduler.schedule(
-        5.0, clients[2].read, 1, lambda o: completions.append(("C3", system.now))
-    )
+
+    def submit(client_id: int, tag: str, value_or_register) -> None:
+        session = system.session(client_id)
+        handle = (
+            session.write(value_or_register)
+            if isinstance(value_or_register, bytes)
+            else session.read(value_or_register)
+        )
+        handle.add_done_callback(lambda _h: completions.append((tag, system.now)))
+
+    system.scheduler.schedule(5.0, submit, 1, "C2", b"from-C2")
+    system.scheduler.schedule(5.0, submit, 2, "C3", 1)
     system.run(until=500.0)
 
     if completions:
@@ -49,13 +56,15 @@ def crash_scenario(system, label: str) -> None:
     if blocked is not None:
         print(f"  server token held by the dead client: {blocked}")
     print(f"  survivors completed {len(completions)}/2 operations")
+    assert not doomed.done(), "the crashed client's operation must never settle"
 
 
 def main() -> None:
-    ustor = SystemBuilder(num_clients=3, seed=7, latency=FixedLatency(1.0)).build()
+    config = SystemConfig(num_clients=3, seed=7, latency=FixedLatency(1.0))
+    ustor = UstorBackend().open_system(config)
     crash_scenario(ustor, "USTOR (weak fork-linearizable, wait-free)")
 
-    lockstep = build_lockstep_system(3, seed=7, latency=FixedLatency(1.0))
+    lockstep = LockstepBackend().open_system(config)
     crash_scenario(lockstep, "Lock-step baseline (fork-linearizable, blocking)")
 
     print(

@@ -5,15 +5,14 @@ A complete reproduction: the USTOR weak fork-linearizable storage protocol
 theory of Sections 2-4 as executable checkers, baselines, Byzantine server
 attacks, and the simulation substrate everything runs on.
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro.workloads import SystemBuilder
+    from repro.api import FaustBackend, SystemConfig
 
-    system = SystemBuilder(num_clients=3, seed=7).build()
-    alice, bob, carlos = system.clients
-    alice.write(b"draft-1")
-    system.run(until=50)
-    print(system.history().describe())
+    system = FaustBackend().open_system(SystemConfig(num_clients=3, seed=7))
+    alice, bob, carlos = system.sessions()
+    t = alice.write_sync(b"draft-1")
+    print(bob.read_sync(0), alice.wait_for_stability(t))
 
 See README.md for the full tour and DESIGN.md for the architecture.
 """

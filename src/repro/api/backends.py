@@ -1,0 +1,165 @@
+"""Interchangeable protocol backends behind one ``open_system`` contract.
+
+The paper's point is a *single* storage abstraction whose guarantees vary
+with the protocol underneath; the :class:`Backend` protocol makes that a
+first-class axis.  Experiments and workloads pick guarantees by picking a
+backend:
+
+========== ============================ ===========================================
+backend     protocol                     guarantees
+========== ============================ ===========================================
+faust       USTOR + fail-aware layer     linearizable w/ correct server, weakly
+                                         fork-linearizable always, fail-aware
+                                         (stability + failure notifications)
+ustor       USTOR alone                  weakly fork-linearizable, wait-free,
+                                         local ``fail_i`` detection only
+lockstep    SUNDR-style lock-step        fork-linearizable but blocking (not
+                                         wait-free)
+unchecked   plain remote store           none — the detection-gap baseline
+========== ============================ ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.api.config import SystemConfig
+from repro.api.system import System
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a backend's deployments can be asked for."""
+
+    #: Operations return per-client timestamps with Definition 5 Integrity.
+    timestamps: bool
+    #: ``stable_i(W)`` notifications / ``wait_for_stability`` available.
+    stability: bool
+    #: Server misbehaviour produces failure notifications.
+    failure_detection: bool
+    #: Operations complete under a correct server despite other clients
+    #: crashing.
+    wait_free: bool
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """A protocol stack that can open a :class:`System` from a config."""
+
+    name: str
+    capabilities: Capabilities
+
+    def open_system(self, config: SystemConfig) -> System: ...
+
+
+class FaustBackend:
+    """USTOR plus the fail-aware layer (Section 6) — the paper's service."""
+
+    name = "faust"
+    capabilities = Capabilities(
+        timestamps=True, stability=True, failure_detection=True, wait_free=True
+    )
+
+    def open_system(self, config: SystemConfig) -> System:
+        from repro.workloads.runner import SystemBuilder
+
+        raw = SystemBuilder(
+            num_clients=config.num_clients,
+            seed=config.seed,
+            scheme=config.scheme,
+            latency=config.latency,
+            offline_latency=config.offline_latency,
+            server_factory=config.server_factory,
+            commit_piggyback=config.commit_piggyback,
+        ).build_faust(**config.faust.as_kwargs())
+        return System(raw, self.name, self.capabilities, config.default_timeout)
+
+
+class UstorBackend:
+    """The weak fork-linearizable protocol alone (Algorithms 1-2)."""
+
+    name = "ustor"
+    capabilities = Capabilities(
+        timestamps=True, stability=False, failure_detection=True, wait_free=True
+    )
+
+    def open_system(self, config: SystemConfig) -> System:
+        from repro.workloads.runner import SystemBuilder
+
+        raw = SystemBuilder(
+            num_clients=config.num_clients,
+            seed=config.seed,
+            scheme=config.scheme,
+            latency=config.latency,
+            offline_latency=config.offline_latency,
+            server_factory=config.server_factory,
+            commit_piggyback=config.commit_piggyback,
+        ).build()
+        return System(raw, self.name, self.capabilities, config.default_timeout)
+
+
+class LockstepBackend:
+    """The SUNDR-style lock-step baseline: fork-linearizable, blocking."""
+
+    name = "lockstep"
+    capabilities = Capabilities(
+        timestamps=True, stability=False, failure_detection=True, wait_free=False
+    )
+
+    def open_system(self, config: SystemConfig) -> System:
+        from repro.baselines.lockstep import build_lockstep_system
+
+        raw = build_lockstep_system(
+            config.num_clients,
+            seed=config.seed,
+            scheme=config.scheme,
+            latency=config.latency,
+            server_factory=config.server_factory,
+        )
+        return System(raw, self.name, self.capabilities, config.default_timeout)
+
+
+class UncheckedBackend:
+    """The naive baseline: trusts every byte; nothing is ever detected."""
+
+    name = "unchecked"
+    capabilities = Capabilities(
+        timestamps=True, stability=False, failure_detection=False, wait_free=True
+    )
+
+    def open_system(self, config: SystemConfig) -> System:
+        from repro.baselines.unchecked import build_unchecked_system
+
+        raw = build_unchecked_system(
+            config.num_clients,
+            seed=config.seed,
+            latency=config.latency,
+            server_factory=config.server_factory,
+        )
+        return System(raw, self.name, self.capabilities, config.default_timeout)
+
+
+#: The built-in backends, by name.
+BACKENDS: dict[str, Backend] = {
+    backend.name: backend
+    for backend in (FaustBackend(), UstorBackend(), LockstepBackend(), UncheckedBackend())
+}
+
+
+def get_backend(backend: str | Backend) -> Backend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            ) from None
+    return backend
+
+
+def open_system(config: SystemConfig, backend: str | Backend = "faust") -> System:
+    """Open a deployment described by ``config`` on the chosen backend."""
+    return get_backend(backend).open_system(config)

@@ -1,0 +1,65 @@
+"""Declarative configuration for opening a storage system through a backend.
+
+One :class:`SystemConfig` describes a deployment independently of the
+protocol that will run it; the chosen :class:`~repro.api.backends.Backend`
+interprets the knobs it understands.  FAUST-specific tuning lives in the
+nested :class:`FaustParams` so that experiments can sweep fail-aware
+parameters without touching the common deployment shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.sim.network import LatencyModel
+
+
+@dataclass
+class FaustParams:
+    """Tuning for the fail-aware layer (Section 6); ignored by backends
+    that do not run it."""
+
+    delta: float = 40.0
+    dummy_read_period: float = 7.0
+    probe_check_period: float = 11.0
+    enable_dummy_reads: bool = True
+    enable_probes: bool = True
+
+    def as_kwargs(self) -> dict:
+        return {
+            "delta": self.delta,
+            "dummy_read_period": self.dummy_read_period,
+            "probe_check_period": self.probe_check_period,
+            "enable_dummy_reads": self.enable_dummy_reads,
+            "enable_probes": self.enable_probes,
+        }
+
+
+@dataclass
+class SystemConfig:
+    """Backend-agnostic description of one simulated deployment.
+
+    ``server_factory`` receives ``(num_clients, server_name)`` and must
+    return a server appropriate to the chosen backend (a USTOR server for
+    the ``faust``/``ustor`` backends, a lock-step or plain server for the
+    baselines); ``None`` selects the backend's honest server.
+    """
+
+    num_clients: int
+    seed: int = 0
+    scheme: str = "hmac"
+    latency: LatencyModel | None = None
+    offline_latency: LatencyModel | None = None
+    server_factory: Callable | None = None
+    commit_piggyback: bool = False
+    #: Default time budget for synchronous waits (``result``, ``barrier``).
+    default_timeout: float = 1_000.0
+    faust: FaustParams = field(default_factory=FaustParams)
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.default_timeout <= 0:
+            raise ConfigurationError("default_timeout must be positive")

@@ -1,0 +1,153 @@
+"""Typed failure-awareness notifications and the subscription hub.
+
+The paper's service interface (Definition 5) *outputs* ``stable_i(W)``
+and ``fail_i`` actions; polling attributes off a client loses their
+ordering and forces the application to know the protocol internals.  The
+hub turns them into first-class events: every notification carries a
+global sequence number (total emission order across all clients), the
+virtual time it fired, and the client it fired at.
+
+Subscriptions deliver either through a callback or by accumulating on
+``subscription.events`` for later inspection; both respect optional kind
+and client filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.common.types import ClientId
+
+
+@dataclass(frozen=True)
+class Notification:
+    """Base class for fail-aware service outputs."""
+
+    seq: int  # global emission order across the whole system
+    time: float  # virtual time of the output action
+    client: ClientId  # the client the action occurred at
+
+
+@dataclass(frozen=True)
+class StabilityNotification(Notification):
+    """``stable_i(W)`` — operations up to ``cut[j]`` are consistent with
+    client ``j`` (Definition 5, conditions 6-7)."""
+
+    cut: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FailureNotification(Notification):
+    """``fail_i`` — proof of server misbehaviour reached this client."""
+
+    reason: str
+
+
+class Subscription:
+    """One listener's registration with a :class:`NotificationHub`."""
+
+    def __init__(
+        self,
+        hub: "NotificationHub",
+        callback: Callable[[Notification], None] | None,
+        kinds: tuple[type, ...] | None,
+        clients: frozenset[ClientId] | None,
+    ) -> None:
+        self._hub = hub
+        self._callback = callback
+        self._kinds = kinds
+        self._clients = clients
+        self.active = True
+        #: Notifications delivered to this subscription, in emission order.
+        self.events: list[Notification] = []
+
+    def _matches(self, event: Notification) -> bool:
+        if self._kinds is not None and not isinstance(event, self._kinds):
+            return False
+        if self._clients is not None and event.client not in self._clients:
+            return False
+        return True
+
+    def _deliver(self, event: Notification) -> None:
+        if not self.active or not self._matches(event):
+            return
+        self.events.append(event)
+        if self._callback is not None:
+            self._callback(event)
+
+    def unsubscribe(self) -> None:
+        self.active = False
+        self._hub._drop(self)
+
+
+class NotificationHub:
+    """Fan-out point for a system's stability and failure notifications."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+        self._next_seq = 0
+        #: Every notification ever emitted, in emission order.
+        self.history: list[Notification] = []
+
+    def subscribe(
+        self,
+        callback: Callable[[Notification], None] | None = None,
+        *,
+        kinds: type | Iterable[type] | None = None,
+        clients: Iterable[ClientId] | None = None,
+    ) -> Subscription:
+        """Register a listener.
+
+        ``kinds`` restricts delivery to the given notification classes
+        (e.g. ``StabilityNotification``); ``clients`` to the given client
+        ids.  Without a ``callback`` the subscription simply accumulates
+        matching events on ``subscription.events``.
+        """
+        if kinds is not None and isinstance(kinds, type):
+            kinds = (kinds,)
+        subscription = Subscription(
+            self,
+            callback,
+            tuple(kinds) if kinds is not None else None,
+            frozenset(clients) if clients is not None else None,
+        )
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def _drop(self, subscription: Subscription) -> None:
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    def _emit(self, event: Notification) -> None:
+        self.history.append(event)
+        # Iterate over a copy: a callback may unsubscribe (or subscribe).
+        for subscription in list(self._subscriptions):
+            subscription._deliver(event)
+
+    def emit_stability(
+        self, time: float, client: ClientId, cut: tuple[int, ...]
+    ) -> None:
+        self._emit(
+            StabilityNotification(
+                seq=self._next_seq_value(), time=time, client=client, cut=cut
+            )
+        )
+
+    def emit_failure(self, time: float, client: ClientId, reason: str) -> None:
+        self._emit(
+            FailureNotification(
+                seq=self._next_seq_value(), time=time, client=client, reason=reason
+            )
+        )
+
+    def _next_seq_value(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def stability_events(self) -> list[StabilityNotification]:
+        return [e for e in self.history if isinstance(e, StabilityNotification)]
+
+    def failure_events(self) -> list[FailureNotification]:
+        return [e for e in self.history if isinstance(e, FailureNotification)]

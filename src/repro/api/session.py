@@ -1,0 +1,274 @@
+"""Per-client sessions: future-based operations over any backend.
+
+A :class:`Session` binds one client of a running system and exposes the
+paper's service interface uniformly across protocols:
+
+* ``write()``/``read()`` return :class:`~repro.api.handles.OpHandle`
+  futures immediately, so applications can pipeline several operations —
+  the handles settle in submission order.  Clients whose protocol layer
+  queues internally (FAUST) receive every submission at once; clients
+  that require one operation at a time (USTOR, the baselines) are fed
+  from a session-side backlog as each operation completes.
+* ``write_sync()``/``read_sync()`` are the blocking convenience forms
+  (formerly :class:`repro.faust.service.FaustService`).
+* ``barrier()`` drives the simulation until every handle issued by this
+  session has settled.
+* ``wait_for_stability()``/``stability_cut`` surface the fail-aware
+  guarantees where the backend provides them (:class:`CapabilityError`
+  otherwise).
+
+Sessions accept either the high-level :class:`repro.api.system.System`
+or a raw :class:`~repro.workloads.runner.StorageSystem`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.api.errors import CapabilityError, OperationFailed, OperationTimeout
+from repro.api.handles import OpHandle, OpResult
+from repro.common.errors import ProtocolError
+from repro.common.types import Bottom, OpKind, RegisterId, Value, register_name
+
+
+class Session:
+    """Operations of one client, as futures."""
+
+    def __init__(self, system, client_id: int, timeout: float | None = None) -> None:
+        self._system = system
+        self._client = system.clients[client_id]
+        self._client_id = client_id
+        if timeout is None:
+            timeout = getattr(system, "default_timeout", 1_000.0)
+        self._timeout = timeout
+        self._inflight: OpHandle | None = None
+        self._backlog: deque[tuple[OpKind, RegisterId, Value | None, OpHandle]] = (
+            deque()
+        )
+        #: Handles issued but not yet settled, in submission order.
+        self._unsettled: list[OpHandle] = []
+        if hasattr(self._client, "add_failure_listener"):
+            self._client.add_failure_listener(self._on_client_failure)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def client(self):
+        return self._client
+
+    @property
+    def client_id(self) -> int:
+        return self._client_id
+
+    @property
+    def system(self):
+        return self._system
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
+
+    @property
+    def failed(self) -> bool:
+        """Has this client output ``fail`` (at any protocol layer)?"""
+        return bool(
+            getattr(self._client, "faust_failed", False)
+            or getattr(self._client, "failed", False)
+        )
+
+    @property
+    def outstanding(self) -> int:
+        """Operations issued through this session and not yet settled."""
+        return len(self._unsettled)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def write(self, value: Value) -> OpHandle:
+        """Write the client's own register; the handle's result carries
+        the operation timestamp ``t``."""
+        return self._submit(OpKind.WRITE, self._client_id, value)
+
+    def read(self, register: RegisterId) -> OpHandle:
+        """Read any register; the handle's result carries ``(value, t)``."""
+        return self._submit(OpKind.READ, register, None)
+
+    def write_sync(self, value: Value, timeout: float | None = None) -> int:
+        """Blocking write; returns the timestamp ``t``."""
+        return self.write(value).result(timeout).timestamp
+
+    def read_sync(
+        self, register: RegisterId, timeout: float | None = None
+    ) -> tuple[Value | Bottom, int]:
+        """Blocking read; returns ``(value, timestamp)``."""
+        result = self.read(register).result(timeout)
+        return result.value, result.timestamp
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Drive the simulation until every issued handle has settled.
+
+        Raises the first failure among the operations waited on, or
+        :class:`OperationTimeout` if some are still pending after the
+        time budget.
+        """
+        waited = list(self._unsettled)
+        self._drive(lambda: not self._unsettled, timeout)
+        self._reject_if_dead()
+        still_pending = [h for h in waited if not h.done()]
+        if still_pending:
+            raise OperationTimeout(
+                f"barrier: {len(still_pending)} operation(s) still in flight "
+                f"after {self._limit(timeout)} time units (a Byzantine server "
+                f"may be withholding the REPLY)"
+            )
+        for handle in waited:
+            if handle._exception is not None:
+                raise handle._exception
+
+    # ------------------------------------------------------------------ #
+    # Fail-aware surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stability_cut(self) -> tuple[int, ...]:
+        """The latest ``W`` vector (all zeros before any notification)."""
+        return self._tracker().stability_cut()
+
+    def wait_for_stability(self, timestamp: int, timeout: float | None = None) -> bool:
+        """Block until the operation with ``timestamp`` is stable w.r.t.
+        every client (or failure / timeout).  Returns True on stability."""
+        tracker = self._tracker()
+
+        def reached() -> bool:
+            return self.failed or tracker.stable_timestamp_for_all() >= timestamp
+
+        self._system.run_until(reached, timeout=self._limit(timeout))
+        return not self.failed and tracker.stable_timestamp_for_all() >= timestamp
+
+    def _tracker(self):
+        tracker = getattr(self._client, "tracker", None)
+        if tracker is None:
+            raise CapabilityError(
+                f"the {type(self._client).__name__} backend does not provide "
+                f"stability notifications"
+            )
+        return tracker
+
+    # ------------------------------------------------------------------ #
+    # Submission plumbing
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, kind: OpKind, register: RegisterId, value) -> OpHandle:
+        self._raise_if_dead()
+        handle = OpHandle(self, kind, register)
+        self._unsettled.append(handle)
+        if getattr(self._client, "pipelines_operations", False):
+            # The protocol layer queues internally; hand everything over.
+            self._issue(kind, register, value, handle)
+        elif self._inflight is None:
+            self._inflight = handle
+            self._issue(kind, register, value, handle)
+        else:
+            self._backlog.append((kind, register, value, handle))
+        return handle
+
+    def _issue(self, kind: OpKind, register, value, handle: OpHandle) -> None:
+        def completed(outcome, _handle=handle) -> None:
+            self._settle(_handle, outcome)
+
+        if kind is OpKind.WRITE:
+            self._client.write(value, completed)
+        else:
+            self._client.read(register, completed)
+
+    def _settle(self, handle: OpHandle, outcome) -> None:
+        if handle in self._unsettled:
+            self._unsettled.remove(handle)
+        handle._resolve(
+            OpResult(
+                kind=handle.kind,
+                register=handle.register,
+                value=outcome.value,
+                timestamp=outcome.timestamp,
+                raw=outcome,
+            )
+        )
+        if self._inflight is handle:
+            self._inflight = None
+            self._pump_backlog()
+
+    def _pump_backlog(self) -> None:
+        while self._inflight is None and self._backlog:
+            kind, register, value, handle = self._backlog.popleft()
+            self._inflight = handle
+            try:
+                self._issue(kind, register, value, handle)
+            except ProtocolError as exc:
+                # The client died between operations; fail this handle and
+                # keep draining so nothing waits forever.
+                self._inflight = None
+                if handle in self._unsettled:
+                    self._unsettled.remove(handle)
+                handle._reject(OperationFailed(str(exc)))
+
+    # ------------------------------------------------------------------ #
+    # Failure handling
+    # ------------------------------------------------------------------ #
+
+    def _on_client_failure(self, reason: str) -> None:
+        self._fail_all(OperationFailed(f"{self._client.name} failed: {reason}"))
+
+    def _fail_all(self, exception: OperationFailed) -> None:
+        self._inflight = None
+        self._backlog.clear()
+        unsettled, self._unsettled = self._unsettled, []
+        for handle in unsettled:
+            handle._reject(exception)
+
+    def _death_reason(self) -> str | None:
+        client = self._client
+        if getattr(client, "faust_failed", False):
+            return f"{client.name} failed: {client.faust_fail_reason}"
+        if getattr(client, "failed", False):
+            return f"{client.name} failed: {getattr(client, 'fail_reason', None)}"
+        if client.crashed:
+            return f"{client.name} crashed mid-operation"
+        return None
+
+    def _raise_if_dead(self) -> None:
+        if getattr(self._client, "faust_failed", False) or getattr(
+            self._client, "failed", False
+        ):
+            raise ProtocolError(f"{self._client.name} has failed and halted")
+        if self._client.crashed:
+            raise ProtocolError(f"{self._client.name} has crashed")
+
+    def _reject_if_dead(self, handle: OpHandle | None = None) -> None:
+        reason = self._death_reason()
+        if reason is not None:
+            self._fail_all(OperationFailed(reason))
+
+    # ------------------------------------------------------------------ #
+    # Driving the shared world
+    # ------------------------------------------------------------------ #
+
+    def _limit(self, timeout: float | None) -> float:
+        return self._timeout if timeout is None else timeout
+
+    def _drive(self, predicate: Callable[[], bool], timeout: float | None) -> None:
+        self._system.run_until(
+            lambda: predicate() or self._death_reason() is not None,
+            timeout=self._limit(timeout),
+        )
+
+
+def as_session(system, client_id: int, timeout: float | None = None) -> Session:
+    """A session for ``client_id``, reusing the system's cache when the
+    high-level :class:`repro.api.system.System` is passed."""
+    if hasattr(system, "session"):
+        return system.session(client_id, timeout=timeout)
+    return Session(system, client_id, timeout=timeout)

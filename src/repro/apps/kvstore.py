@@ -25,10 +25,9 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
+from repro.api.session import as_session
 from repro.common.errors import ProtocolError
 from repro.common.types import BOTTOM, ClientId
-from repro.faust.service import FaustService
-from repro.workloads.runner import StorageSystem
 
 
 @dataclass(frozen=True)
@@ -65,10 +64,12 @@ def _deserialize_log(raw: bytes) -> list[KvUpdate]:
 class KvStore:
     """A per-client handle to the shared map."""
 
-    def __init__(self, system: StorageSystem, client_id: ClientId) -> None:
+    def __init__(self, system, client_id: ClientId) -> None:
+        """``system`` may be a :class:`repro.api.system.System` or a raw
+        :class:`~repro.workloads.runner.StorageSystem`."""
         self._system = system
         self._client_id = client_id
-        self._service = FaustService(system, client_id)
+        self._session = as_session(system, client_id)
         self._log: list[KvUpdate] = []
         self._clock = 0  # Lamport clock, advanced by updates and merges
 
@@ -91,7 +92,7 @@ class KvStore:
             key=key, value=value, timestamp=self._clock, writer=self._client_id
         )
         self._log.append(update)
-        return self._service.write(_serialize_log(self._log))
+        return self._session.write_sync(_serialize_log(self._log))
 
     # ------------------------------------------------------------------ #
     # Reads (merge of all logs)
@@ -103,7 +104,7 @@ class KvStore:
         later local updates order after everything observed."""
         updates: list[KvUpdate] = []
         for register in range(len(self._system.clients)):
-            raw, _t = self._service.read(register)
+            raw, _t = self._session.read_sync(register)
             if raw is BOTTOM:
                 continue
             updates.extend(_deserialize_log(raw))
@@ -127,8 +128,8 @@ class KvStore:
 
     def wait_until_stable(self, timestamp: int, timeout: float | None = None) -> bool:
         """Block until the update with ``timestamp`` is stable w.r.t. all."""
-        return self._service.wait_for_stability(timestamp, timeout=timeout)
+        return self._session.wait_for_stability(timestamp, timeout=timeout)
 
     @property
     def failed(self) -> bool:
-        return self._service.failed
+        return self._session.failed

@@ -201,6 +201,7 @@ class LockStepClient(Node):
         self._pending: _Pending | None = None
         self._failed = False
         self._fail_reason: str | None = None
+        self._fail_listeners: list[Callable[[str], None]] = []
         self.completed_operations = 0
 
     # -- introspection -------------------------------------------------- #
@@ -220,6 +221,10 @@ class LockStepClient(Node):
     @property
     def busy(self) -> bool:
         return self._pending is not None
+
+    def add_failure_listener(self, listener: Callable[[str], None]) -> None:
+        """Invoke ``listener(reason)`` when a chain check fails."""
+        self._fail_listeners.append(listener)
 
     # -- operations ------------------------------------------------------ #
 
@@ -396,6 +401,8 @@ class LockStepClient(Node):
             trace.note(self.now, self.name, "lockstep-fail", reason)
         if self._on_fail is not None:
             self._on_fail(reason)
+        for listener in list(self._fail_listeners):
+            listener(reason)
 
 
 # --------------------------------------------------------------------- #

@@ -12,11 +12,9 @@ from __future__ import annotations
 
 from repro.analysis.stats import critical_path_rounds
 from repro.analysis.tables import format_table
-from repro.baselines.lockstep import build_lockstep_system
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.sim.metrics import summarize
 from repro.sim.network import FixedLatency
-from repro.workloads.runner import SystemBuilder
 
 
 def _contended_run(system, num_ops_each: int):
@@ -49,11 +47,13 @@ def run(quick: bool = False) -> ExperimentResult:
     rows = []
     summary: dict = {}
     for n in populations:
-        ustor = SystemBuilder(num_clients=n, seed=3, latency=FixedLatency(1.0)).build()
+        ustor = build_system("ustor", num_clients=n, seed=3, latency=FixedLatency(1.0))
         ustor_lat = summarize(_contended_run(ustor, ops_each))
         ustor_rounds = critical_path_rounds(ustor.trace, n * ops_each)
 
-        lockstep = build_lockstep_system(n, seed=3, latency=FixedLatency(1.0))
+        lockstep = build_system(
+            "lockstep", num_clients=n, seed=3, latency=FixedLatency(1.0)
+        )
         ls_lat = summarize(_contended_run(lockstep, ops_each))
 
         rows.append(

@@ -13,9 +13,8 @@ import random
 
 from repro.analysis.stats import bytes_per_operation, linear_fit
 from repro.analysis.tables import format_table
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -24,7 +23,7 @@ def run(quick: bool = False) -> ExperimentResult:
     rows = []
     xs, ys = [], []
     for n in populations:
-        system = SystemBuilder(num_clients=n, seed=4).build()
+        system = build_system("ustor", num_clients=n, seed=4)
         scripts = generate_scripts(
             n,
             WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5, value_size=64),

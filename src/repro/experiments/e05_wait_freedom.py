@@ -13,11 +13,9 @@ from __future__ import annotations
 import random
 
 from repro.analysis.tables import format_table
-from repro.baselines.lockstep import build_lockstep_system
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.sim.network import FixedLatency
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 
 def _run_with_crash(system, num_clients: int, ops_per_client: int, seed: int):
@@ -50,12 +48,12 @@ def run(quick: bool = False) -> ExperimentResult:
     rows = []
     ustor_fracs, lockstep_fracs = [], []
     for seed in seeds:
-        ustor = SystemBuilder(
-            num_clients=num_clients, seed=seed, latency=FixedLatency(1.0)
-        ).build()
+        ustor = build_system(
+            "ustor", num_clients=num_clients, seed=seed, latency=FixedLatency(1.0)
+        )
         done_u, planned_u = _run_with_crash(ustor, num_clients, ops_per_client, seed)
-        lockstep = build_lockstep_system(
-            num_clients, seed=seed, latency=FixedLatency(1.0)
+        lockstep = build_system(
+            "lockstep", num_clients=num_clients, seed=seed, latency=FixedLatency(1.0)
         )
         done_l, planned_l = _run_with_crash(lockstep, num_clients, ops_per_client, seed)
         ustor_fracs.append(done_u / planned_u)

@@ -12,10 +12,9 @@ import random
 from repro.analysis.tables import format_table
 from repro.consistency.causal import check_causal_consistency
 from repro.consistency.linearizability import check_linearizability
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.sim.network import ExponentialLatency, FixedLatency, UniformLatency
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -30,7 +29,7 @@ def run(quick: bool = False) -> ExperimentResult:
             [FixedLatency(1.0), UniformLatency(0.2, 3.0), ExponentialLatency(1.0, cap=10.0)]
         )
         read_fraction = rng.choice([0.2, 0.5, 0.8])
-        system = SystemBuilder(num_clients=n, seed=seed, latency=latency).build()
+        system = build_system("ustor", num_clients=n, seed=seed, latency=latency)
         scripts = generate_scripts(
             n,
             WorkloadConfig(ops_per_client=12, read_fraction=read_fraction),

@@ -13,7 +13,7 @@ import random
 from repro.analysis.tables import format_table
 from repro.consistency.causal import check_causal_consistency
 from repro.consistency.linearizability import check_linearizability
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.ustor.byzantine import (
     CrashingServer,
     Fig3Server,
@@ -24,7 +24,6 @@ from repro.ustor.byzantine import (
     UnresponsiveServer,
 )
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 ATTACKS = {
     "correct (control)": lambda n, name: __import__(
@@ -49,7 +48,9 @@ def run(quick: bool = False) -> ExperimentResult:
     causal_everywhere = True
     for attack_name, factory in ATTACKS.items():
         for seed in seeds:
-            system = SystemBuilder(num_clients=n, seed=seed, server_factory=factory).build()
+            system = build_system(
+                "ustor", num_clients=n, seed=seed, server_factory=factory
+            )
             scripts = generate_scripts(
                 n,
                 WorkloadConfig(ops_per_client=8, read_fraction=0.5, mean_think_time=1.0),

@@ -12,17 +12,21 @@ from __future__ import annotations
 import random
 
 from repro.analysis.tables import format_table
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 from repro.workloads.scenarios import split_brain_scenario
 
 
 def _false_positive_rate(seeds, quick: bool) -> tuple[int, int]:
     alarms = 0
     for seed in seeds:
-        system = SystemBuilder(num_clients=3, seed=seed).build_faust(
-            dummy_read_period=3.0, probe_check_period=4.0, delta=12.0
+        system = build_system(
+            "faust",
+            num_clients=3,
+            seed=seed,
+            dummy_read_period=3.0,
+            probe_check_period=4.0,
+            delta=12.0,
         )
         scripts = generate_scripts(
             3, WorkloadConfig(ops_per_client=6), random.Random(seed)

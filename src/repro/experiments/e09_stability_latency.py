@@ -10,19 +10,21 @@ from __future__ import annotations
 
 from repro.analysis.tables import format_table
 from repro.consistency.linearizability import check_linearizability
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.history.history import History
-from repro.workloads.runner import SystemBuilder
 
 
 def _time_to_full_stability(period: float, seed: int) -> tuple[float, bool]:
-    system = SystemBuilder(num_clients=3, seed=seed).build_faust(
-        dummy_read_period=period, probe_check_period=period * 2, delta=period * 6
+    system = build_system(
+        "faust",
+        num_clients=3,
+        seed=seed,
+        dummy_read_period=period,
+        probe_check_period=period * 2,
+        delta=period * 6,
     )
-    box = []
-    system.clients[0].write(b"the-op", box.append)
-    assert system.run_until(lambda: bool(box), timeout=1_000)
-    t = box[0].timestamp
+    handle = system.session(0).write(b"the-op")
+    t = handle.result(timeout=1_000).timestamp
     completed_at = system.now
     reached = system.run_until(
         lambda: system.clients[0].tracker.stable_timestamp_for_all() >= t,

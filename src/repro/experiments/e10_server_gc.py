@@ -14,13 +14,14 @@ from __future__ import annotations
 import random
 
 from repro.analysis.tables import format_table
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 
 def _run(n: int, ops: int, seed: int, piggyback: bool):
-    system = SystemBuilder(num_clients=n, seed=seed, commit_piggyback=piggyback).build()
+    system = build_system(
+        "ustor", num_clients=n, seed=seed, commit_piggyback=piggyback
+    )
     scripts = generate_scripts(
         n,
         WorkloadConfig(ops_per_client=ops, read_fraction=0.5, mean_think_time=0.5),

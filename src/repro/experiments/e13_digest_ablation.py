@@ -21,26 +21,30 @@ from repro.workloads.scenarios import split_brain_scenario
 
 
 def _figure3_detection_fresh(ablated: bool) -> bool:
+    from repro.common.types import OpKind
+    from repro.experiments.base import build_system
     from repro.sim.network import FixedLatency
     from repro.ustor.byzantine import Fig3Server
-    from repro.workloads.runner import SystemBuilder
     from repro.workloads.scenarios import _sync_op
 
-    system = SystemBuilder(
+    system = build_system(
+        "faust",
         num_clients=2,
         seed=3,
         latency=FixedLatency(0.5),
         offline_latency=FixedLatency(2.0),
         server_factory=lambda n, name: Fig3Server(n, writer=0, victim=1, name=name),
-    ).build_faust(
-        enable_dummy_reads=False, enable_probes=True, delta=20.0, probe_check_period=5.0
+        enable_dummy_reads=False,
+        enable_probes=True,
+        delta=20.0,
+        probe_check_period=5.0,
     )
     if ablated:
         ablate_system(system)
-    writer, victim = system.clients
-    _sync_op(system, writer, "write", b"u")
-    _sync_op(system, victim, "read", 0)
-    _sync_op(system, victim, "read", 0)
+    writer, victim = system.sessions()
+    _sync_op(system, writer, OpKind.WRITE, b"u")
+    _sync_op(system, victim, OpKind.READ, 0)
+    _sync_op(system, victim, OpKind.READ, 0)
     system.run(until=system.now + 600)
     return any(c.faust_failed for c in system.clients)
 

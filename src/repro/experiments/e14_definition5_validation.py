@@ -12,12 +12,11 @@ from __future__ import annotations
 import random
 
 from repro.analysis.tables import format_table
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, build_system
 from repro.faust.validator import validate_fail_aware_run
 from repro.ustor.byzantine import SplitBrainServer, TamperingServer
 from repro.ustor.server import UstorServer
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
-from repro.workloads.runner import SystemBuilder
 
 
 def _run_deployment(kind: str, seed: int, settle: float):
@@ -30,9 +29,15 @@ def _run_deployment(kind: str, seed: int, settle: float):
         "tampering": lambda n, name: TamperingServer(n, target_register=0, name=name),
     }
     n = 3
-    system = SystemBuilder(
-        num_clients=n, seed=seed, server_factory=factories[kind]
-    ).build_faust(dummy_read_period=3.0, probe_check_period=4.0, delta=15.0)
+    system = build_system(
+        "faust",
+        num_clients=n,
+        seed=seed,
+        server_factory=factories[kind],
+        dummy_read_period=3.0,
+        probe_check_period=4.0,
+        delta=15.0,
+    )
     scripts = generate_scripts(
         n, WorkloadConfig(ops_per_client=6, mean_think_time=1.0), random.Random(seed)
     )

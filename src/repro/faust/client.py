@@ -46,6 +46,10 @@ from repro.faust.stability import StabilityTracker
 class FaustClient(UstorClient):
     """Client ``C_i`` of the fail-aware untrusted storage service."""
 
+    #: User operations invoked while one is in flight are queued (the
+    #: application may pipeline submissions through this client).
+    pipelines_operations = True
+
     def __init__(
         self,
         client_id: ClientId,
@@ -79,6 +83,8 @@ class FaustClient(UstorClient):
         self._enable_probes = enable_probes
         self._on_stable = on_stable
         self._on_faust_fail = on_faust_fail
+        self._stable_listeners: list[Callable[[tuple[int, ...]], None]] = []
+        self._faust_fail_listeners: list[Callable[[str], None]] = []
 
         self._offline: OfflineChannel | None = None
         self._queue: deque = deque()
@@ -101,6 +107,20 @@ class FaustClient(UstorClient):
 
     def attach_offline(self, channel: OfflineChannel) -> None:
         self._offline = channel
+
+    def add_stable_listener(
+        self, listener: Callable[[tuple[int, ...]], None]
+    ) -> None:
+        """Invoke ``listener(W)`` on every ``stable_i(W)`` notification."""
+        self._stable_listeners.append(listener)
+
+    def add_failure_listener(self, listener: Callable[[str], None]) -> None:
+        """Invoke ``listener(reason)`` on the (single) ``fail_i`` output.
+
+        Registers at the FAUST layer, which subsumes USTOR-level
+        detections: every local ``fail_i`` flows through
+        :meth:`_fail_faust` exactly once."""
+        self._faust_fail_listeners.append(listener)
 
     def start(self) -> None:
         """Arm the periodic machinery (after binding to scheduler/network)."""
@@ -235,6 +255,8 @@ class FaustClient(UstorClient):
             trace.note(self.now, self.name, "stable", cut)
         if self._on_stable is not None:
             self._on_stable(cut)
+        for listener in list(self._stable_listeners):
+            listener(cut)
 
     # ---------------------------------------------------------------- #
     # Periodic machinery
@@ -325,3 +347,5 @@ class FaustClient(UstorClient):
                 )
         if self._on_faust_fail is not None:
             self._on_faust_fail(reason)
+        for listener in list(self._faust_fail_listeners):
+            listener(reason)

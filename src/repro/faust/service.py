@@ -1,72 +1,61 @@
-"""A blocking convenience facade over one FAUST client.
+"""Deprecated blocking facade — use :mod:`repro.api` instead.
 
-Protocol clients are event-driven (operations return through callbacks);
-examples and interactive exploration are nicer with a synchronous API.
-:class:`FaustService` wraps one client of a :class:`StorageSystem` and
-drives the shared scheduler until each operation completes.
+:class:`FaustService` predates the unified API; it survives as a thin
+shim over :class:`repro.api.session.Session` so existing code keeps
+working.  New code should open systems through a backend and use
+sessions::
 
-Note that driving the scheduler advances *the whole world* — other
-clients' timers, probes and dummy reads included — which is exactly what
-"waiting" means inside a simulation.
+    from repro.api import FaustBackend, SystemConfig
+
+    system = FaustBackend().open_system(SystemConfig(num_clients=3))
+    alice = system.session(0)
+    t = alice.write_sync(b"hello")
+
+The session subsumes everything the service did: ``write_sync`` /
+``read_sync`` are the blocking operations (dispatched by direct method
+call, not string lookup), waits that exhaust their budget raise
+:class:`~repro.api.errors.OperationTimeout` naming the pending
+operation's kind and register, and stability is exposed via
+``wait_for_stability`` / ``stability_cut``.
 """
 
 from __future__ import annotations
 
-from repro.common.errors import ProtocolError, SimulationError
+import warnings
+
+from repro.api.errors import OperationFailed, OperationTimeout  # noqa: F401
+from repro.api.session import Session
 from repro.common.types import Bottom, RegisterId, Value
-from repro.ustor.client import OpOutcome
-from repro.workloads.runner import StorageSystem
-
-
-class OperationFailed(ProtocolError):
-    """The operation did not complete (client failed, crashed, or timed out)."""
 
 
 class FaustService:
-    """Synchronous read/write against one FAUST client."""
+    """Synchronous read/write against one FAUST client (deprecated)."""
 
-    def __init__(
-        self, system: StorageSystem, client_id: int, timeout: float = 1_000.0
-    ) -> None:
-        self._system = system
-        self._client = system.clients[client_id]
-        self._timeout = timeout
+    def __init__(self, system, client_id: int, timeout: float = 1_000.0) -> None:
+        warnings.warn(
+            "FaustService is deprecated; open a system through repro.api and "
+            "use system.session(client_id) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._session = Session(system, client_id, timeout=timeout)
 
     @property
     def client(self):
-        return self._client
+        return self._session.client
+
+    @property
+    def session(self) -> Session:
+        """The session this shim forwards to."""
+        return self._session
 
     def write(self, value: Value) -> int:
         """Write to the client's own register; returns the timestamp ``t``."""
-        outcome = self._execute("write", value)
-        return outcome.timestamp
+        return self._session.write_sync(value)
 
     def read(self, register: RegisterId) -> tuple[Value | Bottom, int]:
         """Read any register; returns ``(value, timestamp)``."""
-        outcome = self._execute("read", register)
-        return outcome.value, outcome.timestamp
-
-    def _execute(self, op: str, argument) -> OpOutcome:
-        box: list[OpOutcome] = []
-        getattr(self._client, op)(argument, box.append)
-        finished = self._system.run_until(
-            lambda: bool(box) or self._client.faust_failed or self._client.crashed,
-            timeout=self._timeout,
-        )
-        if box:
-            return box[0]
-        if self._client.faust_failed:
-            raise OperationFailed(
-                f"{self._client.name} failed: {self._client.faust_fail_reason}"
-            )
-        if self._client.crashed:
-            raise OperationFailed(f"{self._client.name} crashed mid-operation")
-        if not finished:
-            raise SimulationError(
-                f"operation did not complete within {self._timeout} time units "
-                f"(a Byzantine server may be withholding the REPLY)"
-            )
-        raise SimulationError("scheduler drained without completing the operation")
+        return self._session.read_sync(register)
 
     # ------------------------------------------------------------------ #
     # Fail-aware notifications
@@ -75,25 +64,13 @@ class FaustService:
     @property
     def stability_cut(self) -> tuple[int, ...]:
         """The latest ``W`` vector (all zeros before any notification)."""
-        return self._client.tracker.stability_cut()
+        return self._session.stability_cut
 
     @property
     def failed(self) -> bool:
-        return self._client.faust_failed
+        return self._session.client.faust_failed
 
     def wait_for_stability(self, timestamp: int, timeout: float | None = None) -> bool:
         """Block until the operation with ``timestamp`` is stable w.r.t.
         every client (or failure / timeout).  Returns True on stability."""
-        limit = self._timeout if timeout is None else timeout
-
-        def reached() -> bool:
-            return (
-                self._client.faust_failed
-                or self._client.tracker.stable_timestamp_for_all() >= timestamp
-            )
-
-        self._system.run_until(reached, timeout=limit)
-        return (
-            not self._client.faust_failed
-            and self._client.tracker.stable_timestamp_for_all() >= timestamp
-        )
+        return self._session.wait_for_stability(timestamp, timeout=timeout)

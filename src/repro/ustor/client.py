@@ -129,6 +129,7 @@ class UstorClient(Node):
         self._deferred_commit: CommitMessage | None = None
         self._failed = False
         self._fail_reason: str | None = None
+        self._fail_listeners: list[Callable[[str], None]] = []
         self.vh_records: dict[tuple[ClientId, int], ViewHistoryRecord] = {}
         self.completed_operations = 0
 
@@ -157,6 +158,13 @@ class UstorClient(Node):
     @property
     def busy(self) -> bool:
         return self._pending is not None
+
+    def add_failure_listener(self, listener: Callable[[str], None]) -> None:
+        """Invoke ``listener(reason)`` when this client outputs ``fail_i``.
+
+        Unlike the ``on_fail`` constructor hook (reserved for the layer
+        above, e.g. FAUST), any number of listeners may register."""
+        self._fail_listeners.append(listener)
 
     # ---------------------------------------------------------------- #
     # Operations (lines 8-33)
@@ -467,4 +475,6 @@ class UstorClient(Node):
             trace.note(self.now, self.name, "ustor-fail", reason)
         if self._on_fail is not None:
             self._on_fail(reason)
+        for listener in list(self._fail_listeners):
+            listener(reason)
         return False

@@ -15,27 +15,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.types import BOTTOM, client_name
+from repro.api.backends import FaustBackend, UstorBackend
+from repro.api.config import FaustParams, SystemConfig
+from repro.api.handles import OpResult
+from repro.api.session import Session
+from repro.api.system import System
+from repro.common.types import BOTTOM, OpKind
 from repro.history.history import History
 from repro.sim.network import FixedLatency
 from repro.ustor.byzantine import Fig3Server, SplitBrainServer
-from repro.ustor.client import OpOutcome
-from repro.workloads.generator import Driver, PlannedOp, WorkloadConfig, generate_scripts
-from repro.workloads.runner import StorageSystem, SystemBuilder
+from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
 
 ALICE, BOB, CARLOS = 0, 1, 2
 
 
 @dataclass
 class Figure2Result:
-    system: StorageSystem
+    system: System
     #: Alice's stability cuts in notification order.
     alice_cuts: list[tuple[int, ...]]
     #: True once the exact cut (10, 8, 3) was emitted.
     reproduced: bool
 
 
-def _sync_op(system: StorageSystem, client, op: str, argument) -> OpOutcome:
+def _sync_op(system: System, session: Session, kind: OpKind, argument) -> OpResult:
     """Run one operation to completion, then let a moment pass.
 
     The settle gap makes consecutive scripted operations *strictly* ordered
@@ -43,13 +46,12 @@ def _sync_op(system: StorageSystem, client, op: str, argument) -> OpOutcome:
     without it the next invocation lands at the exact virtual instant the
     previous response occurred and the operations count as concurrent.
     """
-    box: list[OpOutcome] = []
-    getattr(client, op)(argument, box.append)
-    completed = system.run_until(lambda: bool(box), timeout=10_000.0)
-    if not completed:
-        raise RuntimeError(f"{client.name} {op} did not complete")
+    handle = (
+        session.write(argument) if kind is OpKind.WRITE else session.read(argument)
+    )
+    result = handle.result(timeout=10_000.0)
     system.run(until=system.now + 0.1)
-    return box[0]
+    return result
 
 
 def figure2_scenario(
@@ -62,65 +64,69 @@ def figure2_scenario(
     working; her cut shows consistency with herself up to t=10, with Bob
     up to t=8, with Carlos up to t=3.
     """
-    system = SystemBuilder(
-        num_clients=3,
-        seed=seed,
-        latency=FixedLatency(0.5),
-        offline_latency=FixedLatency(3.0),
-    ).build_faust(
-        enable_dummy_reads=False,  # scripted reads make the cut exact
-        enable_probes=False,
-        delta=200.0,
+    system = FaustBackend().open_system(
+        SystemConfig(
+            num_clients=3,
+            seed=seed,
+            latency=FixedLatency(0.5),
+            offline_latency=FixedLatency(3.0),
+            faust=FaustParams(
+                enable_dummy_reads=False,  # scripted reads make the cut exact
+                enable_probes=False,
+                delta=200.0,
+            ),
+        )
     )
-    alice, bob, carlos = system.clients
+    alice, bob, carlos = system.sessions()
 
     def doc(version: int) -> bytes:
         return f"shared-document-v{version}".encode()
 
     # Alice edits the document three times (timestamps 1..3).
     for v in range(1, 4):
-        _sync_op(system, alice, "write", doc(v))
+        _sync_op(system, alice, OpKind.WRITE, doc(v))
     # Carlos catches up on Alice's work, then goes to sleep.
-    _sync_op(system, carlos, "read", ALICE)
-    _sync_op(system, alice, "read", CARLOS)  # Alice's t=4: learns Carlos's version
-    carlos.pause()
-    system.offline.set_online(carlos.name, False)
+    _sync_op(system, carlos, OpKind.READ, ALICE)
+    _sync_op(system, alice, OpKind.READ, CARLOS)  # Alice's t=4: learns Carlos
+    carlos.client.pause()
+    system.offline.set_online(carlos.client.name, False)
 
     # Alice keeps editing (t = 5..8).
     for v in range(5, 9):
-        _sync_op(system, alice, "write", doc(v))
+        _sync_op(system, alice, OpKind.WRITE, doc(v))
     # Bob reads Alice's latest edit; Alice then reads Bob (t=9), and makes
     # one final edit (t=10) — at which point her cut is exactly [10, 8, 3].
-    _sync_op(system, bob, "read", ALICE)
-    _sync_op(system, alice, "read", BOB)
-    _sync_op(system, alice, "write", doc(10))
+    _sync_op(system, bob, OpKind.READ, ALICE)
+    _sync_op(system, alice, OpKind.READ, BOB)
+    _sync_op(system, alice, OpKind.WRITE, doc(10))
 
-    reproduced = (10, 8, 3) in [cut for _, cut in alice.stable_notifications]
+    alice_client = alice.client
+    reproduced = (10, 8, 3) in [cut for _, cut in alice_client.stable_notifications]
 
     if include_carlos_return:
         # America wakes up: Carlos returns, reads, and background version
         # exchange makes everything stable at every client.
-        system.offline.set_online(carlos.name, True)
-        carlos.resume()
+        system.offline.set_online(carlos.client.name, True)
+        carlos.client.resume()
         for client in system.clients:
             client.enable_background(dummy_reads=True, probes=True)
         system.run(until=system.now + 400.0)
 
     return Figure2Result(
         system=system,
-        alice_cuts=[cut for _, cut in alice.stable_notifications],
+        alice_cuts=[cut for _, cut in alice_client.stable_notifications],
         reproduced=reproduced,
     )
 
 
 @dataclass
 class Figure3Result:
-    system: StorageSystem
+    system: System
     history: History
     #: The three operations in the order of Figure 3.
-    write_outcome: OpOutcome
-    read1_outcome: OpOutcome
-    read2_outcome: OpOutcome
+    write_outcome: OpResult
+    read1_outcome: OpResult
+    read2_outcome: OpResult
     #: Whether any USTOR client output fail (must be False: the attack is
     #: designed to pass every check of Algorithm 1).
     ustor_detected: bool
@@ -133,27 +139,26 @@ def figure3_scenario(seed: int = 3, faust: bool = False) -> Figure3Result:
     enabled, so the (undetectable-at-USTOR-level) fork is exposed once the
     clients exchange versions offline.
     """
-    builder = SystemBuilder(
+    config = SystemConfig(
         num_clients=2,
         seed=seed,
         latency=FixedLatency(0.5),
         offline_latency=FixedLatency(2.0),
         server_factory=lambda n, name: Fig3Server(n, writer=0, victim=1, name=name),
-    )
-    if faust:
-        system = builder.build_faust(
+        faust=FaustParams(
             enable_dummy_reads=False,
             enable_probes=True,
             delta=20.0,
             probe_check_period=5.0,
-        )
-    else:
-        system = builder.build()
-    writer, victim = system.clients
+        ),
+    )
+    backend = FaustBackend() if faust else UstorBackend()
+    system = backend.open_system(config)
+    writer, victim = system.sessions()
 
-    write_outcome = _sync_op(system, writer, "write", b"u")
-    read1 = _sync_op(system, victim, "read", 0)
-    read2 = _sync_op(system, victim, "read", 0)
+    write_outcome = _sync_op(system, writer, OpKind.WRITE, b"u")
+    read1 = _sync_op(system, victim, OpKind.READ, 0)
+    read2 = _sync_op(system, victim, OpKind.READ, 0)
 
     assert read1.value is BOTTOM, "the hidden write must be invisible to read 1"
     assert read2.value == b"u", "the rejoin must expose the write to read 2"
@@ -171,7 +176,7 @@ def figure3_scenario(seed: int = 3, faust: bool = False) -> Figure3Result:
 
 @dataclass
 class SplitBrainResult:
-    system: StorageSystem
+    system: System
     driver: Driver
     groups: list[set[int]]
     fork_time: float
@@ -196,17 +201,16 @@ def split_brain_scenario(
         {c for c in range(num_clients) if c % 2 == 0},
         {c for c in range(num_clients) if c % 2 == 1},
     ]
-    builder = SystemBuilder(
+    config = SystemConfig(
         num_clients=num_clients,
         seed=seed,
         server_factory=lambda n, name: SplitBrainServer(
             n, groups=groups, fork_time=fork_time, name=name
         ),
+        faust=FaustParams(delta=delta, probe_check_period=delta / 3),
     )
-    if faust:
-        system = builder.build_faust(delta=delta, probe_check_period=delta / 3)
-    else:
-        system = builder.build()
+    backend = FaustBackend() if faust else UstorBackend()
+    system = backend.open_system(config)
 
     import random as _random
 

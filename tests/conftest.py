@@ -1,49 +1,16 @@
-"""Shared fixtures and history-building helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The history-building helpers live in :mod:`histbuild`; import them from
+there (``from histbuild import h, r, w``), never from ``conftest`` —
+module-name collisions with other conftest files break collection.
+"""
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
 
-from repro.common.types import BOTTOM, OpKind
+from repro.common.types import BOTTOM
 from repro.crypto.keystore import KeyStore
-from repro.history.events import Operation
-from repro.history.history import History
-
-_ids = itertools.count(1)
-
-
-def w(client, value, start, end, op_id=None, timestamp=None):
-    """A write operation literal (client writes its own register)."""
-    return Operation(
-        op_id=next(_ids) if op_id is None else op_id,
-        client=client,
-        kind=OpKind.WRITE,
-        register=client,
-        value=value,
-        invoked_at=start,
-        responded_at=end,
-        timestamp=timestamp,
-    )
-
-
-def r(client, register, value, start, end, op_id=None, timestamp=None):
-    """A read operation literal; ``value`` is the returned value."""
-    return Operation(
-        op_id=next(_ids) if op_id is None else op_id,
-        client=client,
-        kind=OpKind.READ,
-        register=register,
-        value=value,
-        invoked_at=start,
-        responded_at=end,
-        timestamp=timestamp,
-    )
-
-
-def h(*operations) -> History:
-    return History(operations)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,49 @@
+"""History-building helpers shared by the test suite.
+
+A proper module (not ``conftest.py``) so test files can import it
+unambiguously: a bare ``from conftest import ...`` resolves to whichever
+``conftest.py`` pytest imported first, which broke collection when the
+benchmark suite's conftest shadowed ours.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.common.types import OpKind
+from repro.history.events import Operation
+from repro.history.history import History
+
+_ids = itertools.count(1)
+
+
+def w(client, value, start, end, op_id=None, timestamp=None):
+    """A write operation literal (client writes its own register)."""
+    return Operation(
+        op_id=next(_ids) if op_id is None else op_id,
+        client=client,
+        kind=OpKind.WRITE,
+        register=client,
+        value=value,
+        invoked_at=start,
+        responded_at=end,
+        timestamp=timestamp,
+    )
+
+
+def r(client, register, value, start, end, op_id=None, timestamp=None):
+    """A read operation literal; ``value`` is the returned value."""
+    return Operation(
+        op_id=next(_ids) if op_id is None else op_id,
+        client=client,
+        kind=OpKind.READ,
+        register=register,
+        value=value,
+        invoked_at=start,
+        responded_at=end,
+        timestamp=timestamp,
+    )
+
+
+def h(*operations) -> History:
+    return History(operations)

@@ -1,0 +1,351 @@
+"""The unified ``repro.api`` facade, exercised across every backend.
+
+The same read/write/failure scenario matrix runs against the FAUST,
+lock-step and unchecked backends (plus plain USTOR): the *interface*
+stays identical, the *guarantees* differ exactly as the paper says they
+must — the tampering scenario is detected by every checked protocol and
+sails through the unchecked baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BACKENDS,
+    Backend,
+    CapabilityError,
+    FailureNotification,
+    FaustBackend,
+    FaustParams,
+    LockstepBackend,
+    OperationFailed,
+    OperationTimeout,
+    StabilityNotification,
+    SystemConfig,
+    UncheckedBackend,
+    UstorBackend,
+    get_backend,
+    open_system,
+)
+from repro.baselines.lockstep import TamperingLockStepServer
+from repro.baselines.unchecked import LyingUncheckedServer
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.types import BOTTOM, OpKind
+from repro.ustor.byzantine import TamperingServer, UnresponsiveServer
+
+ALL_BACKENDS = [FaustBackend(), UstorBackend(), LockstepBackend(), UncheckedBackend()]
+IDS = [b.name for b in ALL_BACKENDS]
+
+
+def quiet_config(num_clients=2, seed=5, **overrides) -> SystemConfig:
+    """A config whose FAUST deployments run no background machinery, so
+    the same scripted schedules behave identically across backends."""
+    overrides.setdefault(
+        "faust", FaustParams(enable_dummy_reads=False, enable_probes=False)
+    )
+    return SystemConfig(num_clients=num_clients, seed=seed, **overrides)
+
+
+# --------------------------------------------------------------------- #
+# The shared scenario matrix
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS, ids=IDS)
+class TestScenarioMatrix:
+    def test_write_read_roundtrip(self, backend):
+        system = backend.open_system(quiet_config())
+        alice, bob = system.session(0), system.session(1)
+        t = alice.write_sync(b"hello")
+        assert t >= 1
+        value, _ = bob.read_sync(0)
+        assert value == b"hello"
+
+    def test_read_unwritten_register_returns_bottom(self, backend):
+        system = backend.open_system(quiet_config())
+        value, _ = system.session(0).read_sync(1)
+        assert value is BOTTOM
+
+    def test_timestamps_monotone_per_client(self, backend):
+        system = backend.open_system(quiet_config())
+        session = system.session(0)
+        stamps = [session.write_sync(b"v%d" % i) for i in range(4)]
+        assert stamps == sorted(stamps) and len(set(stamps)) == 4
+
+    def test_pipelined_handles_settle_in_order(self, backend):
+        system = backend.open_system(quiet_config())
+        session = system.session(0)
+        handles = [session.write(b"w%d" % i) for i in range(3)]
+        handles.append(session.read(1))
+        assert session.outstanding == 4
+        session.barrier()
+        assert all(h.done() for h in handles)
+        assert session.outstanding == 0
+        results = [h.result() for h in handles]
+        writes = [r.timestamp for r in results[:3]]
+        assert writes == sorted(writes)
+        assert results[3].kind is OpKind.READ and results[3].value is BOTTOM
+
+    def test_add_done_callback(self, backend):
+        system = backend.open_system(quiet_config())
+        session = system.session(0)
+        seen = []
+        handle = session.write(b"x")
+        handle.add_done_callback(seen.append)
+        assert handle.result().value == b"x"
+        assert seen == [handle]
+        # Late registration fires immediately.
+        handle.add_done_callback(seen.append)
+        assert seen == [handle, handle]
+
+    def test_tampering_scenario_matrix(self, backend):
+        """The same attack; the guarantee differs per backend."""
+        factories = {
+            "faust": lambda n, name: TamperingServer(n, 0, name=name),
+            "ustor": lambda n, name: TamperingServer(n, 0, name=name),
+            "lockstep": lambda n, name: TamperingLockStepServer(n, 0, name=name),
+            "unchecked": lambda n, name: LyingUncheckedServer(n, 0, name=name),
+        }
+        system = backend.open_system(
+            quiet_config(seed=7, server_factory=factories[backend.name])
+        )
+        writer, reader = system.session(0), system.session(1)
+        writer.write_sync(b"genuine")
+        if backend.capabilities.failure_detection:
+            with pytest.raises(OperationFailed):
+                reader.read_sync(0)
+            assert reader.failed
+            assert system.notifications.failure_events()
+        else:
+            value, _ = reader.read_sync(0)
+            assert value.startswith(b"FABRICATED")  # believed blindly
+            assert not reader.failed
+            assert not system.notifications.failure_events()
+
+    def test_stability_surface_matches_capability(self, backend):
+        system = backend.open_system(quiet_config())
+        session = system.session(0)
+        if backend.capabilities.stability:
+            assert session.stability_cut == (0, 0)
+        else:
+            with pytest.raises(CapabilityError):
+                _ = session.stability_cut
+            with pytest.raises(CapabilityError):
+                session.wait_for_stability(1, timeout=10)
+
+
+# --------------------------------------------------------------------- #
+# OpHandle timeout and error paths
+# --------------------------------------------------------------------- #
+
+
+class TestHandleEdges:
+    def test_timeout_names_kind_and_register(self):
+        system = FaustBackend().open_system(
+            quiet_config(
+                seed=5,
+                server_factory=lambda n, name: UnresponsiveServer(
+                    n, victims={0}, name=name
+                ),
+            )
+        )
+        handle = system.session(0).write(b"never-acked")
+        with pytest.raises(OperationTimeout) as excinfo:
+            handle.result(timeout=30.0)
+        message = str(excinfo.value)
+        assert "write" in message and "X1" in message and "withholding" in message
+        # The timeout error satisfies both legacy contracts.
+        assert isinstance(excinfo.value, OperationFailed)
+        assert isinstance(excinfo.value, SimulationError)
+        assert not handle.done()  # still pending, not failed
+
+    def test_timeout_leaves_other_sessions_usable(self):
+        system = FaustBackend().open_system(
+            quiet_config(
+                seed=6,
+                server_factory=lambda n, name: UnresponsiveServer(
+                    n, victims={0}, name=name
+                ),
+            )
+        )
+        with pytest.raises(OperationTimeout):
+            system.session(0).write(b"blocked").result(timeout=20.0)
+        assert system.session(1).write_sync(b"fine") >= 1
+
+    def test_failure_rejects_all_outstanding_handles(self):
+        system = FaustBackend().open_system(
+            quiet_config(
+                seed=7,
+                server_factory=lambda n, name: TamperingServer(n, 0, name=name),
+            )
+        )
+        system.session(0).write_sync(b"genuine")
+        reader = system.session(1)
+        first = reader.read(0)
+        queued = reader.read(0)  # pipelined behind the poisoned read
+        with pytest.raises(OperationFailed):
+            first.result()
+        assert queued.done()
+        assert isinstance(queued.exception(), OperationFailed)
+        with pytest.raises(OperationFailed):
+            queued.result()
+
+    def test_submitting_on_failed_client_raises(self):
+        from repro.common.errors import ProtocolError
+
+        system = FaustBackend().open_system(
+            quiet_config(
+                seed=8,
+                server_factory=lambda n, name: TamperingServer(n, 0, name=name),
+            )
+        )
+        system.session(0).write_sync(b"genuine")
+        reader = system.session(1)
+        with pytest.raises(OperationFailed):
+            reader.read_sync(0)
+        with pytest.raises(ProtocolError):
+            reader.read(0)
+
+    def test_barrier_timeout(self):
+        system = FaustBackend().open_system(
+            quiet_config(
+                seed=9,
+                server_factory=lambda n, name: UnresponsiveServer(
+                    n, victims={0}, name=name
+                ),
+            )
+        )
+        session = system.session(0)
+        session.write(b"stuck")
+        with pytest.raises(OperationTimeout, match="barrier"):
+            session.barrier(timeout=25.0)
+
+
+# --------------------------------------------------------------------- #
+# Notification subscriptions
+# --------------------------------------------------------------------- #
+
+
+class TestNotifications:
+    def _stability_system(self, seed=11):
+        return FaustBackend().open_system(
+            SystemConfig(
+                num_clients=2,
+                seed=seed,
+                faust=FaustParams(dummy_read_period=2.0),
+            )
+        )
+
+    def test_stability_events_ordered_and_monotone(self):
+        system = self._stability_system()
+        sub = system.notifications.subscribe(kinds=StabilityNotification)
+        session = system.session(0)
+        t = session.write_sync(b"document")
+        assert session.wait_for_stability(t, timeout=2_000)
+        events = sub.events
+        assert events, "stability must produce notifications"
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        # Each client's cut only ever grows, component-wise.
+        last: dict[int, tuple[int, ...]] = {}
+        for event in events:
+            previous = last.get(event.client)
+            if previous is not None:
+                assert all(a >= b for a, b in zip(event.cut, previous))
+            last[event.client] = event.cut
+
+    def test_client_filter_and_unsubscribe(self):
+        system = self._stability_system(seed=12)
+        only_alice = system.notifications.subscribe(
+            kinds=StabilityNotification, clients=[0]
+        )
+        everything = system.notifications.subscribe()
+        session = system.session(0)
+        t = session.write_sync(b"x")
+        session.wait_for_stability(t, timeout=2_000)
+        assert only_alice.events and all(e.client == 0 for e in only_alice.events)
+        count = len(everything.events)
+        assert count >= len(only_alice.events)
+        everything.unsubscribe()
+        t2 = session.write_sync(b"y")
+        session.wait_for_stability(t2, timeout=2_000)
+        assert len(everything.events) == count  # frozen after unsubscribe
+        assert len(system.notifications.history) > count
+
+    def test_callback_delivery_matches_events(self):
+        system = self._stability_system(seed=13)
+        seen = []
+        system.notifications.subscribe(seen.append, kinds=StabilityNotification)
+        session = system.session(0)
+        t = session.write_sync(b"z")
+        session.wait_for_stability(t, timeout=2_000)
+        assert seen == system.notifications.stability_events()
+
+    def test_failure_events_reach_every_client(self):
+        from repro.workloads.scenarios import split_brain_scenario
+
+        result = split_brain_scenario(num_clients=4, seed=11, run_for=2_000.0)
+        events = result.system.notifications.failure_events()
+        assert {e.client for e in events} == {0, 1, 2, 3}
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        for event in events:
+            assert isinstance(event, FailureNotification) and event.reason
+
+
+# --------------------------------------------------------------------- #
+# Backend registry and config validation
+# --------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(BACKENDS) == {"faust", "ustor", "lockstep", "unchecked"}
+        for name, backend in BACKENDS.items():
+            assert isinstance(backend, Backend)
+            assert get_backend(name) is backend
+
+    def test_get_backend_passthrough_and_unknown(self):
+        mine = FaustBackend()
+        assert get_backend(mine) is mine
+        with pytest.raises(ConfigurationError):
+            get_backend("sundr")
+
+    def test_open_system_by_name(self):
+        system = open_system(quiet_config(), backend="lockstep")
+        assert system.backend_name == "lockstep"
+        assert not system.capabilities.wait_free
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_clients=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_clients=1, default_timeout=0.0)
+
+    def test_require_capability(self):
+        system = open_system(quiet_config(), backend="unchecked")
+        system.require("timestamps")
+        with pytest.raises(CapabilityError):
+            system.require("stability")
+
+
+# --------------------------------------------------------------------- #
+# The deprecated shim
+# --------------------------------------------------------------------- #
+
+
+class TestFaustServiceShim:
+    def test_shim_warns_and_forwards(self):
+        from repro.faust.service import FaustService
+
+        system = FaustBackend().open_system(quiet_config(seed=5))
+        with pytest.warns(DeprecationWarning):
+            service = FaustService(system, 0, timeout=100.0)
+        t = service.write(b"via-shim")
+        assert t == 1
+        value, _ = service.read(0)
+        assert value == b"via-shim"
+        assert service.session.client is system.clients[0]

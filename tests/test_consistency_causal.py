@@ -15,7 +15,7 @@ from repro.consistency.causal import (
     check_causal_exhaustive,
 )
 
-from conftest import h, r, w
+from histbuild import h, r, w
 from test_consistency_linearizability import _random_history
 
 

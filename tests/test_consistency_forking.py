@@ -29,7 +29,7 @@ from repro.consistency.weak_fork import (
     validate_weak_fork_linearizability,
 )
 
-from conftest import h, r, w
+from histbuild import h, r, w
 
 
 def figure3_history():

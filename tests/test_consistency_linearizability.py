@@ -18,7 +18,7 @@ from repro.history.events import Operation
 from repro.history.history import History
 from repro.history.register_spec import is_legal_sequence
 
-from conftest import h, r, w
+from histbuild import h, r, w
 
 
 class TestLegalHistories:

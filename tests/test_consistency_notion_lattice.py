@@ -24,7 +24,7 @@ from repro.consistency.fork_star import (
 from repro.consistency.linearizability import check_linearizability
 from repro.consistency.weak_fork import check_weak_fork_linearizability_exhaustive
 
-from conftest import h, r, w
+from histbuild import h, r, w
 from test_consistency_linearizability import _random_history
 
 

@@ -12,7 +12,7 @@ from repro.consistency.causal import check_causal_consistency
 from repro.consistency.linearizability import check_linearizability
 from repro.consistency.sequential import check_sequential_consistency_exhaustive
 
-from conftest import h, r, w
+from histbuild import h, r, w
 from test_consistency_linearizability import _random_history
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.common.types import BOTTOM
 from repro.history.causality import build_causal_structure
 
-from conftest import h, r, w
+from histbuild import h, r, w
 
 
 class TestReadsFrom:

@@ -15,7 +15,7 @@ from repro.history.register_spec import (
     run_sequentially,
 )
 
-from conftest import h, r, w
+from histbuild import h, r, w
 
 
 class TestOperation:

@@ -13,7 +13,7 @@ from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
 from repro.workloads.runner import SystemBuilder
 from repro.workloads.scenarios import figure3_scenario
 
-from conftest import h, r, w
+from histbuild import h, r, w
 
 
 class TestTimeline:
