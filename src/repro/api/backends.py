@@ -54,6 +54,24 @@ class Backend(Protocol):
     def open_system(self, config: SystemConfig) -> System: ...
 
 
+def _schedule_outages(raw, config: SystemConfig) -> None:
+    # Sorted, so that when one window ends exactly where the next begins,
+    # the restart event is enqueued (and fires) before the next crash —
+    # event ties at the same virtual time break by scheduling order.
+    for start, duration in sorted(config.server_outages):
+        raw.server_outage(start, duration)
+
+
+def _reject_storage_knobs(config: SystemConfig, backend: str) -> None:
+    """The baseline servers model no durability: fail loudly rather than
+    silently ignoring storage/restart knobs."""
+    if config.storage != "memory" or config.server_outages:
+        raise ConfigurationError(
+            f"the {backend!r} backend has no storage engine: storage= and "
+            f"server_outages= are only supported on 'faust' and 'ustor'"
+        )
+
+
 class FaustBackend:
     """USTOR plus the fail-aware layer (Section 6) — the paper's service."""
 
@@ -73,7 +91,9 @@ class FaustBackend:
             offline_latency=config.offline_latency,
             server_factory=config.server_factory,
             commit_piggyback=config.commit_piggyback,
+            storage=config.storage,
         ).build_faust(**config.faust.as_kwargs())
+        _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
 
@@ -96,7 +116,9 @@ class UstorBackend:
             offline_latency=config.offline_latency,
             server_factory=config.server_factory,
             commit_piggyback=config.commit_piggyback,
+            storage=config.storage,
         ).build()
+        _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
 
@@ -111,6 +133,7 @@ class LockstepBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.baselines.lockstep import build_lockstep_system
 
+        _reject_storage_knobs(config, self.name)
         raw = build_lockstep_system(
             config.num_clients,
             seed=config.seed,
@@ -132,6 +155,7 @@ class UncheckedBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.baselines.unchecked import build_unchecked_system
 
+        _reject_storage_knobs(config, self.name)
         raw = build_unchecked_system(
             config.num_clients,
             seed=config.seed,

@@ -56,6 +56,17 @@ class SystemConfig:
     commit_piggyback: bool = False
     #: Default time budget for synchronous waits (``result``, ``barrier``).
     default_timeout: float = 1_000.0
+    #: Server durability: ``"memory"`` (the paper's volatile server),
+    #: ``"log"`` (WAL + snapshots, crash-recoverable), a ready
+    #: :class:`~repro.store.engine.StorageEngine`, or a factory
+    #: ``f(num_clients) -> StorageEngine``.  Ignored when
+    #: ``server_factory`` is given (a custom server owns its durability).
+    storage: str | Callable = "memory"
+    #: Scheduled crash-recovery windows ``(start, duration)`` for the
+    #: server: it goes down at ``start`` and recovers from its storage
+    #: engine ``duration`` later.  Only meaningful on backends whose
+    #: server supports engine recovery (``faust`` / ``ustor``).
+    server_outages: tuple[tuple[float, float], ...] = ()
     faust: FaustParams = field(default_factory=FaustParams)
 
     def __post_init__(self) -> None:
@@ -63,3 +74,18 @@ class SystemConfig:
             raise ConfigurationError("need at least one client")
         if self.default_timeout <= 0:
             raise ConfigurationError("default_timeout must be positive")
+        for window in self.server_outages:
+            if len(window) != 2 or window[0] < 0 or window[1] <= 0:
+                raise ConfigurationError(
+                    f"server outages are (non-negative start, positive "
+                    f"duration) pairs, got {window!r}"
+                )
+        ordered = sorted(self.server_outages)
+        for (start1, duration1), (start2, _d2) in zip(ordered, ordered[1:]):
+            if start2 < start1 + duration1:
+                # Overlap would end the longer window at the shorter one's
+                # restart; reject rather than quietly shorten an outage.
+                raise ConfigurationError(
+                    f"server outage windows overlap: "
+                    f"({start1}, {duration1}) and ({start2}, {_d2})"
+                )

@@ -7,6 +7,8 @@ message statistics::
     python -m repro run --clients 3 --ops 6 --server correct --check
     python -m repro run --server split-brain --backend faust --until 600
     python -m repro run --backend lockstep --ops 4   # baseline protocols
+    python -m repro run --storage log --outage 25 20 --backend faust
+    python -m repro run --server rollback --backend faust  # stale-snapshot attack
     python -m repro attacks                       # list server behaviours
     python -m repro experiments --quick           # run the E* harness
 
@@ -34,6 +36,7 @@ from repro.ustor.byzantine import (
     Fig3Server,
     ForgingServer,
     ReplayServer,
+    RollbackServer,
     SplitBrainServer,
     TamperingServer,
     UnresponsiveServer,
@@ -56,6 +59,9 @@ SERVERS = {
         name=name,
     ),
     "figure3": lambda n, name: Fig3Server(n, writer=0, victim=1, name=name),
+    "rollback": lambda n, name: RollbackServer(
+        n, snapshot_after_submits=2, rollback_after_submits=6, outage=5.0, name=name
+    ),
 }
 
 #: The baseline protocols speak their own wire formats, so Byzantine
@@ -81,6 +87,8 @@ ATTACK_NOTES = {
     "split-brain": "forks even/odd clients at t=10 — FAUST-detectable",
     "figure3": "the paper's hiding attack (invisible to USTOR under the "
     "exact Figure 3 schedule; see examples/forking_attack.py)",
+    "rollback": "crashes, then recovers from a stale snapshot — caught at "
+    "lines 36/43/51 or by FAUST version comparison",
 }
 
 
@@ -103,11 +111,32 @@ def _cmd_run(args) -> int:
             f"{backend!r} backend (available: {', '.join(sorted(table))})"
         )
         return 2
+    if backend in BASELINE_SERVERS and (args.storage != "memory" or args.outage):
+        print(
+            f"--storage/--outage need a server with a storage engine; the "
+            f"{backend!r} backend has none (use faust or ustor)"
+        )
+        return 2
+    if args.server != "correct" and (args.storage != "memory" or args.outage):
+        print(
+            f"--storage/--outage configure the correct server; the "
+            f"{args.server!r} behaviour owns its durability and fault "
+            f"schedule (the rollback server, e.g., builds its own log engine)"
+        )
+        return 2
+    outages = tuple((start, duration) for start, duration in (args.outage or ()))
+    # The correct server takes its engine from --storage; Byzantine servers
+    # own their durability (the rollback one builds its own log engine).
+    factory = None if args.server == "correct" else table[args.server]
+    if backend in BASELINE_SERVERS:
+        factory = table[args.server]
     system = open_system(
         SystemConfig(
             num_clients=args.clients,
             seed=args.seed,
-            server_factory=table[args.server],
+            server_factory=factory,
+            storage=args.storage,
+            server_outages=outages,
         ),
         backend=backend,
     )
@@ -129,6 +158,12 @@ def _cmd_run(args) -> int:
           f"backend={backend}, seed={args.seed}")
     print(f"# completed {driver.stats.total_completed()}/{driver.stats.total_planned()} "
           f"operations by t={system.now:.1f}")
+    server = system.server
+    if getattr(server, "restarts", 0):
+        engine = server.engine
+        print(f"# server storage={engine.name}: {server.restarts} restart(s), "
+              f"{getattr(engine, 'last_recovery_replayed', 0)} WAL record(s) "
+              f"replayed, {getattr(engine, 'snapshots_taken', 0)} snapshot(s)")
     if args.history:
         print()
         print(history.describe())
@@ -212,6 +247,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument(
         "--faust", action="store_true", help="alias for --backend faust"
+    )
+    run.add_argument(
+        "--storage",
+        choices=("memory", "log"),
+        default="memory",
+        help="server durability: volatile (paper) or WAL+snapshots",
+    )
+    run.add_argument(
+        "--outage",
+        nargs=2,
+        type=float,
+        action="append",
+        metavar=("START", "DURATION"),
+        help="schedule a server crash-recovery window (repeatable)",
     )
     run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
     run.add_argument("--check", action="store_true", help="run consistency checkers")

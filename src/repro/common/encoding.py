@@ -20,6 +20,14 @@ tag 0x06  enum members (encoded by class and name)
 
 All lengths are 8-byte big-endian, making the encoding a prefix code and
 therefore injective on the supported type universe.
+
+Because the encoding is a prefix code it is also *decodable*:
+:func:`decode` is the exact inverse used by the storage engine
+(:mod:`repro.store`) to persist server state — the same bytes that are
+signed can be replayed from disk.  Sequences decode as tuples (lists and
+tuples encode identically); enum members decode through an explicit
+registry passed by the caller, keeping this module free of protocol
+imports.
 """
 
 from __future__ import annotations
@@ -100,3 +108,90 @@ def encode(*values: Any) -> bytes:
 def encode_sequence(values: Iterable[Any]) -> bytes:
     """Encode an iterable of values (materialised as a tuple)."""
     return encode(tuple(values))
+
+
+# --------------------------------------------------------------------- #
+# Decoding — the inverse, used by repro.store for durable server state
+# --------------------------------------------------------------------- #
+
+
+def _take(data: bytes, offset: int, count: int) -> tuple[bytes, int]:
+    end = offset + count
+    if end > len(data):
+        raise EncodingError(
+            f"truncated encoding: needed {count} byte(s) at offset {offset}, "
+            f"only {len(data) - offset} available"
+        )
+    return data[offset:end], end
+
+
+def _decode_one(
+    data: bytes, offset: int, enum_lookup: dict[str, enum.Enum]
+) -> tuple[Any, int]:
+    tag, offset = _take(data, offset, 1)
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        raw, offset = _take(data, offset, 1)
+        if raw not in (b"\x00", b"\x01"):
+            raise EncodingError(f"malformed bool payload {raw!r}")
+        return raw == b"\x01", offset
+    if tag == _TAG_INT:
+        sign, offset = _take(data, offset, 1)
+        if sign not in (b"\x00", b"\x01"):
+            raise EncodingError(f"malformed int sign byte {sign!r}")
+        raw, offset = _take(data, offset, _LEN_BYTES)
+        payload, offset = _take(data, offset, int.from_bytes(raw, "big"))
+        magnitude = int.from_bytes(payload, "big")
+        return (magnitude if sign == b"\x01" else -magnitude), offset
+    if tag == _TAG_BYTES:
+        raw, offset = _take(data, offset, _LEN_BYTES)
+        payload, offset = _take(data, offset, int.from_bytes(raw, "big"))
+        return payload, offset
+    if tag == _TAG_STR:
+        raw, offset = _take(data, offset, _LEN_BYTES)
+        payload, offset = _take(data, offset, int.from_bytes(raw, "big"))
+        return payload.decode("utf-8"), offset
+    if tag == _TAG_SEQ:
+        raw, offset = _take(data, offset, _LEN_BYTES)
+        count = int.from_bytes(raw, "big")
+        items = []
+        for _ in range(count):
+            item, offset = _decode_one(data, offset, enum_lookup)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _TAG_ENUM:
+        raw, offset = _take(data, offset, _LEN_BYTES)
+        payload, offset = _take(data, offset, int.from_bytes(raw, "big"))
+        name = payload.decode("utf-8")
+        try:
+            return enum_lookup[name], offset
+        except KeyError:
+            raise EncodingError(
+                f"cannot decode enum member {name!r}: its class was not "
+                f"passed in ``enums``"
+            ) from None
+    raise EncodingError(f"unknown encoding tag 0x{tag.hex()} at offset {offset - 1}")
+
+
+def decode(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
+    """Inverse of :func:`encode`: ``decode(encode(a, b)) == (a, b)``.
+
+    ``enums`` lists the enum classes that may appear in the payload (their
+    members are keyed by ``ClassName.MEMBER``, exactly as encoded).  Lists
+    always decode as tuples — the encoder does not distinguish them.
+    Raises :class:`EncodingError` on truncation, trailing bytes, unknown
+    tags, or enum members outside the registry.
+    """
+    lookup: dict[str, enum.Enum] = {
+        f"{cls.__name__}.{member.name}": member for cls in enums for member in cls
+    }
+    value, offset = _decode_one(bytes(data), 0, lookup)
+    if offset != len(data):
+        raise EncodingError(
+            f"trailing garbage: {len(data) - offset} byte(s) after a complete "
+            f"encoding"
+        )
+    if not isinstance(value, tuple):
+        raise EncodingError("top-level encoding must be a sequence")
+    return value

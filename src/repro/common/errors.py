@@ -30,6 +30,15 @@ class UnknownSignerError(CryptoError):
     """A signature was requested for or attributed to an unknown client."""
 
 
+class StorageError(ReproError):
+    """The durable storage engine hit corrupt or inconsistent on-disk state.
+
+    A *torn WAL tail* (the expected artifact of crashing mid-append) is not
+    an error — recovery stops at it; a corrupt snapshot is, because
+    snapshots are written atomically and must never be half-present.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

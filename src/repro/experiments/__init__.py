@@ -19,6 +19,7 @@ from repro.experiments import (
     e12_notion_separation,
     e13_digest_ablation,
     e14_definition5_validation,
+    e15_rollback_recovery,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = [
     e12_notion_separation,
     e13_digest_ablation,
     e14_definition5_validation,
+    e15_rollback_recovery,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

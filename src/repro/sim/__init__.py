@@ -2,9 +2,11 @@
 
 Provides the asynchronous system model of Section 2: a seeded event loop,
 reliable FIFO client-server channels, the offline client-to-client channel,
-crash-stop processes, periodic timers, and run tracing/metrics.
+crash-stop and crash-recovery processes (with scheduled server faults),
+periodic timers, and run tracing/metrics.
 """
 
+from repro.sim.faults import ServerFaultInjector
 from repro.sim.metrics import Counter, MetricsRegistry, Sample, Summary, summarize
 from repro.sim.network import (
     ExponentialLatency,
@@ -36,6 +38,7 @@ __all__ = [
     "PeriodicTimer",
     "Sample",
     "Scheduler",
+    "ServerFaultInjector",
     "SimTrace",
     "Summary",
     "UniformLatency",

@@ -1,0 +1,69 @@
+"""Scheduled server faults: crash-stop, crash-recovery, outage windows.
+
+The paper's fault model gives the server two modes only — correct or
+Byzantine — and clients crash-stop.  The storage-engine work adds the
+missing production mode: a server that *crashes and recovers from disk*.
+This module schedules those faults as first-class simulation events, so a
+scenario can declare "the server is down over [t, t+d)" and the rest of
+the deployment observes exactly what real clients would: requests held by
+their reliable channels, then served after recovery.
+
+Recovery semantics live elsewhere by design: *what* the server comes back
+with is its :class:`~repro.store.engine.StorageEngine`'s recovery (see
+``UstorServer.on_restart``), and *deliberately wrong* recovery is the
+rollback adversary (:class:`~repro.ustor.byzantine.RollbackServer`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Node
+    from repro.sim.scheduler import Scheduler
+    from repro.sim.trace import SimTrace
+
+
+class ServerFaultInjector:
+    """Schedules crash/restart events against one server process."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        server: "Node",
+        trace: "SimTrace | None" = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._server = server
+        self._trace = trace
+
+    def crash_at(self, time: float) -> None:
+        """Crash the server at absolute virtual ``time``."""
+        self._scheduler.schedule_at(time, self._crash)
+
+    def restart_at(self, time: float) -> None:
+        """Restart (recover) the server at absolute virtual ``time``."""
+        self._scheduler.schedule_at(time, self._restart)
+
+    def outage(self, start: float, duration: float) -> None:
+        """One crash-recovery window: down over ``[start, start+duration)``."""
+        if duration <= 0:
+            raise SimulationError("outage windows need positive duration")
+        self.crash_at(start)
+        self.restart_at(start + duration)
+
+    # ---------------------------------------------------------------- #
+
+    def _crash(self) -> None:
+        self._server.crash()
+        if self._trace is not None:
+            self._trace.note(self._scheduler.now, self._server.name, "server-crash")
+
+    def _restart(self) -> None:
+        self._server.restart()
+        if self._trace is not None:
+            self._trace.note(
+                self._scheduler.now, self._server.name, "server-restart"
+            )

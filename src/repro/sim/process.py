@@ -5,6 +5,16 @@ more channels.  Clients, servers (correct and Byzantine) and test stubs all
 derive from it.  Crashing is modelled here because the paper allows *any
 number of clients* to crash (Section 2): a crashed node silently stops
 receiving and sending, and its pending timers become inert.
+
+Crash-*recovery* is modelled here too (the storage-engine work extends
+the fault model beyond the paper's crash-stop): a node whose class sets
+``holds_mail_while_down`` keeps messages delivered during its downtime
+and replays them, in arrival order, when :meth:`Node.restart` brings it
+back — the reliable FIFO channels of the model outliving one endpoint's
+restart, exactly as clients that retry against a recovering server would
+observe.  What *state* the node comes back with is the subclass's
+business (:meth:`Node.on_restart`); for the USTOR server that is its
+:class:`~repro.store.engine.StorageEngine`'s recovery.
 """
 
 from __future__ import annotations
@@ -21,11 +31,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class Node:
     """Base class for every simulated party."""
 
+    #: When True, messages delivered while this node is down are held and
+    #: replayed by :meth:`restart`; when False (crash-stop, the default)
+    #: they are dropped.
+    holds_mail_while_down = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._scheduler: "Scheduler | None" = None
         self._network: "Network | None" = None
         self._crashed = False
+        self._held_mail: list[tuple[str, Any]] = []
 
     # ------------------------------------------------------------------ #
     # Wiring
@@ -64,6 +80,27 @@ class Node:
         """Crash-stop this node: no further sends, receives, or timer work."""
         self._crashed = True
 
+    def restart(self) -> None:
+        """Return from a crash (crash-*recovery*, not the paper's crash-stop).
+
+        Runs :meth:`on_restart` first — the subclass's chance to restore
+        durable state — then replays any mail held during the downtime, in
+        arrival order.  A no-op on a node that is not down.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.on_restart()
+        held, self._held_mail = self._held_mail, []
+        for src, message in held:
+            if self._crashed:  # a replayed message may crash us again
+                self._held_mail.append((src, message))
+                continue
+            self.on_message(src, message)
+
+    def on_restart(self) -> None:
+        """Hook: restore state from durable storage before mail replays."""
+
     # ------------------------------------------------------------------ #
     # Messaging
     # ------------------------------------------------------------------ #
@@ -82,6 +119,8 @@ class Node:
     def deliver(self, src: str, message: Any) -> None:
         """Entry point used by channels; filters deliveries after a crash."""
         if self._crashed:
+            if self.holds_mail_while_down:
+                self._held_mail.append((src, message))
             return
         self.on_message(src, message)
 

@@ -1,0 +1,214 @@
+"""Canonical codec for durable server state.
+
+Serializes the server-side protocol structures — :class:`ServerState` and
+everything reachable from it, plus the two state-transition messages the
+WAL records — through the same tag-length-value encoding the protocol
+already signs with (:mod:`repro.common.encoding`).  One codec, three
+consumers:
+
+* the log-structured engine's WAL records and snapshots,
+* deterministic crash recovery (``decode(encode(state))`` is structurally
+  equal to ``state.clone()`` — the *restore-is-clone* equivalence the
+  rollback adversary exploits and ``tests/test_store_codec.py`` pins),
+* byte-identity checks: two states are equal iff their encodings are.
+
+Every ``*_to_tuple`` function produces plain encodable values (ints,
+bytes, ``None``, enums, tuples); every ``*_from_tuple`` validates shape
+and raises :class:`EncodingError` on malformed input, so a corrupt WAL
+record can never half-build a state object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError
+from repro.common.types import BOTTOM, ClientId, OpKind
+from repro.ustor.messages import (
+    CommitMessage,
+    InvocationTuple,
+    MemEntry,
+    SignedVersion,
+    SubmitMessage,
+)
+from repro.ustor.server import ServerState
+from repro.ustor.version import Version
+
+
+def _shape(value: Any, length: int, what: str) -> tuple:
+    if not isinstance(value, tuple) or len(value) != length:
+        raise EncodingError(f"malformed {what} encoding: {value!r}")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# Versions
+# --------------------------------------------------------------------- #
+
+
+def version_to_tuple(version: Version) -> tuple:
+    return (version.vector, version.digests)
+
+
+def version_from_tuple(data: tuple) -> Version:
+    vector, digests = _shape(data, 2, "Version")
+    return Version(vector=tuple(vector), digests=tuple(digests))
+
+
+def signed_version_to_tuple(signed: SignedVersion) -> tuple:
+    return (version_to_tuple(signed.version), signed.commit_sig)
+
+
+def signed_version_from_tuple(data: tuple) -> SignedVersion:
+    version, commit_sig = _shape(data, 2, "SignedVersion")
+    return SignedVersion(version=version_from_tuple(version), commit_sig=commit_sig)
+
+
+# --------------------------------------------------------------------- #
+# MEM entries and invocation tuples
+# --------------------------------------------------------------------- #
+
+
+def mem_entry_to_tuple(entry: MemEntry) -> tuple:
+    # BOTTOM (outside the value domain) maps to None; MemEntry.value is
+    # never None, so the mapping is unambiguous.
+    value = None if entry.value is BOTTOM else entry.value
+    return (entry.timestamp, value, entry.data_sig)
+
+
+def mem_entry_from_tuple(data: tuple) -> MemEntry:
+    timestamp, value, data_sig = _shape(data, 3, "MemEntry")
+    return MemEntry(
+        timestamp=timestamp,
+        value=BOTTOM if value is None else value,
+        data_sig=data_sig,
+    )
+
+
+def invocation_to_tuple(invocation: InvocationTuple) -> tuple:
+    return (
+        invocation.client,
+        invocation.opcode,
+        invocation.register,
+        invocation.submit_sig,
+    )
+
+
+def invocation_from_tuple(data: tuple) -> InvocationTuple:
+    client, opcode, register, submit_sig = _shape(data, 4, "InvocationTuple")
+    if not isinstance(opcode, OpKind):
+        raise EncodingError(f"invocation opcode is not an OpKind: {opcode!r}")
+    return InvocationTuple(
+        client=client, opcode=opcode, register=register, submit_sig=submit_sig
+    )
+
+
+# --------------------------------------------------------------------- #
+# The two state-transition messages (WAL record payloads)
+# --------------------------------------------------------------------- #
+
+
+def commit_to_tuple(message: CommitMessage) -> tuple:
+    return (
+        version_to_tuple(message.version),
+        message.commit_sig,
+        message.proof_sig,
+    )
+
+
+def commit_from_tuple(data: tuple) -> CommitMessage:
+    version, commit_sig, proof_sig = _shape(data, 3, "CommitMessage")
+    return CommitMessage(
+        version=version_from_tuple(version),
+        commit_sig=commit_sig,
+        proof_sig=proof_sig,
+    )
+
+
+def submit_to_tuple(message: SubmitMessage) -> tuple:
+    piggyback = (
+        None if message.piggyback is None else commit_to_tuple(message.piggyback)
+    )
+    return (
+        message.timestamp,
+        invocation_to_tuple(message.invocation),
+        message.value,
+        message.data_sig,
+        piggyback,
+    )
+
+
+def submit_from_tuple(data: tuple) -> SubmitMessage:
+    timestamp, invocation, value, data_sig, piggyback = _shape(
+        data, 5, "SubmitMessage"
+    )
+    return SubmitMessage(
+        timestamp=timestamp,
+        invocation=invocation_from_tuple(invocation),
+        value=value,
+        data_sig=data_sig,
+        piggyback=None if piggyback is None else commit_from_tuple(piggyback),
+    )
+
+
+# --------------------------------------------------------------------- #
+# ServerState
+# --------------------------------------------------------------------- #
+
+
+def state_to_tuple(state: ServerState) -> tuple:
+    return (
+        state.num_clients,
+        tuple(mem_entry_to_tuple(entry) for entry in state.mem),
+        state.commit_index,
+        tuple(signed_version_to_tuple(signed) for signed in state.sver),
+        tuple(invocation_to_tuple(inv) for inv in state.pending),
+        tuple(state.proofs),
+    )
+
+
+def state_from_tuple(data: tuple) -> ServerState:
+    num_clients, mem, commit_index, sver, pending, proofs = _shape(
+        data, 6, "ServerState"
+    )
+    return ServerState(
+        num_clients=num_clients,
+        mem=[mem_entry_from_tuple(entry) for entry in mem],
+        commit_index=commit_index,
+        sver=[signed_version_from_tuple(signed) for signed in sver],
+        pending=[invocation_from_tuple(inv) for inv in pending],
+        proofs=list(proofs),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Byte-level convenience
+# --------------------------------------------------------------------- #
+
+
+def decode_payload(data: bytes) -> tuple:
+    """Decode one canonical payload (enum-aware); returns the value tuple."""
+    return decode(data, enums=(OpKind,))
+
+
+def encode_server_state(state: ServerState) -> bytes:
+    """The canonical byte form of a server state: equal states, equal bytes."""
+    return encode(state_to_tuple(state))
+
+
+def decode_server_state(data: bytes) -> ServerState:
+    (state_tuple,) = decode_payload(data)
+    return state_from_tuple(state_tuple)
+
+
+def encode_wal_submit(seq: int, message: SubmitMessage) -> bytes:
+    return encode(("S", seq, submit_to_tuple(message)))
+
+
+def encode_wal_commit(seq: int, client: ClientId, message: CommitMessage) -> bytes:
+    return encode(("C", seq, client, commit_to_tuple(message)))
+
+
+def encode_snapshot(covered_seq: int, state: ServerState) -> bytes:
+    return encode(("SNAP", covered_seq, state_to_tuple(state)))

@@ -1,0 +1,317 @@
+"""Pluggable server storage engines: volatile, or WAL + snapshots.
+
+The paper specifies the server (Algorithm 2) as volatile state; a
+production untrusted store must persist it, and *how* it persists it is a
+new attack surface — a server that restarts from a stale checkpoint
+mounts a rollback/fork attack that fail-aware clients detect.  This
+module gives the server a durability axis:
+
+* :class:`MemoryEngine` — the paper's volatile server.  Nothing survives
+  a crash; a restarted server comes back empty-handed (which honest
+  clients detect exactly like a rollback-to-zero).
+* :class:`LogStructuredEngine` — an append-only write-ahead log of state
+  transitions (the SUBMIT/COMMIT messages, which are the *only* inputs
+  that mutate ``ServerState``) plus periodic snapshots.  Recovery loads
+  the latest snapshot and replays the WAL suffix; because
+  :func:`~repro.ustor.server.apply_submit` and
+  :func:`~repro.ustor.server.apply_commit` are pure state-machine
+  functions, replay reproduces the pre-crash state byte-for-byte.
+
+WAL framing: each record is ``len(4B BE) || crc32(4B BE) || payload``.
+A torn tail (partial header, partial payload, or CRC mismatch — the
+expected artifact of crashing mid-append) silently ends replay; a corrupt
+*snapshot* raises :class:`StorageError`, because snapshots are replaced
+atomically and must never be half-present.
+
+Compaction is driven by two signals: a plain record-count threshold
+(``snapshot_interval``) and the COMMIT/GC signal — when a COMMIT prunes
+the pending list (Section 5's garbage collection), the state is at its
+smallest, so the engine checkpoints at the lower
+``gc_snapshot_interval`` threshold.  A checkpoint atomically replaces the
+snapshot and truncates the WAL.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.common.types import ClientId
+from repro.store.codec import (
+    commit_from_tuple,
+    decode_payload,
+    encode_snapshot,
+    encode_wal_commit,
+    encode_wal_submit,
+    state_from_tuple,
+    submit_from_tuple,
+)
+from repro.store.media import InMemoryMedium, Medium
+from repro.ustor.messages import CommitMessage, SubmitMessage
+from repro.ustor.server import ServerState, apply_commit, apply_submit
+
+_FRAME_HEADER_BYTES = 8  # 4-byte length + 4-byte crc32
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap a payload in the WAL frame: length, CRC, payload."""
+    return (
+        len(payload).to_bytes(4, "big")
+        + zlib.crc32(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+def iter_frames(data: bytes) -> Iterator[bytes]:
+    """Yield framed payloads; stop silently at a torn or corrupt tail."""
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _FRAME_HEADER_BYTES > total:
+            return  # torn header
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        crc = int.from_bytes(data[offset + 4 : offset + 8], "big")
+        end = offset + _FRAME_HEADER_BYTES + length
+        if end > total:
+            return  # torn payload
+        payload = data[offset + _FRAME_HEADER_BYTES : end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt tail
+        yield payload
+        offset = end
+
+
+class StorageEngine(ABC):
+    """Durability contract between :class:`~repro.ustor.server.UstorServer`
+    and its storage.
+
+    The server calls :meth:`recover` once at construction and again on
+    every restart; it calls :meth:`log_submit`/:meth:`log_commit` *before*
+    externalizing the corresponding REPLY (write-ahead discipline), and
+    :meth:`maybe_checkpoint` after each applied transition.
+    """
+
+    name: str = "abstract"
+    #: Does state survive a crash/restart cycle?
+    durable: bool = False
+
+    def __init__(self, num_clients: int) -> None:
+        if num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        self._n = num_clients
+
+    @property
+    def num_clients(self) -> int:
+        return self._n
+
+    @abstractmethod
+    def recover(self, replay_wal: bool = True) -> ServerState:
+        """The state to serve from: initial on first boot, reconstructed
+        from durable storage after a crash.  ``replay_wal=False`` restores
+        the latest snapshot *without* the WAL suffix — the honest engine
+        never does this; the rollback adversary's whole attack is doing
+        exactly this."""
+
+    @abstractmethod
+    def log_submit(self, message: SubmitMessage) -> None:
+        """Record a SUBMIT transition before its REPLY leaves the server."""
+
+    @abstractmethod
+    def log_commit(self, client: ClientId, message: CommitMessage) -> None:
+        """Record a COMMIT transition."""
+
+    def maybe_checkpoint(self, state: ServerState, gc_advanced: bool = False) -> None:
+        """Checkpoint if the engine's policy says so; ``gc_advanced`` marks
+        transitions where COMMIT pruned the pending list."""
+
+    def checkpoint(self, state: ServerState) -> None:
+        """Force a snapshot of ``state`` and compact the log."""
+
+
+class MemoryEngine(StorageEngine):
+    """The paper's volatile server: nothing is ever persisted."""
+
+    name = "memory"
+    durable = False
+
+    def recover(self, replay_wal: bool = True) -> ServerState:
+        return ServerState.initial(self._n)
+
+    def log_submit(self, message: SubmitMessage) -> None:
+        pass
+
+    def log_commit(self, client: ClientId, message: CommitMessage) -> None:
+        pass
+
+
+class LogStructuredEngine(StorageEngine):
+    """WAL + snapshot persistence over a :class:`Medium`."""
+
+    name = "log"
+    durable = True
+
+    WAL = "wal"
+    SNAPSHOT = "snapshot"
+
+    def __init__(
+        self,
+        num_clients: int,
+        medium: Medium | None = None,
+        snapshot_interval: int = 64,
+        gc_snapshot_interval: int | None = None,
+    ) -> None:
+        super().__init__(num_clients)
+        if snapshot_interval < 1:
+            raise ConfigurationError("snapshot_interval must be at least 1")
+        if gc_snapshot_interval is not None and gc_snapshot_interval < 1:
+            raise ConfigurationError("gc_snapshot_interval must be at least 1")
+        self.medium = medium if medium is not None else InMemoryMedium()
+        self.snapshot_interval = snapshot_interval
+        self.gc_snapshot_interval = gc_snapshot_interval or max(
+            1, snapshot_interval // 2
+        )
+        #: Sequence number of the last appended record (monotone across
+        #: recoveries; snapshots store the sequence they cover).
+        self._seq = 0
+        self._records_since_checkpoint = 0
+        # -- instrumentation for benchmarks/experiments -------------------
+        self.wal_appends = 0
+        self.wal_bytes_written = 0
+        self.snapshots_taken = 0
+        self.last_snapshot_bytes = 0
+        self.last_recovery_replayed = 0
+
+    # ---------------------------------------------------------------- #
+    # Logging
+    # ---------------------------------------------------------------- #
+
+    def log_submit(self, message: SubmitMessage) -> None:
+        self._seq += 1
+        self._append(encode_wal_submit(self._seq, message))
+
+    def log_commit(self, client: ClientId, message: CommitMessage) -> None:
+        self._seq += 1
+        self._append(encode_wal_commit(self._seq, client, message))
+
+    def _append(self, payload: bytes) -> None:
+        framed = frame_record(payload)
+        self.medium.append(self.WAL, framed)
+        self.wal_appends += 1
+        self.wal_bytes_written += len(framed)
+        self._records_since_checkpoint += 1
+
+    # ---------------------------------------------------------------- #
+    # Checkpoints / compaction
+    # ---------------------------------------------------------------- #
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        return self._records_since_checkpoint
+
+    def maybe_checkpoint(self, state: ServerState, gc_advanced: bool = False) -> None:
+        threshold = (
+            self.gc_snapshot_interval if gc_advanced else self.snapshot_interval
+        )
+        if self._records_since_checkpoint >= threshold:
+            self.checkpoint(state)
+
+    def checkpoint(self, state: ServerState) -> None:
+        payload = encode_snapshot(self._seq, state)
+        self.medium.write_atomic(self.SNAPSHOT, frame_record(payload))
+        # Compaction: every WAL record is now covered by the snapshot.
+        self.medium.truncate(self.WAL)
+        self._records_since_checkpoint = 0
+        self.snapshots_taken += 1
+        self.last_snapshot_bytes = len(payload)
+
+    # ---------------------------------------------------------------- #
+    # Recovery
+    # ---------------------------------------------------------------- #
+
+    def recover(self, replay_wal: bool = True) -> ServerState:
+        state, covered = self._load_snapshot()
+        self._seq = covered
+        replayed = 0
+        if replay_wal:
+            data = self.medium.read(self.WAL)
+            frames = list(iter_frames(data))
+            for payload in frames:
+                record = decode_payload(payload)[0]
+                tag, seq = record[0], record[1]
+                if seq <= covered:
+                    # Crash landed between snapshot write and WAL truncate:
+                    # the record is already folded into the snapshot.
+                    continue
+                if tag == "S":
+                    apply_submit(state, submit_from_tuple(record[2]))
+                elif tag == "C":
+                    apply_commit(state, record[2], commit_from_tuple(record[3]))
+                else:
+                    raise StorageError(f"unknown WAL record tag {tag!r}")
+                self._seq = seq
+                replayed += 1
+            valid_end = sum(_FRAME_HEADER_BYTES + len(p) for p in frames)
+            if valid_end < len(data):
+                # Trim the torn tail now: appends after this recovery must
+                # not be stranded behind corrupt bytes, where the *next*
+                # recovery's replay would silently stop short of them.
+                self.medium.write_atomic(self.WAL, data[:valid_end])
+            self._records_since_checkpoint = replayed
+        else:
+            # Deliberately forget the suffix (rollback semantics): truncate
+            # so future appends cannot interleave with discarded history.
+            self.medium.truncate(self.WAL)
+            self._records_since_checkpoint = 0
+        self.last_recovery_replayed = replayed
+        return state
+
+    def _load_snapshot(self) -> tuple[ServerState, int]:
+        data = self.medium.read(self.SNAPSHOT)
+        if not data:
+            return ServerState.initial(self._n), 0
+        frames = list(iter_frames(data))
+        if len(frames) != 1:
+            raise StorageError(
+                "corrupt snapshot: snapshots are written atomically and must "
+                "contain exactly one valid frame"
+            )
+        record = decode_payload(frames[0])[0]
+        if not (isinstance(record, tuple) and len(record) == 3 and record[0] == "SNAP"):
+            raise StorageError("corrupt snapshot: malformed SNAP record")
+        _, covered, state_tuple = record
+        return state_from_tuple(state_tuple), covered
+
+
+#: Engine classes by the name ``SystemConfig.storage`` selects.
+ENGINES: dict[str, type[StorageEngine]] = {
+    MemoryEngine.name: MemoryEngine,
+    LogStructuredEngine.name: LogStructuredEngine,
+}
+
+def make_engine(
+    spec: str | StorageEngine | Callable[[int], StorageEngine],
+    num_clients: int,
+) -> StorageEngine:
+    """Resolve a storage spec: an engine name (``"memory"`` / ``"log"``),
+    an engine instance (passed through), or a factory ``f(num_clients)``."""
+    if isinstance(spec, StorageEngine):
+        return spec
+    if isinstance(spec, str):
+        try:
+            cls = ENGINES[spec]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown storage engine {spec!r}; choose from {sorted(ENGINES)}"
+            ) from None
+        return cls(num_clients)
+    if callable(spec):
+        engine = spec(num_clients)
+        if not isinstance(engine, StorageEngine):
+            raise ConfigurationError(
+                f"storage factory returned {type(engine).__name__}, "
+                f"not a StorageEngine"
+            )
+        return engine
+    raise ConfigurationError(f"cannot interpret storage spec {spec!r}")

@@ -1,0 +1,114 @@
+"""Durable media: the byte store a :class:`~repro.store.engine.StorageEngine`
+survives crashes on.
+
+A :class:`Medium` is deliberately dumber than a filesystem — named byte
+streams with append, atomic replace and truncate — because that is the
+exact durability contract write-ahead logging needs.  Two implementations:
+
+* :class:`InMemoryMedium` — bytearrays that outlive a *simulated* server
+  crash (the server process loses ``ServerState``; the medium does not).
+  This is what the deterministic tests and the crash/rollback scenarios
+  run on: "disk" survives, process memory dies.
+* :class:`DirectoryMedium` — real files under a directory, with
+  write-then-rename atomic replacement.  Used by the storage benchmarks
+  to measure the engine against an actual filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.common.errors import StorageError
+
+
+class Medium(ABC):
+    """Named durable byte streams."""
+
+    @abstractmethod
+    def read(self, name: str) -> bytes:
+        """Full contents of ``name`` (empty bytes if it does not exist)."""
+
+    @abstractmethod
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name``, creating it if needed."""
+
+    @abstractmethod
+    def write_atomic(self, name: str, data: bytes) -> None:
+        """Replace ``name`` with ``data`` atomically: readers observe either
+        the old contents or the new, never a prefix."""
+
+    @abstractmethod
+    def truncate(self, name: str) -> None:
+        """Drop the contents of ``name`` (it remains present but empty)."""
+
+    def size(self, name: str) -> int:
+        return len(self.read(name))
+
+
+class InMemoryMedium(Medium):
+    """Byte streams in host memory, distinct from simulated process state.
+
+    ``appends``/``replacements`` count the write operations so benchmarks
+    and tests can assert the engine's I/O pattern (e.g. one atomic
+    replacement per checkpoint).
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, bytearray] = {}
+        self.appends = 0
+        self.replacements = 0
+
+    def read(self, name: str) -> bytes:
+        return bytes(self._streams.get(name, b""))
+
+    def append(self, name: str, data: bytes) -> None:
+        self._streams.setdefault(name, bytearray()).extend(data)
+        self.appends += 1
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        self._streams[name] = bytearray(data)
+        self.replacements += 1
+
+    def truncate(self, name: str) -> None:
+        self._streams[name] = bytearray()
+
+    def size(self, name: str) -> int:
+        return len(self._streams.get(name, b""))
+
+
+class DirectoryMedium(Medium):
+    """Real files under one directory; atomic replace via rename."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._dir = Path(path)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise StorageError(f"invalid stream name {name!r}")
+        return self._dir / name
+
+    def read(self, name: str) -> bytes:
+        path = self._path(name)
+        if not path.exists():
+            return b""
+        return path.read_bytes()
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as stream:
+            stream.write(data)
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def truncate(self, name: str) -> None:
+        self.write_atomic(name, b"")
+
+    def size(self, name: str) -> int:
+        path = self._path(name)
+        return path.stat().st_size if path.exists() else 0

@@ -5,6 +5,7 @@ from repro.ustor.byzantine import (
     Fig3Server,
     ForgingServer,
     ReplayServer,
+    RollbackServer,
     SplitBrainServer,
     TamperingServer,
     UnresponsiveServer,
@@ -40,6 +41,7 @@ __all__ = [
     "OpOutcome",
     "ReplayServer",
     "ReplyMessage",
+    "RollbackServer",
     "ServerState",
     "SignedVersion",
     "SplitBrainServer",

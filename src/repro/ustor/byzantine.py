@@ -31,6 +31,11 @@ Summary of attacks and the layer that (provably) catches them:
                             weakly-fork-linearizable, non-fork-linearizable,
                             non-linearizable history without triggering any
                             USTOR check
+:class:`RollbackServer`     crashes and "recovers" from a deliberately
+                            stale snapshot, discarding the WAL suffix — a
+                            fork into the past, caught by the version
+                            checks (lines 36/43) on the victims' next
+                            operations and propagated system-wide by FAUST
 =====================  =============================================
 """
 
@@ -146,6 +151,81 @@ class ReplayServer(UstorServer):
         if self._frozen is not None:
             return  # pretend the commit was lost
         super().handle_commit(src, message)
+
+
+class RollbackServer(UstorServer):
+    """The crash-recovery rollback attack on a persistent server.
+
+    Runs the honest log-structured engine, checkpoints after
+    ``snapshot_after_submits`` SUBMITs, keeps serving honestly (the WAL
+    records every later transition), then after ``rollback_after_submits``
+    SUBMITs crashes and — after an ``outage``-long downtime — "recovers"
+    from the stale snapshot, discarding the WAL suffix.  Requests held
+    during the downtime are *served*, from the rolled-back state (see
+    :meth:`on_restart`): withholding them would only ever look like
+    slowness.  To a client that never operated after the checkpoint the
+    restarted server is indistinguishable from an honest recovery; any
+    client whose committed version includes a post-checkpoint operation is
+    shown a version that no longer dominates its own (Algorithm 1, line
+    36), finds its own tuple still pending (line 43), or reads data older
+    than its adopted version admits (line 51) on its next operation, and
+    FAUST turns that local detection into system-wide failure
+    notifications.
+
+    Contrast with :class:`ReplayServer`: a replayer needs to actively fork
+    state; a rollback adversary merely *restores yesterday's backup* — the
+    realism is the point.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        snapshot_after_submits: int = 2,
+        rollback_after_submits: int = 6,
+        outage: float = 5.0,
+        name: str = "S",
+        engine=None,
+    ):
+        if engine is None:
+            from repro.store.engine import LogStructuredEngine
+
+            # Manual checkpointing only: the stale point stays deterministic.
+            engine = LogStructuredEngine(num_clients, snapshot_interval=10**9)
+        super().__init__(num_clients, name=name, engine=engine)
+        if not 0 < snapshot_after_submits < rollback_after_submits:
+            raise ProtocolError(
+                "need 0 < snapshot_after_submits < rollback_after_submits"
+            )
+        self._snapshot_after = snapshot_after_submits
+        self._rollback_after = rollback_after_submits
+        self._outage = outage
+        self._rolled_back = False
+        self.rollback_crash_time: float | None = None
+        self.rollback_restart_time: float | None = None
+
+    def handle_submit(self, src: str, message: SubmitMessage) -> None:
+        super().handle_submit(src, message)
+        if self.submits_handled == self._snapshot_after:
+            self.engine.checkpoint(self.state)
+        if self.submits_handled >= self._rollback_after and not self._rolled_back:
+            self._rolled_back = True
+            self.rollback_crash_time = self.now
+            self.crash()
+            self.scheduler.schedule(self._outage, self.restart)
+
+    def on_restart(self) -> None:
+        if not self._rolled_back:
+            super().on_restart()
+            return
+        # The dishonest recovery: latest snapshot, WAL suffix discarded.
+        # Requests held during the outage are then served from the stale
+        # state — withholding them would merely look like slowness (a DoS,
+        # not provable misbehaviour); *answering* them from the past is
+        # what hands the clients their line-36/43/51 evidence.
+        self.state = self.engine.recover(replay_wal=False)
+        self.last_recovery_state = self.state.clone()
+        self.restarts += 1
+        self.rollback_restart_time = self.now
 
 
 class CrashingServer(UstorServer):

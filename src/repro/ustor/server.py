@@ -8,9 +8,20 @@ or selectively apply the honest logic to cloned states.
 The server never verifies signatures — it only stores and forwards them
 (the clients do all checking), which is why the honest implementation
 needs no key material at all.
+
+Durability is delegated: every state transition flows through a
+:class:`~repro.store.engine.StorageEngine` (write-ahead discipline — the
+transition is logged before its REPLY leaves the server), and a restart
+recovers whatever the engine can reconstruct.  With the volatile default
+engine this is exactly the paper's server; with the log-structured engine
+a crash/restart cycle is invisible to clients.  The import is lazy to
+keep ``repro.store`` (which replays through :func:`apply_submit` /
+:func:`apply_commit`) free of cycles.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from dataclasses import dataclass, field
 
@@ -25,6 +36,9 @@ from repro.ustor.messages import (
     SignedVersion,
     SubmitMessage,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.store.engine import StorageEngine
 
 
 @dataclass
@@ -129,20 +143,45 @@ def apply_commit(state: ServerState, client: ClientId, message: CommitMessage) -
 
 
 class UstorServer(Node):
-    """The correct server process."""
+    """The correct server process.
 
-    def __init__(self, num_clients: int, name: str = "S") -> None:
+    ``engine`` selects the durability model (default: the paper's volatile
+    server).  The reliable channels of the model outlive a server restart,
+    so deliveries during downtime are held and replayed on recovery.
+    """
+
+    holds_mail_while_down = True
+
+    def __init__(
+        self,
+        num_clients: int,
+        name: str = "S",
+        engine: "StorageEngine | None" = None,
+    ) -> None:
         super().__init__(name=name)
         self._n = num_clients
-        self.state = ServerState.initial(num_clients)
+        if engine is None:
+            from repro.store.engine import MemoryEngine
+
+            engine = MemoryEngine(num_clients)
+        self._engine = engine
+        self.state = engine.recover()
         # E10 instrumentation: pending-list pressure over the run.
         self.max_pending_len = 0
         self.submits_handled = 0
         self.commits_handled = 0
+        # Crash-recovery instrumentation (scenarios compare the two).
+        self.restarts = 0
+        self.last_pre_crash_state: ServerState | None = None
+        self.last_recovery_state: ServerState | None = None
 
     @property
     def num_clients(self) -> int:
         return self._n
+
+    @property
+    def engine(self) -> "StorageEngine":
+        return self._engine
 
     def on_message(self, src: str, message) -> None:
         if isinstance(message, SubmitMessage):
@@ -150,12 +189,27 @@ class UstorServer(Node):
         elif isinstance(message, CommitMessage):
             self.handle_commit(src, message)
 
+    # Crash-recovery ------------------------------------------------------
+
+    def crash(self) -> None:
+        self.last_pre_crash_state = self.state.clone()
+        super().crash()
+
+    def on_restart(self) -> None:
+        """Recover state from the engine; runs before held mail replays."""
+        self.state = self._engine.recover()
+        self.last_recovery_state = self.state.clone()
+        self.restarts += 1
+
     # Subclass hook points ------------------------------------------------
 
     def handle_submit(self, src: str, message: SubmitMessage) -> None:
         if message.piggyback is not None:
             self.handle_commit(src, message.piggyback)
         reply = apply_submit(self.state, message)
+        # Write-ahead: the transition is durable before the REPLY leaves.
+        self._engine.log_submit(message)
+        self._engine.maybe_checkpoint(self.state)
         self.submits_handled += 1
         self.max_pending_len = max(self.max_pending_len, len(self.state.pending))
         self.send(src, reply)
@@ -164,5 +218,12 @@ class UstorServer(Node):
         client = parse_client_name(src)
         if client is None:
             raise ProtocolError(f"COMMIT from non-client node {src!r}")
+        pending_before = len(self.state.pending)
         apply_commit(self.state, client, message)
+        self._engine.log_commit(client, message)
+        # The COMMIT/GC signal: a pruned pending list means the state is at
+        # its smallest — the cheapest moment to checkpoint.
+        self._engine.maybe_checkpoint(
+            self.state, gc_advanced=len(self.state.pending) < pending_before
+        )
         self.commits_handled += 1

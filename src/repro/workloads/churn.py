@@ -1,4 +1,4 @@
-"""Client churn: the disconnected-operation patterns the paper motivates.
+"""Churn: the disconnected-operation patterns the paper motivates.
 
 Section 1: *"the clients in our model are not simultaneously present and
 may be disconnected temporarily"* — the reason eventual (stability-based)
@@ -7,9 +7,13 @@ drives FAUST clients through random offline windows: while offline a
 client pauses its background machinery and the offline channel buffers
 its mail; on return everything resumes.
 
-Churn must be *invisible* to failure detection (a sleeping client is not
-a faulty server) and must only *delay* stability — properties the churn
-tests pin down.
+The storage-engine work adds *server-side* churn: crash-recovery windows
+during which the server is down and then recovers from its storage
+engine (:meth:`ChurnSchedule.add_server_outage`).  With a durable engine
+both kinds of churn obey the same contract: invisible to failure
+detection (a recovering server is not a Byzantine one, a sleeping client
+is not a faulty server) and only *delaying* stability — properties the
+churn tests pin down.
 """
 
 from __future__ import annotations
@@ -33,12 +37,25 @@ class OfflineWindow:
         return self.start + self.duration
 
 
+@dataclass(frozen=True)
+class ServerOutageWindow:
+    """One planned server crash-recovery cycle."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
 class ChurnSchedule:
     """Applies offline windows to a FAUST deployment."""
 
     def __init__(self, system: StorageSystem) -> None:
         self._system = system
         self.windows: list[OfflineWindow] = []
+        self.server_outages: list[ServerOutageWindow] = []
 
     def add_window(self, client: ClientId, start: float, duration: float) -> None:
         if duration <= 0:
@@ -66,6 +83,46 @@ class ChurnSchedule:
             start = rng.uniform(0.0, horizon)
             duration = max(rng.expovariate(1.0 / mean_duration), 1.0)
             self.add_window(client, start, duration)
+
+    # ------------------------------------------------------------------ #
+    # Server-side churn (crash-recovery windows)
+    # ------------------------------------------------------------------ #
+
+    def add_server_outage(self, start: float, duration: float) -> None:
+        """Schedule one server crash-recovery window.
+
+        The server crashes at ``start`` and recovers from its storage
+        engine at ``start + duration``; requests delivered in between are
+        held by the reliable channels and served after recovery.  With a
+        durable engine this is client-churn's server-side mirror: delayed
+        operations, no failure notifications.  Windows must not overlap —
+        an overlapping restart would cut the longer outage short.
+        """
+        if duration <= 0:
+            raise ValueError("server outage windows need positive duration")
+        window = ServerOutageWindow(start=start, duration=duration)
+        if any(self._overlaps(window, existing) for existing in self.server_outages):
+            raise ValueError("server outage windows must not overlap")
+        self.server_outages.append(window)
+        self._system.server_outage(start, duration)
+
+    def random_server_outages(
+        self, count: int, horizon: float, mean_duration: float
+    ) -> None:
+        """Draw up to ``count`` random, non-overlapping windows over
+        ``[0, horizon]`` (overlapping draws are skipped)."""
+        rng = self._system.scheduler.rng
+        for _ in range(count):
+            start = rng.uniform(0.0, horizon)
+            duration = max(rng.expovariate(1.0 / mean_duration), 1.0)
+            candidate = ServerOutageWindow(start=start, duration=duration)
+            if any(self._overlaps(candidate, w) for w in self.server_outages):
+                continue
+            self.add_server_outage(start, duration)
+
+    @staticmethod
+    def _overlaps(a: ServerOutageWindow, b: ServerOutageWindow) -> bool:
+        return a.start < b.end and b.start < a.end
 
     # ------------------------------------------------------------------ #
 

@@ -17,10 +17,12 @@ from repro.common.types import ClientId
 from repro.crypto.keystore import KeyStore
 from repro.history.history import History
 from repro.history.recorder import HistoryRecorder
+from repro.sim.faults import ServerFaultInjector
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.offline import OfflineChannel
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import SimTrace
+from repro.store.engine import make_engine
 from repro.ustor.client import UstorClient
 from repro.ustor.server import UstorServer
 
@@ -77,6 +79,23 @@ class StorageSystem:
             time, lambda: (node.crash(), self.trace.note(time, node.name, "crash"))
         )
 
+    # -- server faults (the storage/recovery axis) --------------------- #
+
+    def crash_server_at(self, time: float) -> None:
+        """Schedule a server crash at an absolute virtual time."""
+        self._server_faults().crash_at(time)
+
+    def restart_server_at(self, time: float) -> None:
+        """Schedule a server restart (engine recovery) at a virtual time."""
+        self._server_faults().restart_at(time)
+
+    def server_outage(self, start: float, duration: float) -> None:
+        """One crash-recovery window: server down over [start, start+duration)."""
+        self._server_faults().outage(start, duration)
+
+    def _server_faults(self) -> ServerFaultInjector:
+        return ServerFaultInjector(self.scheduler, self.server, self.trace)
+
     @property
     def now(self) -> float:
         return self.scheduler.now
@@ -100,6 +119,7 @@ class SystemBuilder:
         server_factory: ServerFactory | None = None,
         commit_piggyback: bool = False,
         server_name: str = "S",
+        storage: str | Callable = "memory",
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -108,8 +128,11 @@ class SystemBuilder:
         self.scheme = scheme
         self.latency = latency or FixedLatency(1.0)
         self.offline_latency = offline_latency or FixedLatency(5.0)
+        self.storage = storage
+        # A custom factory owns its server's durability; the default server
+        # persists through the engine ``storage`` selects.
         self.server_factory = server_factory or (
-            lambda n, name: UstorServer(n, name=name)
+            lambda n, name: UstorServer(n, name=name, engine=make_engine(storage, n))
         )
         self.commit_piggyback = commit_piggyback
         self.server_name = server_name

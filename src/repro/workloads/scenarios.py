@@ -9,21 +9,31 @@
   yielding a weakly-fork-linearizable, non-fork-linearizable history.
 * :func:`split_brain_scenario` — a general forking attack driving two
   client groups on divergent branches, used by the detection experiments.
+* :func:`server_outage_scenario` — honest crash-recovery: the server goes
+  down mid-workload and recovers from its storage engine; with a durable
+  engine every operation completes and nobody raises fail.
+* :func:`rollback_attack_scenario` — the persistence-axis attack: the
+  server "recovers" from a deliberately stale snapshot; fail-aware
+  clients detect the fork into the past.
 """
 
 from __future__ import annotations
+
+import random
 
 from dataclasses import dataclass
 
 from repro.api.backends import FaustBackend, UstorBackend
 from repro.api.config import FaustParams, SystemConfig
+from repro.api.events import FailureNotification
 from repro.api.handles import OpResult
 from repro.api.session import Session
 from repro.api.system import System
 from repro.common.types import BOTTOM, OpKind
 from repro.history.history import History
 from repro.sim.network import FixedLatency
-from repro.ustor.byzantine import Fig3Server, SplitBrainServer
+from repro.store.codec import encode_server_state
+from repro.ustor.byzantine import Fig3Server, RollbackServer, SplitBrainServer
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
 
 ALICE, BOB, CARLOS = 0, 1, 2
@@ -212,9 +222,7 @@ def split_brain_scenario(
     backend = FaustBackend() if faust else UstorBackend()
     system = backend.open_system(config)
 
-    import random as _random
-
-    rng = _random.Random(seed)
+    rng = random.Random(seed)
     scripts = generate_scripts(
         num_clients,
         WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5),
@@ -225,4 +233,171 @@ def split_brain_scenario(
     system.run(until=run_for)
     return SplitBrainResult(
         system=system, driver=driver, groups=groups, fork_time=fork_time
+    )
+
+
+@dataclass
+class ServerOutageResult:
+    system: System
+    driver: Driver
+    outage_start: float
+    outage_end: float
+    #: Did every scripted operation complete despite the outage?
+    completed_all: bool
+    #: Failure notifications raised (must be empty: honest recovery is
+    #: not misbehaviour).
+    failure_events: list
+    #: Recovery restored the exact pre-crash ``ServerState`` (compared on
+    #: canonical bytes).  False with the volatile engine — a memory-engine
+    #: restart *is* a rollback (to zero), and clients treat it as one.
+    recovery_byte_identical: bool
+
+
+def server_outage_scenario(
+    num_clients: int = 3,
+    seed: int = 21,
+    ops_per_client: int = 8,
+    outage_start: float = 25.0,
+    outage_duration: float = 20.0,
+    storage: str = "log",
+    faust: bool = True,
+    run_for: float = 4_000.0,
+) -> ServerOutageResult:
+    """Honest crash-recovery under a random workload.
+
+    The server goes down over ``[outage_start, outage_start +
+    outage_duration)`` and recovers from its storage engine; requests
+    delivered during the window are held by the reliable channels and
+    served after recovery.  With ``storage="log"`` the outage only delays
+    operations; with ``storage="memory"`` the restarted server has
+    forgotten everything and clients detect the amnesia like a rollback.
+    FAUST's background machinery stays armed — dummy reads and probes must
+    *not* mistake an honest recovery for misbehaviour, and they are what
+    exposes a volatile server's amnesia even after the workload drains.
+    """
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=seed,
+        storage=storage,
+        server_outages=((outage_start, outage_duration),),
+    )
+    backend = FaustBackend() if faust else UstorBackend()
+    system = backend.open_system(config)
+
+    scripts = generate_scripts(
+        num_clients,
+        WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5),
+        random.Random(seed),
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    completed_all = driver.run_to_completion(timeout=run_for)
+    outage_end = outage_start + outage_duration
+    if system.now <= outage_end:
+        # A short workload may drain before the window closes; run through
+        # it so the crash and the recovery actually happen.
+        system.run(until=outage_end + 1.0)
+        completed_all = driver.stats.all_done()
+
+    server = system.server
+    identical = (
+        server.last_pre_crash_state is not None
+        and server.last_recovery_state is not None
+        and encode_server_state(server.last_pre_crash_state)
+        == encode_server_state(server.last_recovery_state)
+    )
+    failures = [
+        e
+        for e in system.notifications.history
+        if isinstance(e, FailureNotification)
+    ]
+    return ServerOutageResult(
+        system=system,
+        driver=driver,
+        outage_start=outage_start,
+        outage_end=outage_end,
+        completed_all=completed_all,
+        failure_events=failures,
+        recovery_byte_identical=identical,
+    )
+
+
+@dataclass
+class RollbackAttackResult:
+    system: System
+    driver: Driver
+    #: When the adversary crashed / came back from the stale snapshot.
+    crash_time: float | None
+    restart_time: float | None
+    #: Per-client fail times (fail-aware clients only).
+    detection_times: list[float]
+    #: Virtual time from the dishonest restart to the first detection
+    #: (``nan`` if the attack went unnoticed).
+    detection_latency: float
+
+
+def rollback_attack_scenario(
+    num_clients: int = 3,
+    seed: int = 31,
+    ops_per_client: int = 10,
+    snapshot_after_submits: int = 3,
+    rollback_after_submits: int = 9,
+    outage: float = 5.0,
+    delta: float = 25.0,
+    faust: bool = True,
+    run_for: float = 2_000.0,
+) -> RollbackAttackResult:
+    """The rollback attack under a random workload.
+
+    A :class:`RollbackServer` checkpoints early, serves honestly, then
+    crashes and "recovers" from the stale snapshot.  Clients whose
+    committed versions include post-snapshot operations are shown stale
+    versions or stale data on their next operation (Algorithm 1, lines
+    36/43/51); clients forked into the past are caught by FAUST's version
+    comparison over the offline channel.  Either way the fail-aware layer
+    turns one detection into system-wide failure notifications.
+    """
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=seed,
+        server_factory=lambda n, name: RollbackServer(
+            n,
+            snapshot_after_submits=snapshot_after_submits,
+            rollback_after_submits=rollback_after_submits,
+            outage=outage,
+            name=name,
+        ),
+        faust=FaustParams(delta=delta, probe_check_period=delta / 3),
+    )
+    backend = FaustBackend() if faust else UstorBackend()
+    system = backend.open_system(config)
+
+    scripts = generate_scripts(
+        num_clients,
+        WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5),
+        random.Random(seed),
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=run_for)
+
+    server = system.server
+    detection_times = [
+        c.faust_fail_time
+        for c in system.clients
+        if getattr(c, "faust_fail_time", None) is not None
+    ]
+    restart = server.rollback_restart_time
+    latency = (
+        min(detection_times) - restart
+        if detection_times and restart is not None
+        else float("nan")
+    )
+    return RollbackAttackResult(
+        system=system,
+        driver=driver,
+        crash_time=server.rollback_crash_time,
+        restart_time=restart,
+        detection_times=detection_times,
+        detection_latency=latency,
     )

@@ -32,7 +32,8 @@ from repro.baselines.lockstep import TamperingLockStepServer
 from repro.baselines.unchecked import LyingUncheckedServer
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.types import BOTTOM, OpKind
-from repro.ustor.byzantine import TamperingServer, UnresponsiveServer
+from repro.store import encode_server_state
+from repro.ustor.byzantine import RollbackServer, TamperingServer, UnresponsiveServer
 
 ALL_BACKENDS = [FaustBackend(), UstorBackend(), LockstepBackend(), UncheckedBackend()]
 IDS = [b.name for b in ALL_BACKENDS]
@@ -220,6 +221,102 @@ class TestHandleEdges:
         session.write(b"stuck")
         with pytest.raises(OperationTimeout, match="barrier"):
             session.barrier(timeout=25.0)
+
+
+# --------------------------------------------------------------------- #
+# The storage/recovery fault axis
+# --------------------------------------------------------------------- #
+
+STORAGE_BACKENDS = [FaustBackend(), UstorBackend()]
+
+
+@pytest.mark.parametrize("backend", STORAGE_BACKENDS, ids=[b.name for b in STORAGE_BACKENDS])
+class TestCrashRecoveryMatrix:
+    def test_honest_recovery_is_invisible(self, backend):
+        """A crash + WAL/snapshot recovery must look like slowness: every
+        operation completes, no failure notification, byte-identical state."""
+        system = backend.open_system(
+            quiet_config(storage="log", server_outages=((5.0, 10.0),))
+        )
+        alice, bob = system.session(0), system.session(1)
+        t1 = alice.write_sync(b"before-outage")
+        system.run(until=4.5)
+        handle = alice.write(b"during-outage")  # held while the server is down
+        t2 = handle.result(timeout=100.0).timestamp
+        assert (t1, t2) == (1, 2)
+        value, _ = bob.read_sync(0)
+        assert value == b"during-outage"
+        server = system.server
+        assert server.restarts == 1
+        assert encode_server_state(server.last_pre_crash_state) == (
+            encode_server_state(server.last_recovery_state)
+        )
+        assert not system.notifications.failure_events()
+        assert not alice.failed and not bob.failed
+
+    def test_rollback_adversary_raises_failure(self, backend):
+        """Recovering from a stale snapshot forks clients into the past —
+        and must be detected, unlike the honest recovery above."""
+        system = backend.open_system(
+            quiet_config(
+                server_factory=lambda n, name: RollbackServer(
+                    n,
+                    snapshot_after_submits=1,
+                    rollback_after_submits=3,
+                    outage=2.0,
+                    name=name,
+                )
+            )
+        )
+        alice, bob = system.session(0), system.session(1)
+        for k in range(3):
+            alice.write_sync(b"w%d" % k)
+        system.run(until=system.now + 5.0)  # the dishonest restart happens
+        with pytest.raises(OperationFailed):
+            bob.read_sync(0)
+        assert bob.failed
+        assert system.notifications.failure_events()
+        assert system.server.restarts == 1
+
+    def test_storage_engine_instrumented(self, backend):
+        system = backend.open_system(quiet_config(storage="log"))
+        system.session(0).write_sync(b"logged")
+        engine = system.server.engine
+        assert engine.durable and engine.wal_appends >= 1
+
+
+class TestStorageConfig:
+    def test_baselines_reject_storage_knobs(self):
+        for backend in (LockstepBackend(), UncheckedBackend()):
+            with pytest.raises(ConfigurationError, match="storage"):
+                backend.open_system(quiet_config(storage="log"))
+            with pytest.raises(ConfigurationError, match="storage"):
+                backend.open_system(quiet_config(server_outages=((1.0, 1.0),)))
+
+    def test_outage_windows_validated(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_clients=2, server_outages=((1.0, 0.0),))
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_clients=2, server_outages=((1.0,),))
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_clients=2, server_outages=((-5.0, 10.0),))
+        with pytest.raises(ConfigurationError, match="overlap"):
+            # The nested window's restart would cut the outer outage short.
+            SystemConfig(num_clients=2, server_outages=((10.0, 30.0), (20.0, 5.0)))
+        SystemConfig(num_clients=2, server_outages=((10.0, 5.0), (15.0, 5.0)))
+
+    def test_unsorted_back_to_back_outages_both_happen(self):
+        """Windows given out of order must still schedule restart-then-crash
+        at the shared boundary instant: the server stays down over [10, 20)
+        and both recovery cycles occur."""
+        system = FaustBackend().open_system(
+            quiet_config(storage="log", server_outages=((15.0, 5.0), (10.0, 5.0)))
+        )
+        system.run(until=17.0)
+        assert system.server.crashed  # mid second window
+        system.run(until=30.0)
+        assert not system.server.crashed
+        assert system.server.restarts == 2
 
 
 # --------------------------------------------------------------------- #

@@ -1,11 +1,11 @@
-"""System-runner and service-facade edge cases."""
+"""System-runner and blocking-session edge cases (via the api facade)."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.api import Session
 from repro.common.errors import ConfigurationError, SimulationError
-from repro.faust.service import FaustService
 from repro.ustor.byzantine import UnresponsiveServer
 from repro.workloads.runner import StorageSystem, SystemBuilder
 
@@ -53,16 +53,16 @@ class TestSystemBuilder:
         assert system.trace.first_note("crash", source="C1") is not None
 
 
-class TestServiceTimeouts:
+class TestSessionTimeouts:
     def test_withheld_reply_times_out(self):
         system = SystemBuilder(
             num_clients=2,
             seed=5,
             server_factory=lambda n, name: UnresponsiveServer(n, victims={0}, name=name),
         ).build_faust(enable_dummy_reads=False, enable_probes=False)
-        service = FaustService(system, 0, timeout=30.0)
+        session = Session(system, 0, timeout=30.0)
         with pytest.raises(SimulationError, match="withholding"):
-            service.write(b"never-acked")
+            session.write_sync(b"never-acked")
 
     def test_other_clients_unaffected_by_timeout(self):
         system = SystemBuilder(
@@ -70,19 +70,19 @@ class TestServiceTimeouts:
             seed=6,
             server_factory=lambda n, name: UnresponsiveServer(n, victims={0}, name=name),
         ).build_faust(enable_dummy_reads=False, enable_probes=False)
-        victim = FaustService(system, 0, timeout=20.0)
-        healthy = FaustService(system, 1)
+        victim = Session(system, 0, timeout=20.0)
+        healthy = Session(system, 1)
         with pytest.raises(SimulationError):
-            victim.write(b"blocked")
-        t = healthy.write(b"fine")
+            victim.write_sync(b"blocked")
+        t = healthy.write_sync(b"fine")
         assert t >= 1
 
     def test_wait_for_stability_times_out_cleanly(self):
         system = SystemBuilder(num_clients=2, seed=7).build_faust(
             enable_dummy_reads=False, enable_probes=False
         )
-        service = FaustService(system, 0)
-        t = service.write(b"x")
+        session = Session(system, 0)
+        t = session.write_sync(b"x")
         # With no propagation machinery at all, stability w.r.t. the other
         # client cannot be reached; the call must return False, not hang.
-        assert service.wait_for_stability(t, timeout=50.0) is False
+        assert session.wait_for_stability(t, timeout=50.0) is False

@@ -1,0 +1,345 @@
+"""The storage engines: WAL, snapshots, compaction, crash recovery.
+
+Pins the recovery invariant (snapshot + WAL replay reproduces the
+pre-crash ``ServerState`` byte-for-byte), the compaction policy (count-
+and GC-driven checkpoints), the torn-tail tolerance of the WAL frame
+format, and the end-to-end fault axis: an honest server crash/restart is
+invisible over the log engine, server-side churn composes with client
+churn, and the stale-snapshot recovery path feeds the rollback adversary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.common.types import OpKind
+from repro.crypto.keystore import KeyStore
+from repro.store import (
+    DirectoryMedium,
+    InMemoryMedium,
+    LogStructuredEngine,
+    MemoryEngine,
+    StorageEngine,
+    encode_server_state,
+    frame_record,
+    iter_frames,
+    make_engine,
+)
+from repro.ustor.messages import CommitMessage, InvocationTuple, SubmitMessage
+from repro.ustor.server import ServerState, UstorServer, apply_commit, apply_submit
+from repro.ustor.version import Version
+from repro.workloads.churn import ChurnSchedule
+from repro.workloads.runner import SystemBuilder
+
+
+def _signed_submit(keystore, client, t, kind=OpKind.WRITE, register=None):
+    register = client if register is None else register
+    signer = keystore.signer(client)
+    return SubmitMessage(
+        timestamp=t,
+        invocation=InvocationTuple(
+            client=client,
+            opcode=kind,
+            register=register,
+            submit_sig=signer.sign("SUBMIT", kind, register, t),
+        ),
+        value=b"v%d" % t if kind is OpKind.WRITE else None,
+        data_sig=signer.sign("DATA", t, b"h"),
+    )
+
+
+def _drive(engine: LogStructuredEngine, count: int, num_clients: int = 3):
+    """Apply ``count`` submits through state + engine, mirroring the server."""
+    keystore = KeyStore(num_clients, scheme="hmac")
+    state = engine.recover()
+    timestamps = [0] * num_clients
+    for k in range(count):
+        client = k % num_clients
+        timestamps[client] += 1
+        message = _signed_submit(keystore, client, timestamps[client])
+        apply_submit(state, message)
+        engine.log_submit(message)
+        engine.maybe_checkpoint(state)
+    return state
+
+
+# --------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------- #
+
+
+class TestWalFraming:
+    def test_roundtrip(self):
+        data = frame_record(b"one") + frame_record(b"two") + frame_record(b"")
+        assert list(iter_frames(data)) == [b"one", b"two", b""]
+
+    def test_torn_header_and_payload_tolerated(self):
+        whole = frame_record(b"first")
+        assert list(iter_frames(whole + b"\x00\x00")) == [b"first"]
+        torn = whole + frame_record(b"second-record")[:-4]
+        assert list(iter_frames(torn)) == [b"first"]
+
+    def test_corrupt_crc_stops_replay(self):
+        data = bytearray(frame_record(b"first") + frame_record(b"second"))
+        data[-1] ^= 0xFF  # flip a bit in the second payload
+        assert list(iter_frames(bytes(data))) == [b"first"]
+
+
+# --------------------------------------------------------------------- #
+# Engines
+# --------------------------------------------------------------------- #
+
+
+class TestMemoryEngine:
+    def test_nothing_survives(self):
+        engine = MemoryEngine(3)
+        assert not engine.durable
+        state = engine.recover()
+        assert state == ServerState.initial(3)
+        keystore = KeyStore(3, scheme="hmac")
+        engine.log_submit(_signed_submit(keystore, 0, 1))
+        assert engine.recover() == ServerState.initial(3)
+
+
+class TestLogStructuredEngine:
+    def test_recovery_is_byte_identical(self):
+        engine = LogStructuredEngine(3, snapshot_interval=5)
+        live = _drive(engine, 13)
+        recovered = LogStructuredEngine(3, medium=engine.medium).recover()
+        assert encode_server_state(recovered) == encode_server_state(live)
+
+    def test_recovery_replays_only_the_suffix(self):
+        engine = LogStructuredEngine(3, snapshot_interval=5)
+        _drive(engine, 13)
+        assert engine.snapshots_taken == 2
+        fresh = LogStructuredEngine(3, medium=engine.medium)
+        fresh.recover()
+        assert fresh.last_recovery_replayed == 3  # 13 records, 10 snapshotted
+
+    def test_checkpoint_compacts_the_wal(self):
+        engine = LogStructuredEngine(3, snapshot_interval=10**9)
+        state = _drive(engine, 7)
+        assert engine.medium.size(engine.WAL) > 0
+        engine.checkpoint(state)
+        assert engine.medium.size(engine.WAL) == 0
+        recovered = LogStructuredEngine(3, medium=engine.medium).recover()
+        assert encode_server_state(recovered) == encode_server_state(state)
+
+    def test_gc_signal_checkpoints_earlier(self):
+        engine = LogStructuredEngine(2, snapshot_interval=100, gc_snapshot_interval=2)
+        keystore = KeyStore(2, scheme="hmac")
+        state = engine.recover()
+        m1 = _signed_submit(keystore, 0, 1)
+        apply_submit(state, m1)
+        engine.log_submit(m1)
+        engine.maybe_checkpoint(state)  # 1 < 100: no snapshot
+        assert engine.snapshots_taken == 0
+        version = Version(vector=(1, 0), digests=(b"\x01" * 32, None))
+        signer = keystore.signer(0)
+        commit = CommitMessage(
+            version=version,
+            commit_sig=signer.sign("COMMIT", version.vector, version.digests),
+            proof_sig=signer.sign("PROOF", version.digests[0]),
+        )
+        pending_before = len(state.pending)
+        apply_commit(state, 0, commit)
+        engine.log_commit(0, commit)
+        engine.maybe_checkpoint(state, gc_advanced=len(state.pending) < pending_before)
+        assert engine.snapshots_taken == 1  # GC threshold (2) reached
+
+    def test_torn_wal_tail_recovers_prefix(self):
+        engine = LogStructuredEngine(3, snapshot_interval=10**9)
+        _drive(engine, 5)
+        medium = engine.medium
+        whole = medium.read(engine.WAL)
+        medium.truncate(engine.WAL)
+        medium.append(engine.WAL, whole[:-7])  # crash mid-append
+        recovered_engine = LogStructuredEngine(3, medium=medium)
+        recovered_engine.recover()
+        assert recovered_engine.last_recovery_replayed == 4
+
+    def test_recovery_trims_the_torn_tail(self):
+        """Records appended *after* a torn-tail recovery must survive the
+        next recovery — the tear has to be trimmed, not appended past."""
+        keystore = KeyStore(2, scheme="hmac")
+        engine = LogStructuredEngine(2, snapshot_interval=10**9)
+        state = engine.recover()
+        first = _signed_submit(keystore, 0, 1)
+        apply_submit(state, first)
+        engine.log_submit(first)
+        medium = engine.medium
+        medium.append(engine.WAL, b"\x00\x00\x00\x09torn")  # crash mid-append
+        survivor = LogStructuredEngine(2, medium=medium)
+        state = survivor.recover()
+        second = _signed_submit(keystore, 1, 1)
+        apply_submit(state, second)
+        survivor.log_submit(second)
+        final = LogStructuredEngine(2, medium=medium).recover()
+        assert final == state
+        assert encode_server_state(final) == encode_server_state(state)
+
+    def test_stale_snapshot_recovery_discards_suffix(self):
+        engine = LogStructuredEngine(3, snapshot_interval=10**9)
+        state = engine.recover()
+        keystore = KeyStore(3, scheme="hmac")
+        early = _signed_submit(keystore, 0, 1)
+        apply_submit(state, early)
+        engine.log_submit(early)
+        engine.checkpoint(state)
+        stale_bytes = encode_server_state(state)
+        late = _signed_submit(keystore, 1, 1)
+        apply_submit(state, late)
+        engine.log_submit(late)
+        rolled_back = engine.recover(replay_wal=False)
+        assert encode_server_state(rolled_back) == stale_bytes
+        # The discarded suffix is gone for good: honest recovery now
+        # returns the stale state too.
+        assert encode_server_state(engine.recover()) == stale_bytes
+
+    def test_corrupt_snapshot_raises(self):
+        engine = LogStructuredEngine(2, snapshot_interval=10**9)
+        state = _drive(engine, 3, num_clients=2)
+        engine.checkpoint(state)
+        data = bytearray(engine.medium.read(engine.SNAPSHOT))
+        data[-1] ^= 0xFF
+        engine.medium.write_atomic(engine.SNAPSHOT, bytes(data))
+        with pytest.raises(StorageError, match="snapshot"):
+            LogStructuredEngine(2, medium=engine.medium).recover()
+
+    def test_directory_medium_end_to_end(self, tmp_path):
+        medium = DirectoryMedium(tmp_path / "store")
+        engine = LogStructuredEngine(3, medium=medium, snapshot_interval=4)
+        live = _drive(engine, 11)
+        recovered = LogStructuredEngine(
+            3, medium=DirectoryMedium(tmp_path / "store")
+        ).recover()
+        assert encode_server_state(recovered) == encode_server_state(live)
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogStructuredEngine(2, snapshot_interval=0)
+        with pytest.raises(ConfigurationError):
+            LogStructuredEngine(2, gc_snapshot_interval=0)
+
+
+class TestMakeEngine:
+    def test_by_name_instance_and_factory(self):
+        assert isinstance(make_engine("memory", 2), MemoryEngine)
+        assert isinstance(make_engine("log", 2), LogStructuredEngine)
+        ready = LogStructuredEngine(2)
+        assert make_engine(ready, 2) is ready
+        made = make_engine(lambda n: LogStructuredEngine(n, snapshot_interval=7), 2)
+        assert isinstance(made, LogStructuredEngine)
+        assert made.snapshot_interval == 7
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_engine("flash", 2)
+        with pytest.raises(ConfigurationError):
+            make_engine(lambda n: object(), 2)
+        with pytest.raises(ConfigurationError):
+            make_engine(42, 2)
+
+    def test_abstract_engine_validates_population(self):
+        with pytest.raises(ConfigurationError):
+            MemoryEngine(0)
+        assert issubclass(LogStructuredEngine, StorageEngine)
+
+
+# --------------------------------------------------------------------- #
+# The fault axis end to end
+# --------------------------------------------------------------------- #
+
+
+class TestServerCrashRecovery:
+    def _system(self, storage="log", **kwargs):
+        return SystemBuilder(num_clients=2, seed=5, storage=storage, **kwargs).build()
+
+    def test_honest_outage_is_invisible_with_log_engine(self):
+        system = self._system()
+        system.server_outage(5.0, 10.0)
+        done = []
+        alice, bob = system.clients
+        alice.write(b"before", done.append)
+        system.run(until=4.5)
+        alice.write(b"during-outage", done.append)  # held by the channel
+        system.run(until=40.0)
+        bob.read(0, done.append)
+        system.run(until=60.0)
+        assert [o.timestamp for o in done[:2]] == [1, 2]
+        assert done[2].value == b"during-outage"
+        server = system.server
+        assert server.restarts == 1
+        assert encode_server_state(server.last_pre_crash_state) == (
+            encode_server_state(server.last_recovery_state)
+        )
+        assert not any(c.failed for c in system.clients)
+
+    def test_memory_engine_restart_is_amnesia(self):
+        system = self._system(storage="memory")
+        done = []
+        system.clients[0].write(b"will-be-forgotten", done.append)
+        system.run(until=10.0)
+        system.server_outage(10.0, 5.0)
+        system.run(until=20.0)
+        assert system.server.state == ServerState.initial(2)
+        # The writer's next operation meets a server that forgot it: the
+        # version check of Algorithm 1 line 36 fires.
+        system.clients[0].write(b"after", lambda _o: None)
+        system.run(until=40.0)
+        assert system.clients[0].failed
+        assert "line 36" in system.clients[0].fail_reason
+
+    def test_restart_is_noop_when_not_crashed(self):
+        system = self._system()
+        system.server.restart()
+        assert system.server.restarts == 0
+
+    def test_repeated_outages(self):
+        system = self._system()
+        system.server_outage(5.0, 5.0)
+        system.server_outage(20.0, 5.0)
+        done = []
+        for k in range(4):
+            system.clients[0].write(b"w%d" % k, done.append)
+            system.run(until=(k + 1) * 8.0)
+        system.run(until=60.0)
+        assert len(done) == 4
+        assert system.server.restarts == 2
+        assert not system.clients[0].failed
+
+    def test_server_churn_composes_with_client_churn(self):
+        system = SystemBuilder(num_clients=3, seed=8, storage="log").build_faust(
+            dummy_read_period=4.0, probe_check_period=6.0, delta=30.0
+        )
+        churn = ChurnSchedule(system)
+        churn.add_window(client=2, start=10.0, duration=25.0)
+        churn.add_server_outage(start=18.0, duration=12.0)
+        done = []
+        system.clients[0].write(b"survives-both", done.append)
+        system.run(until=300.0)
+        assert done and churn.server_outages[0].end == 30.0
+        assert system.server.restarts == 1
+        assert not any(c.faust_failed for c in system.clients)
+
+    def test_server_outage_validation(self):
+        system = self._system()
+        with pytest.raises(Exception):
+            system.server_outage(5.0, 0.0)
+        churn_system = SystemBuilder(num_clients=2, seed=1).build_faust()
+        churn = ChurnSchedule(churn_system)
+        with pytest.raises(ValueError):
+            churn.add_server_outage(1.0, -2.0)
+        churn.add_server_outage(10.0, 10.0)
+        with pytest.raises(ValueError, match="overlap"):
+            churn.add_server_outage(15.0, 2.0)
+
+    def test_random_server_outages_never_overlap(self):
+        system = SystemBuilder(num_clients=2, seed=13, storage="log").build_faust()
+        churn = ChurnSchedule(system)
+        churn.random_server_outages(count=12, horizon=200.0, mean_duration=15.0)
+        windows = sorted(churn.server_outages, key=lambda w: w.start)
+        assert windows  # some draws always land
+        for a, b in zip(windows, windows[1:]):
+            assert a.end <= b.start

@@ -1,14 +1,20 @@
-"""Workload generation, the driver, the FaustService facade, scenarios."""
+"""Workload generation, the driver, the blocking session surface, scenarios.
+
+Formerly exercised the deprecated ``FaustService`` shim; the blocking
+round-trips now go through the ``repro.api`` facade directly (the shim's
+own deprecation contract is pinned in ``tests/test_api_facade.py``).
+"""
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
 
+from repro.api import FaustBackend, FaustParams, OperationFailed, SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.common.types import BOTTOM, OpKind
-from repro.faust.service import FaustService, OperationFailed
 from repro.workloads.generator import (
     Driver,
     WorkloadConfig,
@@ -16,7 +22,12 @@ from repro.workloads.generator import (
     unique_value,
 )
 from repro.workloads.runner import SystemBuilder
-from repro.workloads.scenarios import figure3_scenario, split_brain_scenario
+from repro.workloads.scenarios import (
+    figure3_scenario,
+    rollback_attack_scenario,
+    server_outage_scenario,
+    split_brain_scenario,
+)
 
 
 class TestWorkloadGenerator:
@@ -101,39 +112,44 @@ class TestDriver:
         assert driver.completion_fraction() == 1.0
 
 
-class TestFaustService:
+class TestBlockingSessions:
+    """The blocking read/write surface (formerly the FaustService shim),
+    exercised through the facade sessions it was deprecated in favour of."""
+
+    def _system(self, seed, **config_kwargs):
+        return FaustBackend().open_system(
+            SystemConfig(num_clients=2, seed=seed, **config_kwargs)
+        )
+
     def test_write_read_roundtrip(self):
-        system = SystemBuilder(num_clients=2, seed=5).build_faust()
-        alice = FaustService(system, 0)
-        bob = FaustService(system, 1)
-        t = alice.write(b"hello")
+        system = self._system(5)
+        alice, bob = system.session(0), system.session(1)
+        t = alice.write_sync(b"hello")
         assert t >= 1
-        value, _t2 = bob.read(0)
+        value, _t2 = bob.read_sync(0)
         assert value == b"hello"
 
     def test_read_unwritten_register(self):
-        system = SystemBuilder(num_clients=2, seed=5).build_faust()
-        value, _t = FaustService(system, 0).read(1)
+        system = self._system(5)
+        value, _t = system.session(0).read_sync(1)
         assert value is BOTTOM
 
     def test_wait_for_stability(self):
-        system = SystemBuilder(num_clients=2, seed=6).build_faust(dummy_read_period=2.0)
-        alice = FaustService(system, 0)
-        t = alice.write(b"document")
+        system = self._system(6, faust=FaustParams(dummy_read_period=2.0))
+        alice = system.session(0)
+        t = alice.write_sync(b"document")
         assert alice.wait_for_stability(t, timeout=2_000)
         assert min(alice.stability_cut) >= t
 
     def test_operation_failed_surface(self):
         from repro.ustor.byzantine import TamperingServer
 
-        system = SystemBuilder(
-            num_clients=2,
-            seed=7,
-            server_factory=lambda n, name: TamperingServer(n, 0, name=name),
-        ).build_faust()
-        FaustService(system, 0).write(b"genuine")
+        system = self._system(
+            7, server_factory=lambda n, name: TamperingServer(n, 0, name=name)
+        )
+        system.session(0).write_sync(b"genuine")
         with pytest.raises(OperationFailed):
-            FaustService(system, 1).read(0)
+            system.session(1).read_sync(0)
 
 
 class TestScenarios:
@@ -145,3 +161,30 @@ class TestScenarios:
     def test_split_brain_without_faust_is_silent(self):
         result = split_brain_scenario(num_clients=4, seed=99, faust=False, run_for=300.0)
         assert not any(getattr(c, "failed", False) for c in result.system.clients)
+
+    def test_server_outage_with_recovery_is_invisible(self):
+        result = server_outage_scenario(ops_per_client=5)
+        assert result.completed_all
+        assert result.recovery_byte_identical
+        assert not result.failure_events
+        assert result.system.server.restarts == 1
+
+    def test_server_outage_on_volatile_storage_is_detected(self):
+        result = server_outage_scenario(
+            ops_per_client=5, storage="memory", run_for=600.0
+        )
+        assert not result.recovery_byte_identical
+        assert result.failure_events
+
+    def test_rollback_attack_detected_by_all(self):
+        result = rollback_attack_scenario(ops_per_client=6)
+        assert len(result.detection_times) == 3
+        assert not math.isnan(result.detection_latency)
+        assert result.detection_latency >= 0
+        assert result.restart_time is not None
+
+    def test_rollback_scenario_deterministic(self):
+        a = rollback_attack_scenario(ops_per_client=6)
+        b = rollback_attack_scenario(ops_per_client=6)
+        assert a.detection_times == b.detection_times
+        assert a.restart_time == b.restart_time
