@@ -4,11 +4,52 @@ Each experiment benchmark runs the corresponding ``repro.experiments``
 module in *quick* mode under pytest-benchmark and asserts the headline
 findings, so ``pytest benchmarks/ --benchmark-only`` both times the
 harness and re-verifies every reproduced claim.
+
+Reproducibility and the perf trajectory:
+
+* **One pinned seed.**  Every benchmark that needs randomness draws it
+  from the ``bench_seed`` / ``bench_rng`` fixtures.  The seed defaults to
+  :data:`BENCH_SEED` and can be overridden with ``REPRO_BENCH_SEED=<n>``;
+  whichever value is used is stamped into the results file, so a run can
+  always be replayed bit-for-bit.
+* **Machine-readable results.**  Every run writes
+  ``benchmarks/results/BENCH_<session>.json`` — per-test wall-clock call
+  durations plus environment provenance — giving the performance
+  trajectory concrete data points even when pytest-benchmark's own
+  timing is disabled (as in CI's ``--benchmark-disable`` smoke).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
 import pytest
+
+#: The suite-wide RNG seed; override with REPRO_BENCH_SEED.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20260730"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_durations: dict[str, float] = {}
+_session_started = time.time()
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """The pinned (surfaceable) RNG seed of this benchmark run."""
+    return BENCH_SEED
+
+
+@pytest.fixture
+def bench_rng(bench_seed) -> random.Random:
+    """A fresh, seed-pinned RNG per test (no cross-test coupling)."""
+    return random.Random(bench_seed)
 
 
 @pytest.fixture
@@ -21,3 +62,40 @@ def run_experiment(benchmark):
         )
 
     return runner
+
+
+# --------------------------------------------------------------------- #
+# BENCH_*.json emission
+# --------------------------------------------------------------------- #
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _durations[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _durations:
+        return  # nothing benchmarked (collection error, -k filtered all, ...)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(_session_started))
+    payload = {
+        "schema": "repro-bench-v1",
+        "started_at_unix": _session_started,
+        "wall_seconds": time.time() - _session_started,
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[1:],
+        "exit_status": int(exitstatus),
+        "tests": [
+            {"id": nodeid, "call_seconds": duration}
+            for nodeid, duration in sorted(_durations.items())
+        ],
+    }
+    path = RESULTS_DIR / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    # One stable alias for tooling that wants "the latest run".
+    (RESULTS_DIR / "BENCH_latest.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )

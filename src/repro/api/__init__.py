@@ -26,6 +26,7 @@ from repro.api.backends import (
     BACKENDS,
     Backend,
     Capabilities,
+    ClusterBackend,
     FaustBackend,
     LockstepBackend,
     UncheckedBackend,
@@ -51,6 +52,7 @@ __all__ = [
     "Backend",
     "CapabilityError",
     "Capabilities",
+    "ClusterBackend",
     "FailureNotification",
     "FaustBackend",
     "FaustParams",

@@ -16,6 +16,9 @@ ustor       USTOR alone                  weakly fork-linearizable, wait-free,
 lockstep    SUNDR-style lock-step        fork-linearizable but blocking (not
                                          wait-free)
 unchecked   plain remote store           none — the detection-gap baseline
+cluster     N sharded USTOR/FAUST        per-shard guarantees of the shard
+            servers                      protocol; forking shards detected by
+                                         exactly the clients that touched them
 ========== ============================ ===========================================
 """
 
@@ -72,6 +75,17 @@ def _reject_storage_knobs(config: SystemConfig, backend: str) -> None:
         )
 
 
+def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
+    """Single-server backends run one shard only: fail loudly rather than
+    silently collapsing a sharded config onto one server."""
+    if config.uses_cluster_knobs():
+        raise ConfigurationError(
+            f"the {backend!r} backend is single-server: shards=, shard_map=, "
+            f"shard_protocol=, shard_server_factories= and shard_outages= "
+            f"are only supported on the 'cluster' backend"
+        )
+
+
 class FaustBackend:
     """USTOR plus the fail-aware layer (Section 6) — the paper's service."""
 
@@ -83,6 +97,7 @@ class FaustBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.workloads.runner import SystemBuilder
 
+        _reject_cluster_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
             seed=config.seed,
@@ -108,6 +123,7 @@ class UstorBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.workloads.runner import SystemBuilder
 
+        _reject_cluster_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
             seed=config.seed,
@@ -133,6 +149,7 @@ class LockstepBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.baselines.lockstep import build_lockstep_system
 
+        _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         raw = build_lockstep_system(
             config.num_clients,
@@ -155,6 +172,7 @@ class UncheckedBackend:
     def open_system(self, config: SystemConfig) -> System:
         from repro.baselines.unchecked import build_unchecked_system
 
+        _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         raw = build_unchecked_system(
             config.num_clients,
@@ -165,10 +183,49 @@ class UncheckedBackend:
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
 
+class ClusterBackend:
+    """N sharded single-server deployments behind one session facade.
+
+    Every shard runs the protocol ``config.shard_protocol`` selects
+    (``faust`` by default), so the cluster's capabilities are the shard
+    protocol's — declared per deployment rather than on the class, since
+    ``stability`` exists only with fail-aware shards.
+    """
+
+    name = "cluster"
+    #: Capabilities of the default (fail-aware) shard protocol; the opened
+    #: system carries the exact capabilities of its configuration.
+    capabilities = Capabilities(
+        timestamps=True, stability=True, failure_detection=True, wait_free=True
+    )
+
+    def open_system(self, config: SystemConfig):
+        from repro.cluster.backend import open_cluster_system
+
+        return open_cluster_system(
+            config, self.name, self._capabilities_for(config)
+        )
+
+    @staticmethod
+    def _capabilities_for(config: SystemConfig) -> Capabilities:
+        return Capabilities(
+            timestamps=True,
+            stability=config.shard_protocol == "faust",
+            failure_detection=True,
+            wait_free=True,
+        )
+
+
 #: The built-in backends, by name.
 BACKENDS: dict[str, Backend] = {
     backend.name: backend
-    for backend in (FaustBackend(), UstorBackend(), LockstepBackend(), UncheckedBackend())
+    for backend in (
+        FaustBackend(),
+        UstorBackend(),
+        LockstepBackend(),
+        UncheckedBackend(),
+        ClusterBackend(),
+    )
 }
 
 

@@ -65,8 +65,27 @@ class SystemConfig:
     #: Scheduled crash-recovery windows ``(start, duration)`` for the
     #: server: it goes down at ``start`` and recovers from its storage
     #: engine ``duration`` later.  Only meaningful on backends whose
-    #: server supports engine recovery (``faust`` / ``ustor``).
+    #: server supports engine recovery (``faust`` / ``ustor``); on the
+    #: ``cluster`` backend each window hits *every* shard (a correlated
+    #: outage — use ``shard_outages`` to target one shard).
     server_outages: tuple[tuple[float, float], ...] = ()
+    #: Number of shards (``cluster`` backend only; the other backends
+    #: reject any value but 1).  Each shard is an independent server
+    #: owning one partition of the register space.
+    shards: int = 1
+    #: Partitioning strategy: ``"range"``, ``"hash"``, or a ready
+    #: :class:`~repro.cluster.shardmap.ShardMap` instance.
+    shard_map: str | object = "range"
+    #: The protocol every shard runs: ``"faust"`` (fail-aware) or
+    #: ``"ustor"`` (detection without notifications).
+    shard_protocol: str = "faust"
+    #: Per-shard server overrides ``{shard: factory}`` — lets one shard
+    #: run a Byzantine server while the rest stay honest.  Shards not
+    #: named here use ``server_factory`` (or the honest default).
+    shard_server_factories: dict = field(default_factory=dict)
+    #: Crash-recovery windows targeting single shards:
+    #: ``(shard, start, duration)`` triples (``cluster`` backend only).
+    shard_outages: tuple[tuple[int, float, float], ...] = ()
     faust: FaustParams = field(default_factory=FaustParams)
 
     def __post_init__(self) -> None:
@@ -80,12 +99,56 @@ class SystemConfig:
                     f"server outages are (non-negative start, positive "
                     f"duration) pairs, got {window!r}"
                 )
-        ordered = sorted(self.server_outages)
-        for (start1, duration1), (start2, _d2) in zip(ordered, ordered[1:]):
-            if start2 < start1 + duration1:
-                # Overlap would end the longer window at the shorter one's
-                # restart; reject rather than quietly shorten an outage.
+        validate_outage_windows(self.server_outages)
+        if self.shards < 1:
+            raise ConfigurationError("a deployment needs at least one shard")
+        if self.shard_protocol not in ("faust", "ustor"):
+            raise ConfigurationError(
+                f"shard_protocol must be 'faust' or 'ustor', "
+                f"got {self.shard_protocol!r}"
+            )
+        for entry in self.shard_outages:
+            if (
+                len(entry) != 3
+                or not 0 <= entry[0] < self.shards
+                or entry[1] < 0
+                or entry[2] <= 0
+            ):
                 raise ConfigurationError(
-                    f"server outage windows overlap: "
-                    f"({start1}, {duration1}) and ({start2}, {_d2})"
+                    f"shard outages are (shard < {self.shards}, non-negative "
+                    f"start, positive duration) triples, got {entry!r}"
                 )
+        for shard in self.shard_server_factories:
+            if not 0 <= shard < self.shards:
+                raise ConfigurationError(
+                    f"shard_server_factories names shard {shard!r} but the "
+                    f"cluster has {self.shards} shard(s)"
+                )
+
+    def uses_cluster_knobs(self) -> bool:
+        """Is any shard-axis knob set away from its single-server default?"""
+        return bool(
+            self.shards != 1
+            or self.shard_map != "range"
+            or self.shard_protocol != "faust"
+            or self.shard_server_factories
+            or self.shard_outages
+        )
+
+
+def validate_outage_windows(
+    windows: tuple[tuple[float, float], ...]
+) -> None:
+    """Reject overlapping crash-recovery windows.
+
+    An overlap would end the longer window at the shorter one's restart;
+    fail loudly rather than quietly shorten an outage.  Shared with the
+    cluster backend, which merges global and per-shard windows per shard.
+    """
+    ordered = sorted(windows)
+    for (start1, duration1), (start2, _d2) in zip(ordered, ordered[1:]):
+        if start2 < start1 + duration1:
+            raise ConfigurationError(
+                f"server outage windows overlap: "
+                f"({start1}, {duration1}) and ({start2}, {_d2})"
+            )

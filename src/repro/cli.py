@@ -9,6 +9,11 @@ message statistics::
     python -m repro run --backend lockstep --ops 4   # baseline protocols
     python -m repro run --storage log --outage 25 20 --backend faust
     python -m repro run --server rollback --backend faust  # stale-snapshot attack
+    python -m repro run --backend cluster --clients 6 --shards 3  # sharded
+    python -m repro run --backend cluster --clients 6 --shards 4 \
+        --server split-brain --server-shard 1      # fork one shard only
+    python -m repro run --backend cluster --clients 6 --shards 2 \
+        --storage log --shard-outage 1 25 20       # one shard's outage
     python -m repro attacks                       # list server behaviours
     python -m repro experiments --quick           # run the E* harness
 
@@ -26,6 +31,7 @@ import random
 import sys
 
 from repro.api import BACKENDS, FailureNotification, SystemConfig, open_system
+from repro.cluster.shardmap import SHARD_MAP_STRATEGIES
 from repro.baselines.lockstep import LockStepServer, TamperingLockStepServer
 from repro.baselines.unchecked import LyingUncheckedServer, UncheckedServer
 from repro.consistency.causal import check_causal_consistency
@@ -101,6 +107,16 @@ def _cmd_attacks(_args) -> int:
 
 def _cmd_run(args) -> int:
     backend = args.backend or ("faust" if args.faust else "ustor")
+    is_cluster = backend == "cluster"
+    if not is_cluster and (
+        args.shards != 1 or args.shard_map != "range"
+        or args.server_shard is not None or args.shard_outage
+    ):
+        print(
+            "--shards/--shard-map/--server-shard/--shard-outage need "
+            "--backend cluster"
+        )
+        return 2
     table = BASELINE_SERVERS.get(backend, SERVERS)
     if args.server not in SERVERS:
         print(f"unknown server {args.server!r}; see 'python -m repro attacks'")
@@ -117,19 +133,41 @@ def _cmd_run(args) -> int:
             f"{backend!r} backend has none (use faust or ustor)"
         )
         return 2
-    if args.server != "correct" and (args.storage != "memory" or args.outage):
+    if (
+        args.server != "correct"
+        and args.server_shard is None
+        and (args.storage != "memory" or args.outage or args.shard_outage)
+    ):
         print(
             f"--storage/--outage configure the correct server; the "
             f"{args.server!r} behaviour owns its durability and fault "
             f"schedule (the rollback server, e.g., builds its own log engine)"
         )
         return 2
+    if args.server_shard is not None and args.server == "correct":
+        print("--server-shard targets a Byzantine behaviour; pick a --server")
+        return 2
     outages = tuple((start, duration) for start, duration in (args.outage or ()))
+    for shard, _start, _duration in args.shard_outage or ():
+        # nargs=3 forces one argparse type for all operands; reject a
+        # fractional shard rather than silently truncating to the wrong one.
+        if shard != int(shard):
+            print(f"--shard-outage: shard index must be an integer, got {shard}")
+            return 2
+    shard_outages = tuple(
+        (int(shard), start, duration)
+        for shard, start, duration in (args.shard_outage or ())
+    )
     # The correct server takes its engine from --storage; Byzantine servers
     # own their durability (the rollback one builds its own log engine).
     factory = None if args.server == "correct" else table[args.server]
     if backend in BASELINE_SERVERS:
         factory = table[args.server]
+    shard_factories = {}
+    if is_cluster and args.server_shard is not None:
+        # The chosen behaviour hits one shard; every other shard is honest.
+        shard_factories = {args.server_shard: factory}
+        factory = None
     system = open_system(
         SystemConfig(
             num_clients=args.clients,
@@ -137,6 +175,10 @@ def _cmd_run(args) -> int:
             server_factory=factory,
             storage=args.storage,
             server_outages=outages,
+            shards=args.shards,
+            shard_map=args.shard_map,
+            shard_server_factories=shard_factories,
+            shard_outages=shard_outages,
         ),
         backend=backend,
     )
@@ -153,38 +195,61 @@ def _cmd_run(args) -> int:
     driver.attach_all(scripts)
     system.run(until=args.until)
 
-    history = system.history()
     print(f"# run: {args.clients} clients x {args.ops} ops, server={args.server}, "
           f"backend={backend}, seed={args.seed}")
+    if is_cluster:
+        placement = [system.shard_of(r) for r in range(args.clients)]
+        print(f"# cluster: {system.num_shards} shard(s), map={args.shard_map}, "
+              f"register->shard {placement}")
     print(f"# completed {driver.stats.total_completed()}/{driver.stats.total_planned()} "
           f"operations by t={system.now:.1f}")
-    server = system.server
-    if getattr(server, "restarts", 0):
-        engine = server.engine
-        print(f"# server storage={engine.name}: {server.restarts} restart(s), "
-              f"{getattr(engine, 'last_recovery_replayed', 0)} WAL record(s) "
-              f"replayed, {getattr(engine, 'snapshots_taken', 0)} snapshot(s)")
+    for server in (system.servers if is_cluster else [system.server]):
+        if getattr(server, "restarts", 0):
+            engine = server.engine
+            print(f"# server {server.name} storage={engine.name}: "
+                  f"{server.restarts} restart(s), "
+                  f"{getattr(engine, 'last_recovery_replayed', 0)} WAL record(s) "
+                  f"replayed, {getattr(engine, 'snapshots_taken', 0)} snapshot(s)")
+    # Each shard is its own consistency domain: histories (and the
+    # checkers below) are per shard on a cluster, global otherwise.
+    histories = (
+        sorted(system.shard_histories().items())
+        if is_cluster
+        else [(None, system.history())]
+    )
     if args.history:
-        print()
-        print(history.describe())
+        for shard, history in histories:
+            print()
+            if shard is not None:
+                print(f"--- shard {shard} ---")
+            print(history.describe())
     if args.timeline:
         from repro.analysis.timeline import render_timeline
 
-        print()
-        print(render_timeline(history, width=96))
+        for shard, history in histories:
+            print()
+            if shard is not None:
+                print(f"--- shard {shard} ---")
+            print(render_timeline(history, width=96))
 
     if args.check:
-        print()
-        print(f"linearizability:            {check_linearizability(history)}")
-        print(f"causal consistency:         {check_causal_consistency(history)}")
-        if all(hasattr(c, "vh_records") for c in system.clients):
-            views = build_client_views(history, system.recorder, system.clients)
-            print(f"weak fork-linearizability:  "
-                  f"{validate_weak_fork_linearizability(history, views)}")
-        else:
-            # The view-history replay is USTOR-specific; baseline protocols
-            # carry no version digests to rebuild views from.
-            print(f"weak fork-linearizability:  n/a for the {backend} backend")
+        for shard, history in histories:
+            domain = system.shards[shard] if shard is not None else system
+            label = "" if shard is None else f" [shard {shard}]"
+            print()
+            print(f"linearizability{label}:            "
+                  f"{check_linearizability(history)}")
+            print(f"causal consistency{label}:         "
+                  f"{check_causal_consistency(history)}")
+            if all(hasattr(c, "vh_records") for c in domain.clients):
+                views = build_client_views(history, domain.recorder, domain.clients)
+                print(f"weak fork-linearizability{label}:  "
+                      f"{validate_weak_fork_linearizability(history, views)}")
+            else:
+                # The view-history replay is USTOR-specific; baseline
+                # protocols carry no version digests to rebuild views from.
+                print(f"weak fork-linearizability{label}:  n/a for the "
+                      f"{backend} backend")
 
     print()
     for client in system.clients:
@@ -260,7 +325,37 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         action="append",
         metavar=("START", "DURATION"),
-        help="schedule a server crash-recovery window (repeatable)",
+        help="schedule a server crash-recovery window (repeatable; on a "
+        "cluster it takes every shard down)",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of shards (requires --backend cluster)",
+    )
+    run.add_argument(
+        "--shard-map",
+        choices=SHARD_MAP_STRATEGIES,
+        default="range",
+        help="register partitioning strategy for --backend cluster",
+    )
+    run.add_argument(
+        "--server-shard",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help="apply the chosen --server behaviour to this shard only "
+        "(every other shard stays honest; requires --backend cluster)",
+    )
+    run.add_argument(
+        "--shard-outage",
+        nargs=3,
+        type=float,
+        action="append",
+        metavar=("SHARD", "START", "DURATION"),
+        help="crash-recovery window for one shard's server (repeatable; "
+        "requires --backend cluster)",
     )
     run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
     run.add_argument("--check", action="store_true", help="run consistency checkers")

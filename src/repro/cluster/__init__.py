@@ -1,0 +1,58 @@
+"""Sharded multi-server deployments of the fail-aware storage service.
+
+The paper's protocol is single-server by design; this package scales it
+out by *partitioning the register space* across N independent USTOR/FAUST
+server instances (shards), each a complete protocol domain with its own
+keys, history and fail-aware machinery.  A client-side
+:class:`~repro.cluster.session.ClusterSession` routes every operation to
+the owning shard behind the unchanged ``Session``/``OpHandle`` facade,
+so applications, scenarios and experiments run on a cluster untouched.
+
+Guarantees are per shard, audited per shard:
+
+* each shard is fork-linearizable/fail-aware *independently* — an
+  adversary may be honest on one shard and forking on another;
+* a forking shard is detected by, and reported to, exactly the clients
+  whose operations touched it (:class:`ShardFailureNotification` carries
+  the shard);
+* ``barrier()`` drains every touched shard; stability is tracked per
+  register partition (home-shard cuts for writes).
+
+Open one through the ``cluster`` backend::
+
+    from repro.api import SystemConfig, open_system
+
+    system = open_system(
+        SystemConfig(num_clients=6, shards=3, shard_map="hash"),
+        backend="cluster",
+    )
+"""
+
+from repro.cluster.events import (
+    ClusterNotificationHub,
+    ShardFailureNotification,
+    ShardStabilityNotification,
+)
+from repro.cluster.session import ClusterSession
+from repro.cluster.shardmap import (
+    SHARD_MAP_STRATEGIES,
+    HashShardMap,
+    RangeShardMap,
+    ShardMap,
+    make_shard_map,
+)
+from repro.cluster.system import ClusterClient, ClusterSystem
+
+__all__ = [
+    "ClusterClient",
+    "ClusterNotificationHub",
+    "ClusterSession",
+    "ClusterSystem",
+    "HashShardMap",
+    "RangeShardMap",
+    "SHARD_MAP_STRATEGIES",
+    "ShardFailureNotification",
+    "ShardMap",
+    "ShardStabilityNotification",
+    "make_shard_map",
+]

@@ -1,0 +1,92 @@
+"""Opening a sharded deployment from a :class:`SystemConfig`.
+
+The cluster backend interprets the shard-axis knobs — ``shards``,
+``shard_map``, ``shard_protocol``, ``shard_server_factories``,
+``shard_outages`` — and assembles one single-server deployment per shard
+over a shared scheduler.  Everything else (latency models, storage
+engine, FAUST tuning, seeds) applies uniformly to every shard, so a
+config that ran on the ``faust`` backend runs on ``cluster`` by adding
+``shards=N``.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import SystemConfig, validate_outage_windows
+from repro.cluster.shardmap import make_shard_map
+from repro.cluster.system import ClusterSystem
+from repro.common.errors import ConfigurationError
+from repro.sim.scheduler import Scheduler
+from repro.workloads.runner import SystemBuilder
+
+
+def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
+    """Build a :class:`ClusterSystem` described by ``config``."""
+    if config.shards > config.num_clients:
+        raise ConfigurationError(
+            f"{config.shards} shards over {config.num_clients} registers "
+            f"would leave shards owning nothing (the register space is one "
+            f"register per client)"
+        )
+    shard_map = make_shard_map(
+        config.shard_map, config.shards, config.num_clients
+    )
+    per_shard_outages = _outage_plan(config)
+
+    scheduler = Scheduler(seed=config.seed)
+    shards = []
+    for shard in range(config.shards):
+        factory = config.shard_server_factories.get(
+            shard, config.server_factory
+        )
+        builder = SystemBuilder(
+            num_clients=config.num_clients,
+            seed=config.seed,
+            scheme=config.scheme,
+            latency=config.latency,
+            offline_latency=config.offline_latency,
+            server_factory=factory,
+            commit_piggyback=config.commit_piggyback,
+            server_name=f"S{shard}",
+            storage=config.storage,
+            scheduler=scheduler,
+        )
+        if config.shard_protocol == "faust":
+            raw = builder.build_faust(**config.faust.as_kwargs())
+        else:
+            raw = builder.build()
+        shards.append(raw)
+
+    system = ClusterSystem(
+        shards=shards,
+        shard_map=shard_map,
+        scheduler=scheduler,
+        backend_name=backend_name,
+        capabilities=capabilities,
+        default_timeout=config.default_timeout,
+        shard_protocol=config.shard_protocol,
+    )
+    for shard, windows in per_shard_outages.items():
+        for start, duration in windows:
+            system.shard_outage(shard, start, duration)
+    return system
+
+
+def _outage_plan(config: SystemConfig) -> dict[int, list[tuple[float, float]]]:
+    """Merge whole-cluster windows with shard-targeted ones, per shard.
+
+    Sorted so a restart scheduled exactly where the next crash starts is
+    enqueued (and fires) first; overlaps are rejected per shard — the
+    same contract the single-server backends enforce.
+    """
+    plan: dict[int, list[tuple[float, float]]] = {
+        shard: list(config.server_outages) for shard in range(config.shards)
+    }
+    for shard, start, duration in config.shard_outages:
+        plan[shard].append((start, duration))
+    for shard, windows in plan.items():
+        try:
+            validate_outage_windows(tuple(windows))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"shard {shard}: {exc}") from None
+        windows.sort()
+    return plan

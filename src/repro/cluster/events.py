@@ -1,0 +1,90 @@
+"""Shard-tagged notifications for cluster deployments.
+
+A cluster multiplies every fail-aware output by a shard dimension: a
+failure notification now answers *which server* misbehaved, a stability
+notification *which partition* the cut covers.  The events subclass the
+single-server ones, so any subscriber filtering on
+:class:`~repro.api.events.StabilityNotification` /
+:class:`~repro.api.events.FailureNotification` keeps working unchanged —
+cluster-aware consumers read the extra ``shard`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.events import (
+    FailureNotification,
+    NotificationHub,
+    StabilityNotification,
+)
+from repro.common.types import ClientId
+
+
+@dataclass(frozen=True)
+class ShardStabilityNotification(StabilityNotification):
+    """``stable_i(W)`` emitted by client ``i``'s instance on one shard;
+    ``cut`` is that shard's stability vector."""
+
+    shard: int
+
+
+@dataclass(frozen=True)
+class ShardFailureNotification(FailureNotification):
+    """``fail_i`` raised by client ``i``'s instance on one shard — proof
+    that *this shard's server* misbehaved.  Other shards are independent
+    trust domains and remain usable."""
+
+    shard: int
+
+
+class ClusterNotificationHub(NotificationHub):
+    """A :class:`NotificationHub` whose emissions carry the shard axis.
+
+    Only user-level interactions wire emissions: a client is notified
+    about exactly the shards it touched (see ``ClusterSystem.touch``), so
+    ``failure_events()`` answers the per-shard audit question — *who
+    depended on the misbehaving server?* — not merely *who detected it*.
+    """
+
+    def emit_shard_stability(
+        self, time: float, client: ClientId, cut: tuple[int, ...], shard: int
+    ) -> None:
+        self._emit(
+            ShardStabilityNotification(
+                seq=self._next_seq_value(),
+                time=time,
+                client=client,
+                cut=cut,
+                shard=shard,
+            )
+        )
+
+    def emit_shard_failure(
+        self, time: float, client: ClientId, reason: str, shard: int
+    ) -> None:
+        self._emit(
+            ShardFailureNotification(
+                seq=self._next_seq_value(),
+                time=time,
+                client=client,
+                reason=reason,
+                shard=shard,
+            )
+        )
+
+    def failed_shards(self) -> set[int]:
+        """Shards with at least one failure notification."""
+        return {
+            e.shard
+            for e in self.history
+            if isinstance(e, ShardFailureNotification)
+        }
+
+    def clients_notified_of(self, shard: int) -> set[ClientId]:
+        """Clients that raised a failure notification about ``shard``."""
+        return {
+            e.client
+            for e in self.history
+            if isinstance(e, ShardFailureNotification) and e.shard == shard
+        }

@@ -1,0 +1,166 @@
+"""Register-space partitioning strategies for the sharded cluster.
+
+A :class:`ShardMap` assigns every register (equivalently, every client's
+own register ``X_i``) to exactly one shard.  The assignment is *static*
+for the lifetime of a deployment: the paper's protocol pins each
+register to one server's state, so re-sharding would be a fork by
+construction (the old and the new owner would both answer for the same
+register).  Two strategies ship:
+
+* :class:`RangeShardMap` — contiguous register ranges, balanced to within
+  one register.  Trivially inspectable; the default.
+* :class:`HashShardMap` — consistent hashing on a SHA-256 ring with
+  virtual nodes.  The assignment of a register depends only on the ring,
+  not on the register population, so growing the register space leaves
+  existing placements untouched — the property that matters once the
+  register space outgrows any statically enumerable range.
+
+Both are deterministic functions of their parameters — two processes
+that agree on ``(strategy, num_shards)`` agree on every placement, so
+clients need no placement service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import RegisterId
+
+
+class ShardMap(ABC):
+    """A total, static assignment of registers to shards."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("a cluster needs at least one shard")
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def shard_of(self, register: RegisterId) -> int:
+        """The shard owning ``register`` (in ``range(num_shards)``)."""
+
+    def registers_of(self, shard: int, num_registers: int) -> tuple[RegisterId, ...]:
+        """The partition owned by ``shard`` within ``range(num_registers)``."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.num_shards} shards"
+            )
+        return tuple(
+            r for r in range(num_registers) if self.shard_of(r) == shard
+        )
+
+    def partition(self, num_registers: int) -> list[tuple[RegisterId, ...]]:
+        """All partitions, indexed by shard."""
+        return [
+            self.registers_of(shard, num_registers)
+            for shard in range(self.num_shards)
+        ]
+
+
+class RangeShardMap(ShardMap):
+    """Contiguous ranges: shard ``k`` owns registers ``[k*ceil .. )``.
+
+    With ``num_registers`` known at construction the ranges are balanced
+    to within one register (the first ``num_registers % num_shards``
+    shards get one extra).
+    """
+
+    def __init__(self, num_shards: int, num_registers: int) -> None:
+        super().__init__(num_shards)
+        if num_registers < num_shards:
+            raise ConfigurationError(
+                f"range sharding {num_registers} registers over {num_shards} "
+                f"shards would leave empty shards"
+            )
+        self.num_registers = num_registers
+        base, extra = divmod(num_registers, num_shards)
+        #: First register of each shard's range (ascending), for bisection.
+        self._starts: list[int] = []
+        start = 0
+        for shard in range(num_shards):
+            self._starts.append(start)
+            start += base + (1 if shard < extra else 0)
+
+    def shard_of(self, register: RegisterId) -> int:
+        if not 0 <= register < self.num_registers:
+            raise ConfigurationError(
+                f"register {register} outside the sharded space "
+                f"[0, {self.num_registers})"
+            )
+        return bisect_right(self._starts, register) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RangeShardMap(shards={self.num_shards}, "
+            f"registers={self.num_registers})"
+        )
+
+
+class HashShardMap(ShardMap):
+    """Consistent hashing: shards own arcs of a SHA-256 ring.
+
+    Each shard places ``virtual_nodes`` points on the ring; a register
+    belongs to the shard owning the first point at or after its own hash
+    (wrapping).  Placement is independent of the register population.
+    """
+
+    def __init__(self, num_shards: int, virtual_nodes: int = 64) -> None:
+        super().__init__(num_shards)
+        if virtual_nodes < 1:
+            raise ConfigurationError("need at least one virtual node per shard")
+        self.virtual_nodes = virtual_nodes
+        ring: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for vnode in range(virtual_nodes):
+                ring.append((self._point(f"shard:{shard}:vnode:{vnode}"), shard))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_shards = [shard for _, shard in ring]
+
+    @staticmethod
+    def _point(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode("ascii")).digest()[:8], "big"
+        )
+
+    def shard_of(self, register: RegisterId) -> int:
+        if register < 0:
+            raise ConfigurationError(f"register {register} is negative")
+        point = self._point(f"register:{register}")
+        index = bisect_right(self._ring_points, point) % len(self._ring_points)
+        return self._ring_shards[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashShardMap(shards={self.num_shards}, "
+            f"virtual_nodes={self.virtual_nodes})"
+        )
+
+
+#: Named strategies accepted by ``SystemConfig(shard_map=...)``.
+SHARD_MAP_STRATEGIES = ("range", "hash")
+
+
+def make_shard_map(
+    spec: str | ShardMap, num_shards: int, num_registers: int
+) -> ShardMap:
+    """Resolve a shard-map spec: a ready :class:`ShardMap` passes through
+    (its shard count must match), a strategy name builds one."""
+    if isinstance(spec, ShardMap):
+        if spec.num_shards != num_shards:
+            raise ConfigurationError(
+                f"shard map is built for {spec.num_shards} shards but the "
+                f"cluster has {num_shards}"
+            )
+        return spec
+    if spec == "range":
+        return RangeShardMap(num_shards, num_registers)
+    if spec == "hash":
+        return HashShardMap(num_shards)
+    raise ConfigurationError(
+        f"unknown shard-map strategy {spec!r}; choose from "
+        f"{sorted(SHARD_MAP_STRATEGIES)} or pass a ShardMap"
+    )

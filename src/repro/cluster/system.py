@@ -1,0 +1,413 @@
+"""The sharded deployment: N independent servers, one simulated world.
+
+A :class:`ClusterSystem` holds one fully wired single-server deployment
+(:class:`~repro.workloads.runner.StorageSystem`) per shard, all driven by
+one shared :class:`~repro.sim.scheduler.Scheduler` so every shard lives
+in the same virtual time.  Each shard is a complete, independent
+protocol domain — its own server, keystore, offline channel, history —
+owning one partition of the register space; the cluster layer never
+crosses protocol state between shards (doing so would be a fork by
+construction).
+
+The class mirrors the full facade surface of
+:class:`~repro.api.system.System` *and* enough of the raw
+:class:`StorageSystem` surface (``clients``, ``scheduler``, ``offline``,
+``trace``, ``server_outage`` ...) that drivers, churn schedules and the
+CLI run unchanged on a cluster.  ``clients`` holds
+:class:`ClusterClient` proxies that route operations by register
+ownership and aggregate per-shard state.
+
+Detection is audited **per shard and per dependency**: the cluster wires
+a client's notifications for exactly the shards that client touched with
+user operations (:meth:`touch`).  A forking shard is therefore reported
+to precisely the clients whose data lived there — a client that never
+used the shard has nothing at stake and hears nothing, while its honest
+shards keep serving it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.errors import CapabilityError
+from repro.cluster.events import ClusterNotificationHub
+from repro.cluster.session import ClusterSession
+from repro.cluster.shardmap import ShardMap
+from repro.common.errors import ConfigurationError
+from repro.common.types import ClientId, RegisterId, Value, client_name
+from repro.history.history import History
+from repro.sim.faults import MultiServerFaultInjector
+from repro.sim.scheduler import Scheduler
+from repro.workloads.runner import StorageSystem
+
+
+class ClusterClient:
+    """Cluster-level client proxy: the ``system.clients[i]`` object.
+
+    Routes ``write``/``read`` to the owning shard's protocol instance and
+    aggregates liveness/failure state over the shards this client has
+    *touched* with user operations, so generic drivers and churn
+    schedules treat it exactly like a single-server client.
+    """
+
+    #: Routing hands each shard instance at most its own sequential
+    #: stream, and FAUST instances queue internally; sessions may pipeline.
+    pipelines_operations = True
+
+    def __init__(self, cluster: "ClusterSystem", client_id: ClientId) -> None:
+        self._cluster = cluster
+        self.client_id = client_id
+        self.name = client_name(client_id)
+
+    # -- shard instances ------------------------------------------------ #
+
+    @property
+    def instances(self) -> list:
+        """This client's protocol instance on every shard."""
+        return [
+            shard.clients[self.client_id] for shard in self._cluster.shards
+        ]
+
+    def instance(self, shard: int):
+        self._cluster.check_shard(shard)
+        return self._cluster.shards[shard].clients[self.client_id]
+
+    def _touched_instances(self) -> list:
+        return [
+            self.instance(shard)
+            for shard in self._cluster.touched_shards(self.client_id)
+        ]
+
+    # -- operations (routed) -------------------------------------------- #
+
+    def write(self, value: Value, callback: Callable | None = None) -> None:
+        shard = self._cluster.shard_of(self.client_id)
+        self._cluster.touch(self.client_id, shard)
+        self.instance(shard).write(value, callback)
+
+    def read(self, register: RegisterId, callback: Callable | None = None) -> None:
+        shard = self._cluster.shard_of(register)
+        self._cluster.touch(self.client_id, shard)
+        self.instance(shard).read(register, callback)
+
+    # -- aggregated state ------------------------------------------------ #
+
+    @property
+    def crashed(self) -> bool:
+        return all(inst.crashed for inst in self.instances)
+
+    @property
+    def busy(self) -> bool:
+        return any(getattr(inst, "busy", False) for inst in self.instances)
+
+    @property
+    def failed(self) -> bool:
+        """Any *touched* shard's instance output ``fail`` (untouched
+        shards carry nothing of this client's and do not halt it)."""
+        return any(inst.failed for inst in self._touched_instances())
+
+    @property
+    def fail_reason(self) -> str | None:
+        for inst in self._touched_instances():
+            if inst.fail_reason is not None:
+                return inst.fail_reason
+        return None
+
+    @property
+    def faust_failed(self) -> bool:
+        instances = self.instances
+        if not instances or not hasattr(instances[0], "faust_failed"):
+            raise AttributeError("faust_failed")  # not a fail-aware cluster
+        return any(inst.faust_failed for inst in self._touched_instances())
+
+    @property
+    def faust_fail_reason(self) -> str | None:
+        for inst in self._touched_instances():
+            if getattr(inst, "faust_fail_reason", None) is not None:
+                return inst.faust_fail_reason
+        return None
+
+    @property
+    def tracker(self):
+        """The home-shard stability tracker (fail-aware clusters only)."""
+        home = self.instance(self._cluster.shard_of(self.client_id))
+        tracker = getattr(home, "tracker", None)
+        if tracker is None:
+            raise AttributeError("tracker")
+        return tracker
+
+    @property
+    def completed_operations(self) -> int:
+        return sum(inst.completed_operations for inst in self.instances)
+
+    # -- lifecycle (fanned out) ------------------------------------------ #
+
+    def crash(self) -> None:
+        for inst in self.instances:
+            inst.crash()
+
+    def pause(self) -> None:
+        for inst in self.instances:
+            if hasattr(inst, "pause"):
+                inst.pause()
+
+    def resume(self) -> None:
+        for inst in self.instances:
+            if hasattr(inst, "resume"):
+                inst.resume()
+
+    def enable_background(self, dummy_reads: bool = True, probes: bool = True) -> None:
+        for inst in self.instances:
+            if hasattr(inst, "enable_background"):
+                inst.enable_background(dummy_reads, probes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ClusterClient {self.name} over {len(self._cluster.shards)} shards>"
+
+
+class _ClusterOffline:
+    """Connectivity facade: one switch per client, fanned to every
+    shard's offline channel (the client is one person; going to sleep
+    disconnects it from all its shard mailboxes at once)."""
+
+    def __init__(self, cluster: "ClusterSystem") -> None:
+        self._cluster = cluster
+
+    def set_online(self, name: str, online: bool) -> None:
+        for shard in self._cluster.shards:
+            shard.offline.set_online(name, online)
+
+    def is_online(self, name: str) -> bool:
+        return all(shard.offline.is_online(name) for shard in self._cluster.shards)
+
+    def mailbox_depth(self, name: str) -> int:
+        return sum(
+            shard.offline.mailbox_depth(name) for shard in self._cluster.shards
+        )
+
+
+class _ClusterTrace:
+    """Read-mostly trace facade aggregating per-shard traces.
+
+    Cluster-level events (``note``) land on every query as well, so a
+    churn schedule's offline/online notes are preserved.
+    """
+
+    def __init__(self, cluster: "ClusterSystem") -> None:
+        self._cluster = cluster
+        self.notes: list[tuple[float, str, str, tuple]] = []
+
+    def note(self, time: float, who: str, what: str, *details) -> None:
+        self.notes.append((time, who, what, details))
+
+    def message_count(self, kind: str | None = None) -> int:
+        return sum(
+            shard.trace.message_count(kind) for shard in self._cluster.shards
+        )
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            shard.trace.total_bytes(kind) for shard in self._cluster.shards
+        )
+
+
+class ClusterSystem:
+    """A sharded deployment opened through the ``cluster`` backend."""
+
+    def __init__(
+        self,
+        shards: list[StorageSystem],
+        shard_map: ShardMap,
+        scheduler: Scheduler,
+        backend_name: str,
+        capabilities,
+        default_timeout: float = 1_000.0,
+        shard_protocol: str = "faust",
+    ) -> None:
+        if len(shards) != shard_map.num_shards:
+            raise ConfigurationError(
+                f"{len(shards)} shard deployments but the map expects "
+                f"{shard_map.num_shards}"
+            )
+        self.shards = shards
+        self.shard_map = shard_map
+        self.scheduler = scheduler
+        self.backend_name = backend_name
+        self.capabilities = capabilities
+        self.default_timeout = default_timeout
+        self.shard_protocol = shard_protocol
+        self.num_clients = len(shards[0].clients)
+        self.notifications = ClusterNotificationHub()
+        self.trace = _ClusterTrace(self)
+        self.offline = _ClusterOffline(self)
+        self.clients = [
+            ClusterClient(self, i) for i in range(self.num_clients)
+        ]
+        self._faults = MultiServerFaultInjector(
+            scheduler, [s.server for s in shards], [s.trace for s in shards]
+        )
+        self._sessions: dict[ClientId, ClusterSession] = {}
+        #: (client, shard) pairs with at least one user operation.
+        self._touched: set[tuple[ClientId, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, register: RegisterId) -> int:
+        """The shard owning ``register``; validates the register range."""
+        if not 0 <= register < self.num_clients:
+            raise ConfigurationError(
+                f"register {register} outside the register space "
+                f"[0, {self.num_clients})"
+            )
+        return self.shard_map.shard_of(register)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def check_shard(self, shard: int) -> int:
+        """Validate a shard index (rejecting negatives — Python's
+        negative indexing would silently alias the last shard)."""
+        if not 0 <= shard < len(self.shards):
+            raise ConfigurationError(
+                f"shard {shard} out of range for {len(self.shards)} shard(s)"
+            )
+        return shard
+
+    @property
+    def servers(self) -> list:
+        """The per-shard servers, indexed by shard."""
+        return [shard.server for shard in self.shards]
+
+    def touched_shards(self, client_id: ClientId) -> tuple[int, ...]:
+        """Shards ``client_id`` has issued user operations against."""
+        return tuple(
+            sorted(s for c, s in self._touched if c == client_id)
+        )
+
+    def touch(self, client_id: ClientId, shard: int) -> None:
+        """Record that ``client_id`` depends on ``shard`` and wire its
+        notifications for that shard (idempotent).
+
+        Wiring at touch time is what scopes detection: only the clients
+        whose data lives on a shard are notified of its misbehaviour.  If
+        the shard was already caught misbehaving, the notification fires
+        immediately — depending on a known-bad shard must not go silent.
+        """
+        key = (client_id, shard)
+        if key in self._touched:
+            return
+        self._touched.add(key)
+        hub = self.notifications
+        instance = self.shards[shard].clients[client_id]
+        if hasattr(instance, "add_stable_listener"):
+            instance.add_stable_listener(
+                lambda cut, _c=client_id, _s=shard: hub.emit_shard_stability(
+                    self.scheduler.now, _c, cut, _s
+                )
+            )
+        if hasattr(instance, "add_failure_listener"):
+            instance.add_failure_listener(
+                lambda reason, _c=client_id, _s=shard: hub.emit_shard_failure(
+                    self.scheduler.now, _c, reason, _s
+                )
+            )
+        already = getattr(instance, "faust_fail_reason", None) or getattr(
+            instance, "fail_reason", None
+        )
+        if already is not None or getattr(instance, "faust_failed", False):
+            hub.emit_shard_failure(
+                self.scheduler.now,
+                client_id,
+                already or "shard already failed",
+                shard,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+
+    def session(
+        self, client_id: ClientId, timeout: float | None = None
+    ) -> ClusterSession:
+        """The cluster session bound to ``client_id`` (cached per client
+        unless an explicit ``timeout`` asks for a dedicated one)."""
+        if timeout is not None:
+            return ClusterSession(self, client_id, timeout=timeout)
+        if client_id not in self._sessions:
+            self._sessions[client_id] = ClusterSession(self, client_id)
+        return self._sessions[client_id]
+
+    def sessions(self) -> list[ClusterSession]:
+        """One session per client, in client order."""
+        return [self.session(i) for i in range(self.num_clients)]
+
+    # ------------------------------------------------------------------ #
+    # Guarantees
+    # ------------------------------------------------------------------ #
+
+    def require(self, capability: str) -> None:
+        """Assert the cluster provides ``capability``; raises
+        :class:`CapabilityError` if not."""
+        if not getattr(self.capabilities, capability):
+            raise CapabilityError(
+                f"backend {self.backend_name!r} does not provide {capability}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # The simulated world
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        return self.scheduler.run_until(predicate, timeout=timeout)
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def crash_client_at(self, client_id: ClientId, time: float) -> None:
+        """Schedule a crash-stop of one client (all its shard instances)."""
+        proxy = self.clients[client_id]
+        self.scheduler.schedule_at(
+            time,
+            lambda: (proxy.crash(), self.trace.note(time, proxy.name, "crash")),
+        )
+
+    # -- server faults, with a shard axis ------------------------------- #
+
+    def shard_outage(self, shard: int, start: float, duration: float) -> None:
+        """One crash-recovery window for a single shard's server."""
+        self._faults.outage(shard, start, duration)
+
+    def server_outage(self, start: float, duration: float) -> None:
+        """A whole-cluster outage: every shard down over the window."""
+        for shard in range(self.num_shards):
+            self._faults.outage(shard, start, duration)
+
+    # ------------------------------------------------------------------ #
+    # Histories (per shard — each shard is its own consistency domain)
+    # ------------------------------------------------------------------ #
+
+    def shard_histories(self) -> dict[int, History]:
+        """The recorded history of every shard, keyed by shard."""
+        return {k: shard.history() for k, shard in enumerate(self.shards)}
+
+    def history(self) -> History:
+        raise CapabilityError(
+            "a cluster has one history per shard (each shard is an "
+            "independent fork-linearizability domain); use shard_histories()"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ClusterSystem shards={self.num_shards} "
+            f"clients={self.num_clients} map={self.shard_map!r} "
+            f"t={self.now:.1f}>"
+        )

@@ -20,6 +20,7 @@ from repro.experiments import (
     e13_digest_ablation,
     e14_definition5_validation,
     e15_rollback_recovery,
+    e16_cluster_detection,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = [
     e13_digest_ablation,
     e14_definition5_validation,
     e15_rollback_recovery,
+    e16_cluster_detection,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

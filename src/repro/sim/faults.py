@@ -67,3 +67,54 @@ class ServerFaultInjector:
             self._trace.note(
                 self._scheduler.now, self._server.name, "server-restart"
             )
+
+
+class MultiServerFaultInjector:
+    """Targets faults at individual servers of a multi-server topology.
+
+    The cluster layer multiplies the fault axis by a shard dimension: an
+    outage (or any crash/restart) can hit one shard's server while the
+    rest of the deployment keeps serving.  This is a thin index over one
+    :class:`ServerFaultInjector` per server, sharing one scheduler so all
+    faults land in the same virtual time.
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        servers: list["Node"],
+        traces: "list[SimTrace | None] | None" = None,
+    ) -> None:
+        if traces is None:
+            traces = [None] * len(servers)
+        if len(traces) != len(servers):
+            raise SimulationError("need one trace (or None) per server")
+        self._injectors = [
+            ServerFaultInjector(scheduler, server, trace)
+            for server, trace in zip(servers, traces)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._injectors)
+
+    def injector(self, index: int) -> ServerFaultInjector:
+        if not 0 <= index < len(self._injectors):
+            raise SimulationError(
+                f"server index {index} out of range for "
+                f"{len(self._injectors)} servers"
+            )
+        return self._injectors[index]
+
+    def crash_at(self, index: int, time: float) -> None:
+        self.injector(index).crash_at(time)
+
+    def restart_at(self, index: int, time: float) -> None:
+        self.injector(index).restart_at(time)
+
+    def outage(self, index: int, start: float, duration: float) -> None:
+        self.injector(index).outage(start, duration)
+
+    def outage_all(self, start: float, duration: float) -> None:
+        """The correlated failure: every server down over the window."""
+        for injector in self._injectors:
+            injector.outage(start, duration)

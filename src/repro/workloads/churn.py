@@ -39,10 +39,16 @@ class OfflineWindow:
 
 @dataclass(frozen=True)
 class ServerOutageWindow:
-    """One planned server crash-recovery cycle."""
+    """One planned server crash-recovery cycle.
+
+    ``shard`` targets one shard's server on a cluster deployment; ``None``
+    means *the* server (single-server systems) or *every* server (a
+    correlated, whole-cluster outage).
+    """
 
     start: float
     duration: float
+    shard: int | None = None
 
     @property
     def end(self) -> float:
@@ -88,41 +94,81 @@ class ChurnSchedule:
     # Server-side churn (crash-recovery windows)
     # ------------------------------------------------------------------ #
 
-    def add_server_outage(self, start: float, duration: float) -> None:
+    def add_server_outage(
+        self, start: float, duration: float, shard: int | None = None
+    ) -> None:
         """Schedule one server crash-recovery window.
 
         The server crashes at ``start`` and recovers from its storage
         engine at ``start + duration``; requests delivered in between are
         held by the reliable channels and served after recovery.  With a
         durable engine this is client-churn's server-side mirror: delayed
-        operations, no failure notifications.  Windows must not overlap —
-        an overlapping restart would cut the longer outage short.
+        operations, no failure notifications.  Windows targeting the same
+        server must not overlap — an overlapping restart would cut the
+        longer outage short.
+
+        On a cluster deployment, ``shard`` crashes one shard's server
+        only (the others keep serving); ``None`` takes the whole cluster
+        down.
         """
         if duration <= 0:
             raise ValueError("server outage windows need positive duration")
-        window = ServerOutageWindow(start=start, duration=duration)
+        if shard is not None and not hasattr(self._system, "shard_outage"):
+            raise ValueError(
+                "shard-targeted outages need a cluster deployment"
+            )
+        window = ServerOutageWindow(start=start, duration=duration, shard=shard)
         if any(self._overlaps(window, existing) for existing in self.server_outages):
             raise ValueError("server outage windows must not overlap")
         self.server_outages.append(window)
-        self._system.server_outage(start, duration)
+        if shard is None:
+            self._system.server_outage(start, duration)
+        else:
+            self._system.shard_outage(shard, start, duration)
 
     def random_server_outages(
         self, count: int, horizon: float, mean_duration: float
     ) -> None:
         """Draw up to ``count`` random, non-overlapping windows over
         ``[0, horizon]`` (overlapping draws are skipped)."""
+        self._random_outages(count, horizon, mean_duration, lambda rng: None)
+
+    def random_shard_outages(
+        self, count: int, horizon: float, mean_duration: float
+    ) -> None:
+        """Cluster churn: draw up to ``count`` random windows, each
+        hitting one random shard (overlapping same-target draws are
+        skipped)."""
+        if not hasattr(self._system, "shard_outage"):
+            raise ValueError("shard-targeted outages need a cluster deployment")
+        num_shards = self._system.num_shards
+        self._random_outages(
+            count, horizon, mean_duration, lambda rng: rng.randrange(num_shards)
+        )
+
+    def _random_outages(
+        self, count: int, horizon: float, mean_duration: float, draw_shard
+    ) -> None:
         rng = self._system.scheduler.rng
         for _ in range(count):
+            shard = draw_shard(rng)
             start = rng.uniform(0.0, horizon)
             duration = max(rng.expovariate(1.0 / mean_duration), 1.0)
-            candidate = ServerOutageWindow(start=start, duration=duration)
+            candidate = ServerOutageWindow(
+                start=start, duration=duration, shard=shard
+            )
             if any(self._overlaps(candidate, w) for w in self.server_outages):
                 continue
-            self.add_server_outage(start, duration)
+            self.add_server_outage(start, duration, shard=shard)
 
     @staticmethod
     def _overlaps(a: ServerOutageWindow, b: ServerOutageWindow) -> bool:
-        return a.start < b.end and b.start < a.end
+        """Windows conflict when they share a server and share time:
+        ``shard=None`` (the whole deployment) conflicts with everything."""
+        same_target = (
+            a.shard is None or b.shard is None or a.shard == b.shard
+        )
+        return same_target and a.start < b.end and b.start < a.end
 
     # ------------------------------------------------------------------ #
 

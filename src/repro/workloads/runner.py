@@ -120,6 +120,8 @@ class SystemBuilder:
         commit_piggyback: bool = False,
         server_name: str = "S",
         storage: str | Callable = "memory",
+        scheduler: Scheduler | None = None,
+        trace: SimTrace | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -136,10 +138,15 @@ class SystemBuilder:
         )
         self.commit_piggyback = commit_piggyback
         self.server_name = server_name
+        # Multi-server topologies (repro.cluster) build several deployments
+        # over ONE event loop: pass the shared scheduler (and optionally a
+        # shared trace) so every shard lives in the same virtual time.
+        self._shared_scheduler = scheduler
+        self._shared_trace = trace
 
     def _core(self):
-        scheduler = Scheduler(seed=self.seed)
-        trace = SimTrace()
+        scheduler = self._shared_scheduler or Scheduler(seed=self.seed)
+        trace = self._shared_trace or SimTrace()
         network = Network(scheduler, default_latency=self.latency, trace=trace)
         offline = OfflineChannel(scheduler, latency=self.offline_latency, trace=trace)
         keystore = KeyStore(self.num_clients, scheme=self.scheme)

@@ -15,15 +15,19 @@
 * :func:`rollback_attack_scenario` — the persistence-axis attack: the
   server "recovers" from a deliberately stale snapshot; fail-aware
   clients detect the fork into the past.
+* :func:`split_brain_shard_scenario` — the cluster-axis attack: one
+  shard's server forks its clients while every other shard stays honest;
+  detection must reach exactly the clients that touched the forked
+  shard, and honest shards must keep serving.
 """
 
 from __future__ import annotations
 
 import random
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.api.backends import FaustBackend, UstorBackend
+from repro.api.backends import ClusterBackend, FaustBackend, UstorBackend
 from repro.api.config import FaustParams, SystemConfig
 from repro.api.events import FailureNotification
 from repro.api.handles import OpResult
@@ -34,7 +38,13 @@ from repro.history.history import History
 from repro.sim.network import FixedLatency
 from repro.store.codec import encode_server_state
 from repro.ustor.byzantine import Fig3Server, RollbackServer, SplitBrainServer
-from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
+from repro.workloads.generator import (
+    Driver,
+    PlannedOp,
+    WorkloadConfig,
+    generate_scripts,
+    unique_value,
+)
 
 ALICE, BOB, CARLOS = 0, 1, 2
 
@@ -399,5 +409,164 @@ def rollback_attack_scenario(
         crash_time=server.rollback_crash_time,
         restart_time=restart,
         detection_times=detection_times,
+        detection_latency=latency,
+    )
+
+
+@dataclass
+class ShardSplitBrainResult:
+    system: object
+    driver: Driver
+    #: Shards whose server runs the forking attack.
+    forked_shards: frozenset[int]
+    fork_time: float
+    #: Clients scripted to never touch a forked shard.
+    avoiders: frozenset[int]
+    #: Shards each client actually touched with user operations.
+    touched: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: Clients expected to be notified (touched a forked shard).
+    expected_detectors: frozenset[int] = frozenset()
+    #: Clients that raised a cluster-level failure notification.
+    notified_clients: frozenset[int] = frozenset()
+    #: Virtual time from the fork to the first failure notification
+    #: (``nan`` if the attack went unnoticed).
+    detection_latency: float = float("nan")
+
+    @property
+    def exact_detection(self) -> bool:
+        """Notified exactly the clients that touched the forked shard?"""
+        return self.notified_clients == self.expected_detectors
+
+    def avoiders_completed(self) -> bool:
+        """Did every avoider finish its whole (honest-shard) script?"""
+        return all(
+            self.driver.stats.completed.get(c, 0)
+            >= self.driver.stats.planned.get(c, 0)
+            for c in self.avoiders
+        )
+
+
+def split_brain_shard_scenario(
+    num_clients: int = 6,
+    shards: int = 4,
+    forked_shards: tuple[int, ...] = (1,),
+    seed: int = 41,
+    fork_time: float = 25.0,
+    ops_per_client: int = 12,
+    delta: float = 25.0,
+    shard_map: str = "range",
+    run_for: float = 600.0,
+) -> ShardSplitBrainResult:
+    """One (or more) forking shard(s) inside an otherwise honest cluster.
+
+    The forked shards' servers run the classic split-brain attack from
+    ``fork_time`` on; every other shard is honest.  Client scripts are
+    shaped so that a subset (*avoiders* — clients whose registers and
+    reads all live on honest shards) never touches a forked shard, while
+    everyone else does.  The cluster contract under test:
+
+    * every client that operated on a forked shard raises a
+      shard-tagged failure notification,
+    * no avoider raises any,
+    * avoiders' operations — all on honest shards — complete in full.
+    """
+    forked = frozenset(forked_shards)
+    if not forked:
+        raise ValueError("need at least one forked shard")
+
+    def forking_factory(n, name):
+        return SplitBrainServer(
+            n,
+            groups=[
+                {c for c in range(n) if c % 2 == 0},
+                {c for c in range(n) if c % 2 == 1},
+            ],
+            fork_time=fork_time,
+            name=name,
+        )
+
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=seed,
+        shards=shards,
+        shard_map=shard_map,
+        shard_server_factories={k: forking_factory for k in forked},
+        faust=FaustParams(delta=delta, probe_check_period=delta / 3),
+    )
+    system = ClusterBackend().open_system(config)
+    if not any(system.shard_of(r) in forked for r in range(num_clients)):
+        raise ValueError(
+            "no register maps to a forked shard; nothing would be attacked"
+        )
+
+    honest_registers = [
+        r for r in range(num_clients) if system.shard_of(r) not in forked
+    ]
+    forked_registers = [
+        r for r in range(num_clients) if system.shard_of(r) in forked
+    ]
+    # Avoiders: clients whose own register lives on an honest shard; take
+    # every other such client so both populations stay non-empty.
+    honest_home = [c for c in honest_registers]
+    avoiders = frozenset(honest_home[::2])
+
+    rng = random.Random(seed)
+    scripts: dict[int, list[PlannedOp]] = {}
+    for client in range(num_clients):
+        allowed = honest_registers if client in avoiders else None
+        ops: list[PlannedOp] = []
+        writes = 0
+        for index in range(ops_per_client):
+            think = rng.expovariate(1.0 / 3.0)
+            if client not in avoiders and index == 1:
+                # Guarantee every non-avoider touches a forked shard early.
+                ops.append(
+                    PlannedOp(
+                        OpKind.READ, rng.choice(forked_registers), think_time=think
+                    )
+                )
+            elif rng.random() < 0.5:
+                pool = allowed if allowed is not None else range(num_clients)
+                ops.append(
+                    PlannedOp(OpKind.READ, rng.choice(list(pool)), think_time=think)
+                )
+            else:
+                writes += 1
+                ops.append(
+                    PlannedOp(
+                        OpKind.WRITE,
+                        client,
+                        value=unique_value(client, writes, 24),
+                        think_time=think,
+                    )
+                )
+        scripts[client] = ops
+
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=run_for)
+
+    touched = {
+        c: frozenset(system.touched_shards(c)) for c in range(num_clients)
+    }
+    expected = frozenset(
+        c for c, shards_touched in touched.items() if shards_touched & forked
+    )
+    failures = system.notifications.failure_events()
+    notified = frozenset(e.client for e in failures)
+    latency = (
+        min(e.time for e in failures) - fork_time
+        if failures
+        else float("nan")
+    )
+    return ShardSplitBrainResult(
+        system=system,
+        driver=driver,
+        forked_shards=forked,
+        fork_time=fork_time,
+        avoiders=avoiders,
+        touched=touched,
+        expected_detectors=expected,
+        notified_clients=notified,
         detection_latency=latency,
     )

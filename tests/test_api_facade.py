@@ -400,7 +400,7 @@ class TestNotifications:
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert set(BACKENDS) == {"faust", "ustor", "lockstep", "unchecked"}
+        assert set(BACKENDS) == {"faust", "ustor", "lockstep", "unchecked", "cluster"}
         for name, backend in BACKENDS.items():
             assert isinstance(backend, Backend)
             assert get_backend(name) is backend

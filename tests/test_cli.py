@@ -73,3 +73,48 @@ class TestExperimentsCommand:
         assert main(["experiments", "--quick", "--only", "E12"]) == 0
         out = capsys.readouterr().out
         assert "E12" in out and "incomparable" in out
+
+
+class TestClusterRunCommand:
+    def test_cluster_run_with_per_shard_check(self, capsys):
+        code = main(
+            ["run", "--backend", "cluster", "--clients", "4", "--shards", "2",
+             "--ops", "2", "--seed", "5", "--until", "60", "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster: 2 shard(s)" in out
+        assert "linearizability [shard 0]" in out
+        assert "linearizability [shard 1]" in out
+        assert "weak-fork-linearizability: OK" in out
+
+    def test_shard_knobs_require_cluster_backend(self, capsys):
+        assert main(["run", "--clients", "4", "--shards", "2"]) == 2
+        out = capsys.readouterr().out
+        assert "--backend cluster" in out
+
+    def test_server_shard_targets_one_shard(self, capsys):
+        code = main(
+            ["run", "--backend", "cluster", "--clients", "6", "--shards", "3",
+             "--ops", "3", "--server", "tampering", "--server-shard", "0",
+             "--until", "150"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster: 3 shard(s)" in out
+
+    def test_server_shard_requires_a_byzantine_server(self, capsys):
+        code = main(
+            ["run", "--backend", "cluster", "--clients", "4", "--shards", "2",
+             "--server-shard", "1"]
+        )
+        assert code == 2
+        assert "Byzantine" in capsys.readouterr().out
+
+    def test_shard_outage_flag(self, capsys):
+        code = main(
+            ["run", "--backend", "cluster", "--clients", "4", "--shards", "2",
+             "--ops", "2", "--storage", "log",
+             "--shard-outage", "1", "10", "5", "--until", "120"]
+        )
+        assert code == 0

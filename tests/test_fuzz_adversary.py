@@ -12,6 +12,10 @@ from repro.ustor.fuzz import DEVIATIONS, RandomDeviationServer
 from repro.workloads.generator import Driver, WorkloadConfig, generate_scripts
 from repro.workloads.runner import SystemBuilder
 
+#: These are the fast members of the randomized-adversary family; the
+#: long sweeps live behind ``-m slow`` (see pyproject markers).
+pytestmark = pytest.mark.fuzz
+
 
 def fuzz_run(seed: int, probability: float, n: int = 3, ops: int = 10):
     system = SystemBuilder(
