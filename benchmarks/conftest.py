@@ -17,6 +17,12 @@ Reproducibility and the perf trajectory:
   durations plus environment provenance — giving the performance
   trajectory concrete data points even when pytest-benchmark's own
   timing is disabled (as in CI's ``--benchmark-disable`` smoke).
+* **Hot-path speedups.**  ``test_bench_perf.py`` measures the optimized
+  protocol hot paths against their reference implementations and records
+  the resulting *ratios* through the ``record_hot_path`` fixture into the
+  results file's ``hot_paths`` section.  Ratios, unlike raw durations,
+  transfer across machines, so the committed ``BENCH_baseline.json`` can
+  gate CI via ``python -m repro.perf`` (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20260730"))
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 _durations: dict[str, float] = {}
+_hot_paths: dict[str, dict] = {}
 _session_started = time.time()
 
 
@@ -50,6 +57,42 @@ def bench_seed() -> int:
 def bench_rng(bench_seed) -> random.Random:
     """A fresh, seed-pinned RNG per test (no cross-test coupling)."""
     return random.Random(bench_seed)
+
+
+@pytest.fixture
+def record_hot_path():
+    """Record one reference-vs-optimized hot-path measurement.
+
+    ``rec(name, reference_seconds, optimized_seconds, **details)`` stores
+    both timings, the speedup ratio and any extra workload details under
+    ``hot_paths.<name>`` of this session's ``BENCH_*.json`` — the data
+    the ``repro.perf`` regression gate compares across runs.
+
+    ``gate=False`` marks a ratio as informational: recorded and reported,
+    but not failed on.  Use it for ratios that measure machine properties
+    (e.g. C-extension crypto cost vs. interpreter overhead) rather than
+    properties of our code, which do not transfer between the committed
+    baseline's machine and CI runners.
+    """
+
+    def rec(
+        name: str,
+        reference_seconds: float,
+        optimized_seconds: float,
+        gate: bool = True,
+        **details,
+    ) -> float:
+        speedup = reference_seconds / optimized_seconds
+        _hot_paths[name] = {
+            "reference_seconds": reference_seconds,
+            "optimized_seconds": optimized_seconds,
+            "speedup": speedup,
+            "gate": gate,
+            **details,
+        }
+        return speedup
+
+    return rec
 
 
 @pytest.fixture
@@ -92,6 +135,7 @@ def pytest_sessionfinish(session, exitstatus):
             {"id": nodeid, "call_seconds": duration}
             for nodeid, duration in sorted(_durations.items())
         ],
+        "hot_paths": dict(sorted(_hot_paths.items())),
     }
     path = RESULTS_DIR / f"BENCH_{stamp}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")

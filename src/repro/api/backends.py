@@ -54,7 +54,9 @@ class Backend(Protocol):
     name: str
     capabilities: Capabilities
 
-    def open_system(self, config: SystemConfig) -> System: ...
+    def open_system(self, config: SystemConfig) -> System:
+        """Build and wire a deployment described by ``config``."""
+        ...
 
 
 def _schedule_outages(raw, config: SystemConfig) -> None:
@@ -95,6 +97,7 @@ class FaustBackend:
     )
 
     def open_system(self, config: SystemConfig) -> System:
+        """Open a FAUST deployment (single server, fail-aware clients)."""
         from repro.workloads.runner import SystemBuilder
 
         _reject_cluster_knobs(config, self.name)
@@ -121,6 +124,7 @@ class UstorBackend:
     )
 
     def open_system(self, config: SystemConfig) -> System:
+        """Open a bare-USTOR deployment (no fail-aware layer)."""
         from repro.workloads.runner import SystemBuilder
 
         _reject_cluster_knobs(config, self.name)
@@ -147,6 +151,7 @@ class LockstepBackend:
     )
 
     def open_system(self, config: SystemConfig) -> System:
+        """Open a lock-step baseline deployment (blocking protocol)."""
         from repro.baselines.lockstep import build_lockstep_system
 
         _reject_cluster_knobs(config, self.name)
@@ -170,6 +175,7 @@ class UncheckedBackend:
     )
 
     def open_system(self, config: SystemConfig) -> System:
+        """Open an unchecked baseline deployment (no verification)."""
         from repro.baselines.unchecked import build_unchecked_system
 
         _reject_cluster_knobs(config, self.name)
@@ -200,6 +206,7 @@ class ClusterBackend:
     )
 
     def open_system(self, config: SystemConfig):
+        """Open a sharded deployment (one sub-deployment per shard)."""
         from repro.cluster.backend import open_cluster_system
 
         return open_cluster_system(

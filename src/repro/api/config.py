@@ -28,6 +28,7 @@ class FaustParams:
     enable_probes: bool = True
 
     def as_kwargs(self) -> dict:
+        """The parameters as ``SystemBuilder.build_faust`` keyword args."""
         return {
             "delta": self.delta,
             "dummy_read_period": self.dummy_read_period,

@@ -77,6 +77,7 @@ class Subscription:
             self._callback(event)
 
     def unsubscribe(self) -> None:
+        """Stop delivery permanently (already-accumulated events remain)."""
         self.active = False
         self._hub._drop(self)
 
@@ -128,6 +129,7 @@ class NotificationHub:
     def emit_stability(
         self, time: float, client: ClientId, cut: tuple[int, ...]
     ) -> None:
+        """Record and fan out a ``stable_i(W)`` output action."""
         self._emit(
             StabilityNotification(
                 seq=self._next_seq_value(), time=time, client=client, cut=cut
@@ -135,6 +137,7 @@ class NotificationHub:
         )
 
     def emit_failure(self, time: float, client: ClientId, reason: str) -> None:
+        """Record and fan out a ``fail_i`` output action."""
         self._emit(
             FailureNotification(
                 seq=self._next_seq_value(), time=time, client=client, reason=reason
@@ -147,7 +150,9 @@ class NotificationHub:
         return seq
 
     def stability_events(self) -> list[StabilityNotification]:
+        """Every ``stable_i(W)`` notification emitted so far, in order."""
         return [e for e in self.history if isinstance(e, StabilityNotification)]
 
     def failure_events(self) -> list[FailureNotification]:
+        """Every ``fail_i`` notification emitted so far, in order."""
         return [e for e in self.history if isinstance(e, FailureNotification)]

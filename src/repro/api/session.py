@@ -46,8 +46,11 @@ class Session:
         self._backlog: deque[tuple[OpKind, RegisterId, Value | None, OpHandle]] = (
             deque()
         )
-        #: Handles issued but not yet settled, in submission order.
-        self._unsettled: list[OpHandle] = []
+        #: Handles issued but not yet settled, in submission order.  A
+        #: deque: handles settle in submission order, so the overwhelmingly
+        #: common settle is an O(1) popleft of the head rather than an
+        #: O(outstanding) list removal — pipelined sessions stay linear.
+        self._unsettled: deque[OpHandle] = deque()
         if hasattr(self._client, "add_failure_listener"):
             self._client.add_failure_listener(self._on_client_failure)
 
@@ -57,18 +60,22 @@ class Session:
 
     @property
     def client(self):
+        """The protocol-layer client object this session drives."""
         return self._client
 
     @property
     def client_id(self) -> int:
+        """The bound client's id."""
         return self._client_id
 
     @property
     def system(self):
+        """The deployment this session operates against."""
         return self._system
 
     @property
     def timeout(self) -> float:
+        """Default time budget (virtual time units) for blocking calls."""
         return self._timeout
 
     @property
@@ -186,8 +193,13 @@ class Session:
             self._client.read(register, completed)
 
     def _settle(self, handle: OpHandle, outcome) -> None:
-        if handle in self._unsettled:
-            self._unsettled.remove(handle)
+        if self._unsettled and self._unsettled[0] is handle:
+            self._unsettled.popleft()  # settle order == submission order
+        else:  # pragma: no cover - defensive: out-of-order settle
+            try:
+                self._unsettled.remove(handle)
+            except ValueError:
+                pass
         handle._resolve(
             OpResult(
                 kind=handle.kind,
@@ -211,8 +223,10 @@ class Session:
                 # The client died between operations; fail this handle and
                 # keep draining so nothing waits forever.
                 self._inflight = None
-                if handle in self._unsettled:
+                try:
                     self._unsettled.remove(handle)
+                except ValueError:
+                    pass
                 handle._reject(OperationFailed(str(exc)))
 
     # ------------------------------------------------------------------ #
@@ -225,7 +239,7 @@ class Session:
     def _fail_all(self, exception: OperationFailed) -> None:
         self._inflight = None
         self._backlog.clear()
-        unsettled, self._unsettled = self._unsettled, []
+        unsettled, self._unsettled = self._unsettled, deque()
         for handle in unsettled:
             handle._reject(exception)
 

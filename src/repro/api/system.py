@@ -99,16 +99,26 @@ class System:
         """The underlying wired deployment."""
         return self._raw
 
+    def profile(self) -> dict:
+        """Machine-readable performance profile of the running deployment
+        (:func:`repro.perf.system_profile`), tagged with the backend name."""
+        from repro.perf.profile import system_profile
+
+        return system_profile(self)
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the simulation; returns the number of events fired."""
         return self._raw.run(until=until, max_events=max_events)
 
     def run_until(
         self, predicate: Callable[[], bool], timeout: float | None = None
     ) -> bool:
+        """Run until ``predicate()`` holds; returns whether it ever did."""
         return self._raw.run_until(predicate, timeout=timeout)
 
     @property
     def now(self) -> float:
+        """Current virtual time of the deployment."""
         return self._raw.now
 
     def __getattr__(self, name: str):

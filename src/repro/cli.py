@@ -278,6 +278,13 @@ def _cmd_run(args) -> int:
         failures = sum(1 for e in events if isinstance(e, FailureNotification))
         print(f"notifications: {len(events)} "
               f"({failures} failure, {len(events) - failures} stability)")
+
+    if args.profile:
+        import json as _json
+
+        print()
+        print("# performance profile (repro.perf)")
+        print(_json.dumps(system.profile(), indent=2))
     return 0
 
 
@@ -359,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
     run.add_argument("--check", action="store_true", help="run consistency checkers")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the machine-readable repro.perf profile after the run",
+    )
     run.add_argument("--history", action="store_true", help="print the history")
     run.add_argument(
         "--timeline", action="store_true", help="render an ASCII timeline"

@@ -50,6 +50,7 @@ class ClusterNotificationHub(NotificationHub):
     def emit_shard_stability(
         self, time: float, client: ClientId, cut: tuple[int, ...], shard: int
     ) -> None:
+        """Record and fan out a ``stable_i(W)`` tagged with its shard."""
         self._emit(
             ShardStabilityNotification(
                 seq=self._next_seq_value(),
@@ -63,6 +64,7 @@ class ClusterNotificationHub(NotificationHub):
     def emit_shard_failure(
         self, time: float, client: ClientId, reason: str, shard: int
     ) -> None:
+        """Record and fan out a ``fail_i`` naming the misbehaving shard."""
         self._emit(
             ShardFailureNotification(
                 seq=self._next_seq_value(),

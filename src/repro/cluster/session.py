@@ -53,14 +53,17 @@ class ClusterSession:
 
     @property
     def client_id(self) -> int:
+        """The bound client's id."""
         return self._client_id
 
     @property
     def system(self):
+        """The cluster deployment this session operates against."""
         return self._cluster
 
     @property
     def timeout(self) -> float:
+        """Default time budget (virtual time units) for blocking calls."""
         return self._timeout
 
     @property

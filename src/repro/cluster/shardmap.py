@@ -85,6 +85,7 @@ class RangeShardMap(ShardMap):
             start += base + (1 if shard < extra else 0)
 
     def shard_of(self, register: RegisterId) -> int:
+        """The shard whose contiguous range contains ``register``."""
         if not 0 <= register < self.num_registers:
             raise ConfigurationError(
                 f"register {register} outside the sharded space "
@@ -127,6 +128,7 @@ class HashShardMap(ShardMap):
         )
 
     def shard_of(self, register: RegisterId) -> int:
+        """The shard owning ``register`` on the consistent-hash ring."""
         if register < 0:
             raise ConfigurationError(f"register {register} is negative")
         point = self._point(f"register:{register}")

@@ -69,6 +69,7 @@ class ClusterClient:
         ]
 
     def instance(self, shard: int):
+        """This client's protocol instance on one specific shard."""
         self._cluster.check_shard(shard)
         return self._cluster.shards[shard].clients[self.client_id]
 
@@ -81,11 +82,13 @@ class ClusterClient:
     # -- operations (routed) -------------------------------------------- #
 
     def write(self, value: Value, callback: Callable | None = None) -> None:
+        """Write the client's own register (routed to its home shard)."""
         shard = self._cluster.shard_of(self.client_id)
         self._cluster.touch(self.client_id, shard)
         self.instance(shard).write(value, callback)
 
     def read(self, register: RegisterId, callback: Callable | None = None) -> None:
+        """Read any register (routed to the shard owning it)."""
         shard = self._cluster.shard_of(register)
         self._cluster.touch(self.client_id, shard)
         self.instance(shard).read(register, callback)
@@ -94,10 +97,12 @@ class ClusterClient:
 
     @property
     def crashed(self) -> bool:
+        """Crashed on every shard (a cluster client crashes as a unit)."""
         return all(inst.crashed for inst in self.instances)
 
     @property
     def busy(self) -> bool:
+        """An operation is in flight on at least one shard."""
         return any(getattr(inst, "busy", False) for inst in self.instances)
 
     @property
@@ -108,6 +113,7 @@ class ClusterClient:
 
     @property
     def fail_reason(self) -> str | None:
+        """The first touched shard's ``fail_i`` reason, if any."""
         for inst in self._touched_instances():
             if inst.fail_reason is not None:
                 return inst.fail_reason
@@ -115,6 +121,7 @@ class ClusterClient:
 
     @property
     def faust_failed(self) -> bool:
+        """Any touched shard's FAUST layer failed (fail-aware clusters)."""
         instances = self.instances
         if not instances or not hasattr(instances[0], "faust_failed"):
             raise AttributeError("faust_failed")  # not a fail-aware cluster
@@ -122,6 +129,7 @@ class ClusterClient:
 
     @property
     def faust_fail_reason(self) -> str | None:
+        """The first touched shard's FAUST failure reason, if any."""
         for inst in self._touched_instances():
             if getattr(inst, "faust_fail_reason", None) is not None:
                 return inst.faust_fail_reason
@@ -138,25 +146,30 @@ class ClusterClient:
 
     @property
     def completed_operations(self) -> int:
+        """Operations completed by this client across all shards."""
         return sum(inst.completed_operations for inst in self.instances)
 
     # -- lifecycle (fanned out) ------------------------------------------ #
 
     def crash(self) -> None:
+        """Crash-stop this client's instance on every shard."""
         for inst in self.instances:
             inst.crash()
 
     def pause(self) -> None:
+        """Pause background activity (dummy reads/probes) on all shards."""
         for inst in self.instances:
             if hasattr(inst, "pause"):
                 inst.pause()
 
     def resume(self) -> None:
+        """Resume background activity on all shards."""
         for inst in self.instances:
             if hasattr(inst, "resume"):
                 inst.resume()
 
     def enable_background(self, dummy_reads: bool = True, probes: bool = True) -> None:
+        """Enable FAUST background traffic on every shard instance."""
         for inst in self.instances:
             if hasattr(inst, "enable_background"):
                 inst.enable_background(dummy_reads, probes)
@@ -265,6 +278,7 @@ class ClusterSystem:
 
     @property
     def num_shards(self) -> int:
+        """Number of shards (independent server deployments)."""
         return len(self.shards)
 
     def check_shard(self, shard: int) -> int:
@@ -361,15 +375,18 @@ class ClusterSystem:
     # ------------------------------------------------------------------ #
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Advance the shared simulation; returns events fired."""
         return self.scheduler.run(until=until, max_events=max_events)
 
     def run_until(
         self, predicate: Callable[[], bool], timeout: float | None = None
     ) -> bool:
+        """Run until ``predicate()`` holds; returns whether it ever did."""
         return self.scheduler.run_until(predicate, timeout=timeout)
 
     @property
     def now(self) -> float:
+        """Current virtual time (shared by every shard)."""
         return self.scheduler.now
 
     def crash_client_at(self, client_id: ClientId, time: float) -> None:
@@ -400,10 +417,19 @@ class ClusterSystem:
         return {k: shard.history() for k, shard in enumerate(self.shards)}
 
     def history(self) -> History:
+        """Unsupported on clusters: use :meth:`shard_histories`."""
         raise CapabilityError(
             "a cluster has one history per shard (each shard is an "
             "independent fork-linearizability domain); use shard_histories()"
         )
+
+    def profile(self) -> dict:
+        """Machine-readable performance profile of the whole cluster
+        (:func:`repro.perf.system_profile`): per-shard scheduler/server
+        counters, cluster-wide aggregates and hot-path cache stats."""
+        from repro.perf.profile import system_profile
+
+        return system_profile(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -28,11 +28,29 @@ signed can be replayed from disk.  Sequences decode as tuples (lists and
 tuples encode identically); enum members decode through an explicit
 registry passed by the caller, keeping this module free of protocol
 imports.
+
+Fast path vs. reference
+-----------------------
+
+Encoding sits under every signature, every hash and every digest-chain
+link, which makes it the single hottest function of the whole
+reproduction (see PERFORMANCE.md).  :func:`encode` and :func:`decode` are
+therefore implemented as a single-pass fast path: one reused
+``bytearray`` output buffer per call, integer tag comparisons on decode,
+and small caches for the encodings that recur endlessly in protocol
+traffic (domain-separation labels, enum opcodes, small integers, small
+lengths).  The original straight-line implementations are kept as
+:func:`encode_reference` / :func:`decode_reference` — they are the
+executable specification, and ``tests/test_perf_equivalence.py`` proves
+byte-for-byte equality between the two on randomized inputs.  The caches
+never change outputs; they only skip recomputation of deterministic
+byte strings.
 """
 
 from __future__ import annotations
 
 import enum
+import struct
 from typing import Any, Iterable
 
 from repro.common.errors import EncodingError
@@ -47,49 +65,174 @@ _TAG_ENUM = b"\x06"
 
 _LEN_BYTES = 8
 
+# --------------------------------------------------------------------- #
+# Fast-path caches.  Everything cached here is a pure function of its
+# key, so the caches are invisible except for speed; sizes are bounded so
+# adversarial inputs (huge strings, unbounded ints) cannot grow them.
+# --------------------------------------------------------------------- #
+
+#: Precomputed length prefixes for the small lengths that dominate real
+#: payloads (labels, 32-byte hashes, 64-byte signatures, short vectors).
+_LEN_CACHE = tuple(n.to_bytes(_LEN_BYTES, "big") for n in range(512))
+_LEN_CACHE_MAX = len(_LEN_CACHE)
+
+#: Bound for the memo dictionaries below (entries, not bytes).
+_MEMO_LIMIT = 4096
+
+_INT_MEMO: dict[int, bytes] = {}
+_STR_MEMO: dict[str, bytes] = {}
+_ENUM_MEMO: dict[enum.Enum, bytes] = {}
+
+#: Miss counter + memo sizes, harvested by :mod:`repro.perf`.  Hits are
+#: deliberately *not* counted: the hit path is the hot path, and even one
+#: dict increment per memoized value measurably erodes the speedup the
+#: memos exist to provide.  Misses (rare, one per distinct value) plus
+#: entry counts characterise the caches fully enough for the cost model.
+_stats = {"misses": 0}
+
+
+def encoding_cache_stats() -> dict[str, int]:
+    """Miss counter and entry counts of the encode memo caches."""
+    return {
+        "misses": _stats["misses"],
+        "int_entries": len(_INT_MEMO),
+        "str_entries": len(_STR_MEMO),
+        "enum_entries": len(_ENUM_MEMO),
+    }
+
+
+def reset_encoding_caches() -> None:
+    """Drop all memoized encodings and zero the counters (test isolation)."""
+    _INT_MEMO.clear()
+    _STR_MEMO.clear()
+    _ENUM_MEMO.clear()
+    _stats["misses"] = 0
+
 
 def _encode_length(n: int) -> bytes:
+    if n < _LEN_CACHE_MAX:
+        return _LEN_CACHE[n]
     return n.to_bytes(_LEN_BYTES, "big")
 
 
-def _encode_one(value: Any, out: list[bytes]) -> None:
-    if value is None:
-        out.append(_TAG_NONE)
-    elif isinstance(value, bool):  # must precede int: bool is an int subclass
-        out.append(_TAG_BOOL)
-        out.append(b"\x01" if value else b"\x00")
+def _int_bytes(value: int) -> bytes:
+    """The full ``tag || sign || length || magnitude`` encoding of an int
+    (memo slow path — the hit path is inlined in :func:`_encode_into`)."""
+    _stats["misses"] += 1
+    sign = b"\x01" if value >= 0 else b"\x00"
+    magnitude = abs(value)
+    payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+    raw = _TAG_INT + sign + _encode_length(len(payload)) + payload
+    if -_MEMO_LIMIT <= value <= _MEMO_LIMIT:
+        if len(_INT_MEMO) >= 2 * _MEMO_LIMIT:  # pragma: no cover - bound guard
+            _INT_MEMO.clear()
+        _INT_MEMO[value] = raw
+    return raw
+
+
+def _str_bytes(value: str) -> bytes:
+    """The full ``tag || length || utf8`` encoding of a string
+    (memo slow path)."""
+    _stats["misses"] += 1
+    raw_payload = value.encode("utf-8")
+    raw = _TAG_STR + _encode_length(len(raw_payload)) + raw_payload
+    if len(raw_payload) <= 64:
+        if len(_STR_MEMO) >= _MEMO_LIMIT:  # pragma: no cover - bound guard
+            _STR_MEMO.clear()
+        _STR_MEMO[value] = raw
+    return raw
+
+
+def _enum_bytes(value: enum.Enum) -> bytes:
+    """The full ``tag || length || ClassName.MEMBER`` encoding of a member
+    (memo slow path)."""
+    _stats["misses"] += 1
+    name = f"{type(value).__name__}.{value.name}".encode("utf-8")
+    raw = _TAG_ENUM + _encode_length(len(name)) + name
+    if len(_ENUM_MEMO) >= _MEMO_LIMIT:  # pragma: no cover - bound guard
+        _ENUM_MEMO.clear()
+    _ENUM_MEMO[value] = raw
+    return raw
+
+
+def encoded_int(value: int) -> bytes:
+    """The canonical encoding of a bare ``int`` (public fast-path helper).
+
+    Exactly the bytes :func:`encode` emits for an integer element,
+    served from the small-int memo when possible.  Exists so other fast
+    paths (the digest chain feeds client ids straight into a hash state)
+    can reuse the memo without touching this module's internals.
+    """
+    memo = _INT_MEMO.get(value)
+    return memo if memo is not None else _int_bytes(value)
+
+
+def _encode_slow(value: Any, buf: bytearray) -> None:
+    """Uncommon types: enum members, bytes-like views, subclasses, errors.
+
+    Mirrors the type dispatch order of the reference encoder exactly
+    (bool before int, enum before int) so subclass corner cases encode
+    identically on both paths.
+    """
+    if isinstance(value, bool):
+        buf += b"\x01\x01" if value else b"\x01\x00"
     elif isinstance(value, enum.Enum):
-        out.append(_TAG_ENUM)
-        name = f"{type(value).__name__}.{value.name}".encode("utf-8")
-        out.append(_encode_length(len(name)))
-        out.append(name)
+        buf += _ENUM_MEMO.get(value) or _enum_bytes(value)
     elif isinstance(value, int):
-        sign = b"\x01" if value >= 0 else b"\x00"
-        magnitude = abs(value)
-        payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
-        out.append(_TAG_INT)
-        out.append(sign)
-        out.append(_encode_length(len(payload)))
-        out.append(payload)
+        buf += _INT_MEMO.get(value) or _int_bytes(value)
     elif isinstance(value, (bytes, bytearray, memoryview)):
         raw = bytes(value)
-        out.append(_TAG_BYTES)
-        out.append(_encode_length(len(raw)))
-        out.append(raw)
+        buf += _TAG_BYTES
+        buf += _encode_length(len(raw))
+        buf += raw
     elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        out.append(_TAG_STR)
-        out.append(_encode_length(len(raw)))
-        out.append(raw)
+        buf += _STR_MEMO.get(value) or _str_bytes(value)
     elif isinstance(value, (tuple, list)):
-        out.append(_TAG_SEQ)
-        out.append(_encode_length(len(value)))
+        buf += _TAG_SEQ
+        buf += _encode_length(len(value))
         for item in value:
-            _encode_one(item, out)
+            _encode_into(item, buf)
     else:
         raise EncodingError(
             f"cannot canonically encode value of type {type(value).__name__}: {value!r}"
         )
+
+
+def _encode_into(value: Any, buf: bytearray) -> None:
+    """Append the canonical encoding of ``value`` to ``buf`` (single pass).
+
+    Dispatches on exact type first — ``value.__class__`` identity is the
+    cheapest check CPython offers and covers all protocol traffic — with
+    memo lookups inlined so a hit costs one dict probe and one buffer
+    append.  Exactness matters for correctness too: ``True`` has class
+    ``bool``, not ``int``, so the bool-before-int rule of the reference
+    encoder is preserved; subclasses fall through to :func:`_encode_slow`,
+    which replicates the reference dispatch order.
+    """
+    cls = value.__class__
+    if cls is int:
+        memo = _INT_MEMO.get(value)
+        buf += memo if memo is not None else _int_bytes(value)
+    elif cls is bytes:
+        buf += _TAG_BYTES
+        n = len(value)
+        buf += _LEN_CACHE[n] if n < _LEN_CACHE_MAX else n.to_bytes(8, "big")
+        buf += value
+    elif cls is str:
+        memo = _STR_MEMO.get(value)
+        buf += memo if memo is not None else _str_bytes(value)
+    elif cls is tuple or cls is list:
+        buf += _TAG_SEQ
+        n = len(value)
+        buf += _LEN_CACHE[n] if n < _LEN_CACHE_MAX else n.to_bytes(8, "big")
+        for item in value:
+            _encode_into(item, buf)
+    elif value is None:
+        buf += _TAG_NONE
+    elif cls is bool:
+        buf += b"\x01\x01" if value else b"\x01\x00"
+    else:
+        _encode_slow(value, buf)
 
 
 def encode(*values: Any) -> bytes:
@@ -98,11 +241,16 @@ def encode(*values: Any) -> bytes:
     ``encode(a, b)`` is equivalent to ``encode((a, b))`` modulo a constant
     prefix; both are injective.  This is the only entry point the rest of
     the library uses, e.g. ``encode("SUBMIT", OpKind.WRITE, i, t)`` for the
-    SUBMIT-signature payload of Algorithm 1 line 14.
+    SUBMIT-signature payload of Algorithm 1 line 14.  Byte-identical to
+    :func:`encode_reference`.
     """
-    out: list[bytes] = []
-    _encode_one(tuple(values), out)
-    return b"".join(out)
+    buf = bytearray()
+    buf += _TAG_SEQ
+    n = len(values)
+    buf += _LEN_CACHE[n] if n < _LEN_CACHE_MAX else n.to_bytes(8, "big")
+    for value in values:
+        _encode_into(value, buf)
+    return bytes(buf)
 
 
 def encode_sequence(values: Iterable[Any]) -> bytes:
@@ -115,6 +263,192 @@ def encode_sequence(values: Iterable[Any]) -> bytes:
 # --------------------------------------------------------------------- #
 
 
+#: One shared big-endian u64 reader; ``unpack_from`` reads straight out
+#: of the buffer without allocating an 8-byte slice first.
+_READ_U64 = struct.Struct(">Q").unpack_from
+
+
+def _decode_fast(
+    data: bytes,
+    offset: int,
+    end: int,
+    enum_lookup: dict[str, enum.Enum],
+    _u64=_READ_U64,
+    _from_bytes=int.from_bytes,
+) -> tuple[Any, int]:
+    """Decode one value starting at ``offset``; returns (value, new offset).
+
+    Tags are compared as integers (``data[offset]``), length fields are
+    read in place via :func:`struct.unpack_from`, and bounds are checked
+    inline — the hot loop allocates nothing but the decoded values
+    themselves.
+    """
+    if offset >= end:
+        raise EncodingError(
+            f"truncated encoding: needed 1 byte(s) at offset {offset}, "
+            f"only {end - offset} available"
+        )
+    tag = data[offset]
+    offset += 1
+    if tag == 0x05:
+        if offset + 8 > end:
+            raise EncodingError(
+                f"truncated encoding: needed 8 byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
+        count = _u64(data, offset)[0]
+        offset += 8
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, offset = _decode_fast(data, offset, end, enum_lookup)
+            append(item)
+        return tuple(items), offset
+    if tag == 0x03 or tag == 0x04 or tag == 0x06:
+        if offset + 8 > end:
+            raise EncodingError(
+                f"truncated encoding: needed 8 byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
+        count = _u64(data, offset)[0]
+        offset += 8
+        if offset + count > end:
+            raise EncodingError(
+                f"truncated encoding: needed {count} byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
+        payload = data[offset:offset + count]
+        offset += count
+        if tag == 0x03:
+            return payload, offset
+        if tag == 0x04:
+            return payload.decode("utf-8"), offset
+        name = payload.decode("utf-8")
+        try:
+            return enum_lookup[name], offset
+        except KeyError:
+            raise EncodingError(
+                f"cannot decode enum member {name!r}: its class was not "
+                f"passed in ``enums``"
+            ) from None
+    if tag == 0x02:
+        if offset + 1 + 8 > end:
+            raise EncodingError(
+                f"truncated encoding: malformed int header at offset {offset}"
+            )
+        sign = data[offset]
+        if sign > 1:
+            raise EncodingError(
+                f"malformed int sign byte {data[offset:offset + 1]!r}"
+            )
+        offset += 1
+        count = _u64(data, offset)[0]
+        offset += 8
+        if offset + count > end:
+            raise EncodingError(
+                f"truncated encoding: needed {count} byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
+        magnitude = _from_bytes(data[offset:offset + count], "big")
+        return (magnitude if sign == 1 else -magnitude), offset + count
+    if tag == 0x00:
+        return None, offset
+    if tag == 0x01:
+        if offset + 1 > end:
+            raise EncodingError(
+                f"truncated encoding: needed 1 byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
+        raw = data[offset]
+        if raw > 1:
+            raise EncodingError(f"malformed bool payload {data[offset:offset + 1]!r}")
+        return raw == 1, offset + 1
+    raise EncodingError(f"unknown encoding tag 0x{tag:02x} at offset {offset - 1}")
+
+
+def decode(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
+    """Inverse of :func:`encode`: ``decode(encode(a, b)) == (a, b)``.
+
+    ``enums`` lists the enum classes that may appear in the payload (their
+    members are keyed by ``ClassName.MEMBER``, exactly as encoded).  Lists
+    always decode as tuples — the encoder does not distinguish them.
+    Raises :class:`EncodingError` on truncation, trailing bytes, unknown
+    tags, or enum members outside the registry.
+    """
+    lookup: dict[str, enum.Enum] = {
+        f"{cls.__name__}.{member.name}": member for cls in enums for member in cls
+    }
+    raw = bytes(data)
+    value, offset = _decode_fast(raw, 0, len(raw), lookup)
+    if offset != len(raw):
+        raise EncodingError(
+            f"trailing garbage: {len(raw) - offset} byte(s) after a complete "
+            f"encoding"
+        )
+    if not isinstance(value, tuple):
+        raise EncodingError("top-level encoding must be a sequence")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# Reference implementations — the executable specification.
+#
+# These are the original, straight-line encoder/decoder.  They are kept
+# (and exported) for three reasons: the property-based equivalence tests
+# compare the fast path against them byte for byte, the benchmark suite
+# measures the fast path's speedup over them, and they document the wire
+# format without any caching noise.  Do not optimize these.
+# --------------------------------------------------------------------- #
+
+
+def _encode_one_reference(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif isinstance(value, bool):  # must precede int: bool is an int subclass
+        out.append(_TAG_BOOL)
+        out.append(b"\x01" if value else b"\x00")
+    elif isinstance(value, enum.Enum):
+        out.append(_TAG_ENUM)
+        name = f"{type(value).__name__}.{value.name}".encode("utf-8")
+        out.append(len(name).to_bytes(_LEN_BYTES, "big"))
+        out.append(name)
+    elif isinstance(value, int):
+        sign = b"\x01" if value >= 0 else b"\x00"
+        magnitude = abs(value)
+        payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        out.append(_TAG_INT)
+        out.append(sign)
+        out.append(len(payload).to_bytes(_LEN_BYTES, "big"))
+        out.append(payload)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        out.append(_TAG_BYTES)
+        out.append(len(raw).to_bytes(_LEN_BYTES, "big"))
+        out.append(raw)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(len(raw).to_bytes(_LEN_BYTES, "big"))
+        out.append(raw)
+    elif isinstance(value, (tuple, list)):
+        out.append(_TAG_SEQ)
+        out.append(len(value).to_bytes(_LEN_BYTES, "big"))
+        for item in value:
+            _encode_one_reference(item, out)
+    else:
+        raise EncodingError(
+            f"cannot canonically encode value of type {type(value).__name__}: {value!r}"
+        )
+
+
+def encode_reference(*values: Any) -> bytes:
+    """Reference encoder: specification for (and byte-identical to)
+    :func:`encode`."""
+    out: list[bytes] = []
+    _encode_one_reference(tuple(values), out)
+    return b"".join(out)
+
+
 def _take(data: bytes, offset: int, count: int) -> tuple[bytes, int]:
     end = offset + count
     if end > len(data):
@@ -125,7 +459,7 @@ def _take(data: bytes, offset: int, count: int) -> tuple[bytes, int]:
     return data[offset:end], end
 
 
-def _decode_one(
+def _decode_one_reference(
     data: bytes, offset: int, enum_lookup: dict[str, enum.Enum]
 ) -> tuple[Any, int]:
     tag, offset = _take(data, offset, 1)
@@ -157,7 +491,7 @@ def _decode_one(
         count = int.from_bytes(raw, "big")
         items = []
         for _ in range(count):
-            item, offset = _decode_one(data, offset, enum_lookup)
+            item, offset = _decode_one_reference(data, offset, enum_lookup)
             items.append(item)
         return tuple(items), offset
     if tag == _TAG_ENUM:
@@ -174,19 +508,13 @@ def _decode_one(
     raise EncodingError(f"unknown encoding tag 0x{tag.hex()} at offset {offset - 1}")
 
 
-def decode(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
-    """Inverse of :func:`encode`: ``decode(encode(a, b)) == (a, b)``.
-
-    ``enums`` lists the enum classes that may appear in the payload (their
-    members are keyed by ``ClassName.MEMBER``, exactly as encoded).  Lists
-    always decode as tuples — the encoder does not distinguish them.
-    Raises :class:`EncodingError` on truncation, trailing bytes, unknown
-    tags, or enum members outside the registry.
-    """
+def decode_reference(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
+    """Reference decoder: specification for (and equivalent to)
+    :func:`decode`."""
     lookup: dict[str, enum.Enum] = {
         f"{cls.__name__}.{member.name}": member for cls in enums for member in cls
     }
-    value, offset = _decode_one(bytes(data), 0, lookup)
+    value, offset = _decode_one_reference(bytes(data), 0, lookup)
     if offset != len(data):
         raise EncodingError(
             f"trailing garbage: {len(data) - offset} byte(s) after a complete "

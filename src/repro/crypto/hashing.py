@@ -21,10 +21,16 @@ from repro.common.types import BOTTOM, Bottom, Value
 #: Size of a hash output in bytes; also used by the wire-size model.
 HASH_BYTES = 32
 
+#: The single point instantiating ``H``.  Every fast path that pre-seeds
+#: an incremental hash state (here and in :mod:`repro.ustor.digests`)
+#: must construct it through this name, so swapping the hash function
+#: can never desynchronise the fast paths from the reference paths.
+HASH = hashlib.sha256
+
 
 def hash_bytes(payload: bytes) -> bytes:
-    """Raw SHA-256 of a byte string."""
-    return hashlib.sha256(payload).digest()
+    """Raw ``H`` (SHA-256) of a byte string."""
+    return HASH(payload).digest()
 
 
 def hash_values(*values: Any) -> bytes:
@@ -32,13 +38,31 @@ def hash_values(*values: Any) -> bytes:
     return hash_bytes(encode(*values))
 
 
+#: ``H(BOTTOM)`` is needed at every client bootstrap and on every read of
+#: a never-written register; it is a constant, computed once at import.
+_BOTTOM_HASH = hash_values("VALUE", None)
+
+# The canonical encoding of ("VALUE", x) for bytes x is a constant prefix
+# (sequence header + label + bytes tag) followed by len(x) and x; hashing
+# from a pre-seeded state skips re-encoding the prefix per value.
+_VALUE_PREFIX = encode("VALUE", b"")[:-8]
+_VALUE_STATE = HASH(_VALUE_PREFIX)
+
+
 def hash_register_value(value: Value | Bottom) -> bytes:
     """Hash a register value for DATA signatures (Algorithm 1, line 13).
 
     ``BOTTOM`` (the initial value, never actually written) hashes to a
     distinguished constant so that ``checkData`` can verify reads of
-    never-written registers uniformly.
+    never-written registers uniformly.  Byte-identical to
+    ``hash_values("VALUE", value)`` (the incremental-prefix fast path is
+    covered by the equivalence tests).
     """
     if value is BOTTOM:
-        return hash_values("VALUE", None)
+        return _BOTTOM_HASH
+    if isinstance(value, bytes):
+        state = _VALUE_STATE.copy()
+        state.update(len(value).to_bytes(8, "big"))
+        state.update(value)
+        return state.digest()
     return hash_values("VALUE", value)

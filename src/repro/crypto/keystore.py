@@ -12,6 +12,26 @@ capabilities rather than convention:
 A Byzantine server written against this API simply has no handle with which
 to produce a valid client signature, mirroring the computational assumption
 of Section 2.
+
+Deduplicated verification
+-------------------------
+
+Verification is deterministic: ``verify_i(sig, payload)`` always returns
+the same answer for the same triple.  The same COMMIT- and
+PROOF-signatures are presented to *every* client that processes a REPLY
+mentioning them (Algorithm 1, lines 35/41/49), so a :class:`KeyStore`
+shares one bounded :class:`VerificationCache` across all the *client*
+capabilities it hands out — the crypto work for each distinct signature
+is done once per system instead of once per observing client.  This is
+the "batched verification" optimization of PERFORMANCE.md: correctness
+is untouched (the cache stores the scheme's own verdicts, keyed by the
+exact signer/signature/payload triple), only repetition is removed.
+
+The cache itself is trusted state: whoever holds it could inject
+verdicts.  It therefore lives strictly on the client side of the trust
+boundary — :meth:`KeyStore.verifier` (the capability handed to servers)
+returns a **cache-less** verifier, so a Byzantine server gains no
+handle over what honest clients accept.
 """
 
 from __future__ import annotations
@@ -23,19 +43,69 @@ from repro.common.types import ClientId
 from repro.crypto.signatures import SignatureScheme, make_scheme
 
 
+class VerificationCache:
+    """Bounded memo of signature-verification verdicts.
+
+    Keys are ``(signer, signature bytes, canonical payload bytes)`` — the
+    full input of ``verify`` — so a hit can never change an answer, only
+    skip recomputing it.  One instance is shared per :class:`KeyStore`;
+    independent systems never share verdicts.
+    """
+
+    __slots__ = ("_memo", "_limit", "hits", "misses")
+
+    def __init__(self, limit: int = 1 << 16) -> None:
+        self._memo: dict[tuple[ClientId, bytes, bytes], bool] = {}
+        self._limit = limit
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple[ClientId, bytes, bytes]) -> bool | None:
+        """The cached verdict for ``key``, or None on a miss."""
+        verdict = self._memo.get(key)
+        if verdict is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict
+
+    def store(self, key: tuple[ClientId, bytes, bytes], verdict: bool) -> None:
+        """Record the scheme's verdict for ``key`` (bounded)."""
+        if len(self._memo) >= self._limit:  # pragma: no cover - bound guard
+            self._memo.clear()
+        self._memo[key] = verdict
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (harvested by :mod:`repro.perf`)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._memo)}
+
+
 class PublicVerifier:
     """Verification-only view of a signature scheme (safe to give anyone)."""
 
-    def __init__(self, scheme: SignatureScheme) -> None:
+    def __init__(
+        self, scheme: SignatureScheme, cache: VerificationCache | None = None
+    ) -> None:
         self._scheme = scheme
+        self._cache = cache
 
     @property
     def num_clients(self) -> int:
+        """Size of the client population the scheme is bound to."""
         return self._scheme.num_clients
 
     def verify(self, signer: ClientId, signature: bytes, *payload: Any) -> bool:
         """``verify_signer(signature, payload)`` over the canonical encoding."""
-        return self._scheme.verify(signer, signature, encode(*payload))
+        payload_bytes = encode(*payload)
+        cache = self._cache
+        if cache is None or not isinstance(signature, bytes):
+            return self._scheme.verify(signer, signature, payload_bytes)
+        key = (signer, signature, payload_bytes)
+        verdict = cache.lookup(key)
+        if verdict is None:
+            verdict = self._scheme.verify(signer, signature, payload_bytes)
+            cache.store(key, verdict)
+        return verdict
 
 
 class ClientSigner:
@@ -46,17 +116,24 @@ class ClientSigner:
     signing capability.
     """
 
-    def __init__(self, scheme: SignatureScheme, client: ClientId) -> None:
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        client: ClientId,
+        cache: VerificationCache | None = None,
+    ) -> None:
         self._scheme = scheme
         self._client = client
-        self._verifier = PublicVerifier(scheme)
+        self._verifier = PublicVerifier(scheme, cache)
 
     @property
     def client(self) -> ClientId:
+        """The client id this signing capability is bound to."""
         return self._client
 
     @property
     def verifier(self) -> PublicVerifier:
+        """The shared verification capability (cache included)."""
         return self._verifier
 
     def sign(self, *payload: Any) -> bytes:
@@ -64,6 +141,7 @@ class ClientSigner:
         return self._scheme.sign(self._client, encode(*payload))
 
     def verify(self, signer: ClientId, signature: bytes, *payload: Any) -> bool:
+        """``verify_signer(signature, payload)`` via the shared verifier."""
         return self._verifier.verify(signer, signature, *payload)
 
 
@@ -72,6 +150,9 @@ class KeyStore:
 
     One keystore per simulated system.  Construction is deterministic given
     the scheme name and client count, keeping whole-system runs reproducible.
+    Client signers share one :class:`VerificationCache`; the server-side
+    verifier is cache-less (the cache is a verdict-injection capability,
+    so it never crosses the trust boundary).
     """
 
     def __init__(self, num_clients: int, scheme: str | SignatureScheme = "hmac") -> None:
@@ -84,15 +165,26 @@ class KeyStore:
         else:
             self._scheme = make_scheme(scheme, num_clients)
         self._num_clients = num_clients
+        self._cache = VerificationCache()
 
     @property
     def num_clients(self) -> int:
+        """Size of the client population."""
         return self._num_clients
 
     def signer(self, client: ClientId) -> ClientSigner:
         """The full signing capability for ``client`` (clients only)."""
-        return ClientSigner(self._scheme, client)
+        return ClientSigner(self._scheme, client, self._cache)
 
     def verifier(self) -> PublicVerifier:
-        """A verification-only capability (safe for servers)."""
+        """A verification-only capability (safe for servers).
+
+        Deliberately cache-less: the shared verdict cache is writable
+        trusted state, and handing it to a (possibly Byzantine) server
+        would let it inject ``True`` verdicts for forged signatures.
+        """
         return PublicVerifier(self._scheme)
+
+    def verification_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the shared verification cache."""
+        return self._cache.stats()

@@ -1,7 +1,8 @@
 """The experiment harness: one module per reproduced figure/claim.
 
-See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
-the recorded paper-vs-measured outcomes.
+The recorded paper-vs-measured outcomes are generated into EXPERIMENTS.md
+by ``python -m repro experiments --write``; each experiment's headline
+claims are asserted by ``benchmarks/test_bench_experiments.py``.
 """
 
 from repro.experiments import (

@@ -46,11 +46,7 @@ class VectorOnlyTracker(StabilityTracker):
         self.last_heard[source] = now
         if vector_le(current_max, version):
             self._max_index = source
-        advanced = False
-        new_w = version.vector[self._id]
-        if new_w > self._w[source]:
-            self._w[source] = new_w
-            advanced = True
+        advanced = self._raise_w(source, version.vector[self._id])
         return AbsorbOutcome(
             incomparable=False, updated=True, stability_advanced=advanced
         )

@@ -44,6 +44,9 @@ class StabilityTracker:
         self.last_heard: list[float] = [0.0] * num_clients
         self._max_index: ClientId = client_id
         self._w: list[int] = [0] * num_clients
+        # min(W_i), maintained incrementally: wait_for_stability() polls it
+        # after every simulation event, so it must not rescan W_i each time.
+        self._w_min: int = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -68,8 +71,14 @@ class StabilityTracker:
 
     def stable_timestamp_for_all(self) -> int:
         """My operations with timestamps up to this value are *stable*
-        (w.r.t. every client), hence on a linearizable prefix."""
-        return min(self._w)
+        (w.r.t. every client), hence on a linearizable prefix.
+
+        O(1): the minimum of ``W_i`` is maintained incrementally by
+        :meth:`absorb` — a full rescan only happens when the entry that
+        *was* the minimum advances, which is at most a ``1/n`` fraction of
+        stability advancements (amortized constant).
+        """
+        return self._w_min
 
     # ------------------------------------------------------------------ #
     # Version intake
@@ -99,14 +108,21 @@ class StabilityTracker:
         self.last_heard[source] = now
         if current_max.le(version):
             self._max_index = source
-        advanced = False
-        new_w = version.vector[self._id]
-        if new_w > self._w[source]:
-            self._w[source] = new_w
-            advanced = True
+        advanced = self._raise_w(source, version.vector[self._id])
         return AbsorbOutcome(
             incomparable=False, updated=True, stability_advanced=advanced
         )
+
+    def _raise_w(self, source: ClientId, new_w: int) -> bool:
+        """Raise ``W_i[source]`` to ``new_w`` if that grows it, keeping the
+        cached minimum consistent; returns whether the cut advanced."""
+        if new_w <= self._w[source]:
+            return False
+        was_min = self._w[source] == self._w_min
+        self._w[source] = new_w
+        if was_min:
+            self._w_min = min(self._w)
+        return True
 
     # ------------------------------------------------------------------ #
     # Staleness (drives PROBE messages)

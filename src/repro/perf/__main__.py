@@ -1,0 +1,5 @@
+"""``python -m repro.perf`` — the benchmark-regression comparison CLI."""
+
+from repro.perf.regression import main
+
+raise SystemExit(main())

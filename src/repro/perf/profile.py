@@ -1,0 +1,258 @@
+"""The performance-profiling harness (timers, counters, allocation stats).
+
+One :class:`Profiler` collects everything a scenario needs to explain
+where its time went, in a machine-readable form:
+
+* **Timers** — ``with profiler.timer("phase"):`` accumulates wall-clock
+  seconds and call counts per named section.
+* **Counters** — ``profiler.count("replies")`` for event tallies.
+* **Allocation stats** — ``with profiler.track_allocations("phase"):``
+  records the current/peak traced memory delta of a section via
+  :mod:`tracemalloc` (enabled only inside the block, so the rest of the
+  run pays nothing).
+* **System harvesting** — :func:`system_profile` (also exposed as
+  ``profile()`` on :class:`~repro.workloads.runner.StorageSystem`,
+  :class:`~repro.api.system.System` and
+  :class:`~repro.cluster.system.ClusterSystem`) snapshots the counters
+  the runtime already maintains: scheduler events, per-client completed
+  operations, server SUBMIT/COMMIT tallies and pending-list pressure,
+  plus the hot-path cache effectiveness of the encoding, digest-chain
+  and signature-verification memos.
+
+Everything returned is plain dict/list/str/int/float, so profiles can be
+``json.dump``-ed next to the ``BENCH_*.json`` trajectory (see
+PERFORMANCE.md for the cost model they feed).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock time of one named section."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one section execution into the aggregate."""
+        self.calls += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+
+@dataclass
+class AllocationStat:
+    """Traced-memory delta of one named section (bytes)."""
+
+    calls: int = 0
+    allocated_bytes: int = 0
+    peak_bytes: int = 0
+
+    def observe(self, allocated: int, peak: int) -> None:
+        """Fold one tracked section into the aggregate."""
+        self.calls += 1
+        self.allocated_bytes += allocated
+        if peak > self.peak_bytes:
+            self.peak_bytes = peak
+
+
+@dataclass
+class Profiler:
+    """Timers + counters + allocation stats with a JSON-able snapshot."""
+
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    allocations: dict[str, AllocationStat] = field(default_factory=dict)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock duration of the ``with`` body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.observe(elapsed)
+
+    def count(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    @contextmanager
+    def track_allocations(self, name: str) -> Iterator[None]:
+        """Record the traced-memory delta of the ``with`` body.
+
+        Starts :mod:`tracemalloc` only if it is not already running (and
+        stops it again in that case).  The peak high-water mark is reset
+        on entry, so ``peak_bytes`` is the peak *above the section's
+        starting usage* — not the process-lifetime peak — even when
+        ambient tracing was already active.  (With nested sections the
+        inner reset means an outer section's peak reflects its post-inner
+        high-water; peaks are per-section measurements, not a hierarchy.)
+        """
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        try:
+            yield
+        finally:
+            current, peak = tracemalloc.get_traced_memory()
+            if started_here:
+                tracemalloc.stop()
+            stat = self.allocations.get(name)
+            if stat is None:
+                stat = self.allocations[name] = AllocationStat()
+            stat.observe(max(0, current - before), max(0, peak - before))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything collected so far as plain JSON-able data."""
+        return {
+            "timers": {
+                name: {
+                    "calls": t.calls,
+                    "total_seconds": t.total_seconds,
+                    "max_seconds": t.max_seconds,
+                }
+                for name, t in sorted(self.timers.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "allocations": {
+                name: {
+                    "calls": a.calls,
+                    "allocated_bytes": a.allocated_bytes,
+                    "peak_bytes": a.peak_bytes,
+                }
+                for name, a in sorted(self.allocations.items())
+            },
+        }
+
+
+def hot_path_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters of the process-wide hot-path memo caches.
+
+    Covers the TLV-encoding memos (:mod:`repro.common.encoding`) and the
+    digest-chain memo (:mod:`repro.ustor.digests`).  The per-system
+    signature-verification cache is reported by :func:`system_profile`
+    since it lives on the system's keystore, not at module level.
+    """
+    from repro.common.encoding import encoding_cache_stats
+    from repro.ustor.digests import chain_cache_stats
+
+    return {
+        "encoding": encoding_cache_stats(),
+        "digest_chain": chain_cache_stats(),
+    }
+
+
+def reset_hot_path_caches() -> None:
+    """Reset the process-wide memo caches and their counters.
+
+    Benchmarks call this between the reference and optimized passes so
+    hit rates describe exactly one measured workload.
+    """
+    from repro.common.encoding import reset_encoding_caches
+    from repro.ustor.digests import reset_chain_cache
+
+    reset_encoding_caches()
+    reset_chain_cache()
+
+
+def _server_stats(server: Any) -> dict[str, Any]:
+    return {
+        "submits_handled": getattr(server, "submits_handled", 0),
+        "commits_handled": getattr(server, "commits_handled", 0),
+        "max_pending_len": getattr(server, "max_pending_len", 0),
+        "restarts": getattr(server, "restarts", 0),
+    }
+
+
+def _shard_profile(shard: Any) -> dict[str, Any]:
+    """The per-deployment core of :func:`system_profile` (one scheduler +
+    server + client population)."""
+    profile: dict[str, Any] = {
+        "scheduler": {
+            "now": shard.scheduler.now,
+            "events_processed": shard.scheduler.events_processed,
+            "pending_events": shard.scheduler.pending,
+        },
+        "clients": {
+            "count": len(shard.clients),
+            "completed_operations": sum(
+                getattr(c, "completed_operations", 0) for c in shard.clients
+            ),
+            "failed": sum(
+                1
+                for c in shard.clients
+                if getattr(c, "failed", False) or getattr(c, "faust_failed", False)
+            ),
+            "crashed": sum(1 for c in shard.clients if c.crashed),
+        },
+    }
+    server = getattr(shard, "server", None)
+    if server is not None:
+        profile["server"] = _server_stats(server)
+    keystore = getattr(shard, "keystore", None)
+    if keystore is not None and hasattr(keystore, "verification_cache_stats"):
+        profile["verification_cache"] = keystore.verification_cache_stats()
+    return profile
+
+
+def system_profile(system: Any) -> dict[str, Any]:
+    """A machine-readable performance profile of a running deployment.
+
+    Accepts a raw :class:`~repro.workloads.runner.StorageSystem`, an
+    api-level :class:`~repro.api.system.System` (unwrapped via ``.raw``),
+    or a sharded :class:`~repro.cluster.system.ClusterSystem` (profiled
+    per shard and aggregated).  Always includes the process-wide
+    hot-path cache stats, so a scenario's profile shows how much hashing
+    and encoding work the fast paths removed.
+    """
+    backend_name = getattr(system, "backend_name", None)
+    raw = getattr(system, "raw", system)
+    shards = getattr(raw, "shards", None)
+    if shards is not None:
+        per_shard = [_shard_profile(shard) for shard in shards]
+        profile: dict[str, Any] = {
+            "kind": "cluster",
+            "num_shards": len(shards),
+            "scheduler": {
+                "now": raw.scheduler.now,
+                "events_processed": raw.scheduler.events_processed,
+                "pending_events": raw.scheduler.pending,
+            },
+            "shards": per_shard,
+            "clients": {
+                "count": raw.num_clients,
+                "completed_operations": sum(
+                    getattr(c, "completed_operations", 0) for c in raw.clients
+                ),
+            },
+            "server": {
+                "submits_handled": sum(
+                    s["server"]["submits_handled"] for s in per_shard if "server" in s
+                ),
+                "commits_handled": sum(
+                    s["server"]["commits_handled"] for s in per_shard if "server" in s
+                ),
+            },
+        }
+    else:
+        profile = {"kind": "single", **_shard_profile(raw)}
+    if backend_name is not None:
+        profile["backend"] = backend_name
+    profile["hot_path_caches"] = hot_path_cache_stats()
+    return profile

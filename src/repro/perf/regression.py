@@ -1,0 +1,279 @@
+"""The benchmark-regression pipeline over ``BENCH_*.json`` trajectories.
+
+``benchmarks/conftest.py`` writes a machine-readable results file for
+every benchmark session: per-test wall-clock durations plus a
+``hot_paths`` section with the reference-vs-optimized speedups measured
+by ``benchmarks/test_bench_perf.py``.  This module compares two such
+files and turns the deltas into a CI verdict::
+
+    python -m repro.perf benchmarks/results/BENCH_baseline.json \\
+                         benchmarks/results/BENCH_latest.json
+
+Two kinds of checks, with different portability:
+
+* **Hot-path speedups (the default gate).**  A speedup is a ratio of two
+  timings taken in the same process on the same machine, so — for
+  same-language code paths — it transfers across hardware: a 3x
+  digest-chain speedup on a laptop is still ~3x on a CI runner.  The
+  gate fails when a gated hot path's measured speedup drops more than
+  ``--max-regression`` (default 20%) below the committed baseline's, or
+  when a gated baseline hot path disappears.  Hot paths recorded with
+  ``gate: false`` (ratios that measure machine properties, e.g. crypto
+  C-extension cost vs. interpreter overhead) are reported but never
+  fail the run.
+* **Absolute wall-clock (``--absolute``).**  Raw per-test durations only
+  compare meaningfully on the same machine; enable this locally when
+  chasing a regression, not in CI.  Sub-``--min-seconds`` tests are
+  ignored as noise.
+
+Exit status: 0 when no regression, 1 otherwise — wire it straight into a
+CI job (see ``.github/workflows/ci.yml``, job ``bench-regression``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Fail when a metric worsens by more than this fraction of the baseline.
+DEFAULT_MAX_REGRESSION = 0.20
+
+#: Ignore absolute-time comparisons on tests faster than this (noise).
+DEFAULT_MIN_SECONDS = 0.05
+
+
+@dataclass
+class Delta:
+    """One compared metric: its baseline value, current value and verdict."""
+
+    name: str
+    kind: str  # "hot_path" | "test"
+    baseline: float
+    current: float
+    change: float  # signed fraction; positive means worse
+    regressed: bool
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        if self.kind == "hot_path":
+            return (
+                f"hot path {self.name}: speedup {self.baseline:.2f}x -> "
+                f"{self.current:.2f}x ({self.change:+.1%})"
+            )
+        if self.kind == "hot_path_info":
+            return (
+                f"hot path {self.name} (informational): speedup "
+                f"{self.baseline:.2f}x -> {self.current:.2f}x ({self.change:+.1%})"
+            )
+        return (
+            f"test {self.name}: {self.baseline:.3f}s -> {self.current:.3f}s "
+            f"({self.change:+.1%})"
+        )
+
+
+@dataclass
+class Report:
+    """Outcome of comparing two benchmark result files."""
+
+    deltas: list[Delta] = field(default_factory=list)
+    missing_hot_paths: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        """The deltas that exceed the allowed regression."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no baseline hot path vanished."""
+        return not self.regressions and not self.missing_hot_paths
+
+    def to_json(self) -> dict[str, Any]:
+        """The report as plain JSON-able data."""
+        return {
+            "ok": self.ok,
+            "regressions": [d.describe() for d in self.regressions],
+            "missing_hot_paths": list(self.missing_hot_paths),
+            "deltas": [
+                {
+                    "name": d.name,
+                    "kind": d.kind,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "change": d.change,
+                    "regressed": d.regressed,
+                }
+                for d in self.deltas
+            ],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """The report as a human-readable block of text."""
+        lines = []
+        for delta in self.deltas:
+            marker = "REGRESSION" if delta.regressed else "ok"
+            lines.append(f"[{marker:>10}] {delta.describe()}")
+        for name in self.missing_hot_paths:
+            lines.append(
+                f"[REGRESSION] hot path {name}: present in baseline, missing "
+                f"from current run"
+            )
+        for note in self.notes:
+            lines.append(f"[      note] {note}")
+        lines.append(
+            "verdict: "
+            + ("PASS" if self.ok else f"FAIL ({len(self.regressions) + len(self.missing_hot_paths)} regression(s))")
+        )
+        return "\n".join(lines)
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    """Load one ``BENCH_*.json`` results file, validating its schema tag."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema", "")
+    if not str(schema).startswith("repro-bench"):
+        raise ValueError(f"{path}: not a repro benchmark results file ({schema!r})")
+    return payload
+
+
+def _test_durations(payload: dict[str, Any]) -> dict[str, float]:
+    return {
+        entry["id"]: float(entry["call_seconds"])
+        for entry in payload.get("tests", [])
+    }
+
+
+def _hot_path_speedups(payload: dict[str, Any]) -> dict[str, tuple[float, bool]]:
+    """``{name: (speedup, gated)}``; entries recorded with ``gate: false``
+    (machine-property ratios, see ``benchmarks/conftest.py``) are
+    compared informationally but never fail the run."""
+    return {
+        name: (float(entry["speedup"]), bool(entry.get("gate", True)))
+        for name, entry in payload.get("hot_paths", {}).items()
+    }
+
+
+def compare(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    absolute: bool = False,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Report:
+    """Compare two loaded result payloads; see the module docstring for
+    the gating rules."""
+    report = Report()
+
+    base_hot = _hot_path_speedups(baseline)
+    cur_hot = _hot_path_speedups(current)
+    for name, (base_speedup, gated) in sorted(base_hot.items()):
+        if name not in cur_hot:
+            if gated:
+                report.missing_hot_paths.append(name)
+            else:
+                report.notes.append(
+                    f"informational hot path {name} missing from current run"
+                )
+            continue
+        cur_speedup, _ = cur_hot[name]
+        # Positive change = worse (speedup shrank by that fraction).
+        change = (base_speedup - cur_speedup) / base_speedup
+        report.deltas.append(
+            Delta(
+                name=name,
+                kind="hot_path" if gated else "hot_path_info",
+                baseline=base_speedup,
+                current=cur_speedup,
+                change=change,
+                regressed=gated and change > max_regression,
+            )
+        )
+    for name in sorted(set(cur_hot) - set(base_hot)):
+        report.notes.append(
+            f"new hot path {name}: {cur_hot[name][0]:.2f}x (no baseline)"
+        )
+
+    if absolute:
+        base_tests = _test_durations(baseline)
+        cur_tests = _test_durations(current)
+        for name, base_seconds in sorted(base_tests.items()):
+            if name not in cur_tests:
+                report.notes.append(f"test {name} not in current run")
+                continue
+            cur_seconds = cur_tests[name]
+            if base_seconds < min_seconds and cur_seconds < min_seconds:
+                continue
+            change = (cur_seconds - base_seconds) / base_seconds
+            report.deltas.append(
+                Delta(
+                    name=name,
+                    kind="test",
+                    baseline=base_seconds,
+                    current=cur_seconds,
+                    change=change,
+                    regressed=change > max_regression,
+                )
+            )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Compare two BENCH_*.json files and fail on regressions.",
+    )
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed worsening as a fraction (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate on per-test wall clock (same-machine comparisons only)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore absolute comparisons below this duration",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_results(args.baseline)
+        current = load_results(args.current)
+        report = compare(
+            baseline,
+            current,
+            max_regression=args.max_regression,
+            absolute=args.absolute,
+            min_seconds=args.min_seconds,
+        )
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

@@ -123,6 +123,7 @@ class UstorClient(Node):
         # -- Algorithm 1 state (lines 5-7) --------------------------------
         self._last_write_hash = hash_register_value(BOTTOM)  # x_bar_i
         self._version = Version.zero(num_clients)  # (V_i, M_i)
+        self._zero = self._version  # immutable, reused by every check below
 
         # -- bookkeeping ---------------------------------------------------
         self._pending: _PendingInvocation | None = None
@@ -306,7 +307,7 @@ class UstorClient(Node):
     def _update_version(self, reply: ReplyMessage) -> bool:
         n = self._n
         i = self._id
-        zero = Version.zero(n)
+        zero = self._zero
 
         c = reply.commit_index
         if not 0 <= c < n:
@@ -402,7 +403,7 @@ class UstorClient(Node):
 
     def _check_data(self, reply: ReplyMessage, j: RegisterId) -> bool:
         n = self._n
-        zero = Version.zero(n)
+        zero = self._zero
         if reply.reader_version is None or reply.mem is None:
             return self._fail("read REPLY lacks the register payload")
         vj = reply.reader_version.version

@@ -43,7 +43,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 @dataclass
 class ServerState:
-    """Algorithm 2's variables (lines 101-106), cloneable for forking."""
+    """Algorithm 2's variables (lines 101-106), cloneable for forking.
+
+    Every REPLY ships ``L`` and ``P`` as tuples; rebuilding them from the
+    lists on each SUBMIT is O(n + |L|) of pure allocation, so the state
+    memoizes both tuples and :func:`apply_submit` / :func:`apply_commit`
+    (the only mutators of ``pending`` / ``proofs``) invalidate them.  The
+    memo fields are excluded from equality so crash-recovery comparisons
+    still see only Algorithm 2's variables.
+    """
 
     num_clients: int
     mem: list[MemEntry] = field(default_factory=list)  # MEM
@@ -51,6 +59,22 @@ class ServerState:
     sver: list[SignedVersion] = field(default_factory=list)  # SVER
     pending: list[InvocationTuple] = field(default_factory=list)  # L
     proofs: list[bytes | None] = field(default_factory=list)  # P
+    _pending_tuple: tuple | None = field(default=None, repr=False, compare=False)
+    _proofs_tuple: tuple | None = field(default=None, repr=False, compare=False)
+
+    def pending_as_tuple(self) -> tuple:
+        """``L`` as an immutable tuple, memoized between mutations."""
+        cached = self._pending_tuple
+        if cached is None:
+            cached = self._pending_tuple = tuple(self.pending)
+        return cached
+
+    def proofs_as_tuple(self) -> tuple:
+        """``P`` as an immutable tuple, memoized between mutations."""
+        cached = self._proofs_tuple
+        if cached is None:
+            cached = self._proofs_tuple = tuple(self.proofs)
+        return cached
 
     @classmethod
     def initial(cls, num_clients: int) -> "ServerState":
@@ -96,8 +120,8 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
         reply = ReplyMessage(
             commit_index=state.commit_index,
             last_version=state.sver[state.commit_index],
-            pending=tuple(state.pending),
-            proofs=tuple(state.proofs),
+            pending=state.pending_as_tuple(),
+            proofs=state.proofs_as_tuple(),
             reader_version=state.sver[j],
             mem=state.mem[j],
         )
@@ -109,13 +133,14 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
         reply = ReplyMessage(
             commit_index=state.commit_index,
             last_version=state.sver[state.commit_index],
-            pending=tuple(state.pending),
-            proofs=tuple(state.proofs),
+            pending=state.pending_as_tuple(),
+            proofs=state.proofs_as_tuple(),
         )
 
     # line 116: append after building the reply — the submitting operation
     # is never listed as concurrent with itself.
     state.pending.append(invocation)
+    state._pending_tuple = None
     return reply
 
 
@@ -135,11 +160,13 @@ def apply_commit(state: ServerState, client: ClientId, message: CommitMessage) -
                 break
         if cut is not None:
             del state.pending[: cut + 1]
+            state._pending_tuple = None
     # lines 122-123: store version, COMMIT- and PROOF-signatures.
     state.sver[client] = SignedVersion(
         version=message.version, commit_sig=message.commit_sig
     )
     state.proofs[client] = message.proof_sig
+    state._proofs_tuple = None
 
 
 class UstorServer(Node):

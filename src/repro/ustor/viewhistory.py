@@ -45,23 +45,36 @@ def reconstruct_view_history(
     op_key: OpKey,
     _cache: dict[OpKey, tuple[OpKey, ...]] | None = None,
 ) -> tuple[OpKey, ...]:
-    """``VH(o)`` as a sequence of (client, timestamp) identities."""
+    """``VH(o)`` as a sequence of (client, timestamp) identities.
+
+    Iterative: the parent chain is first walked up to the nearest cached
+    prefix (or the root), then the sequences are materialised on the way
+    back down.  Long histories — one record per operation of the run —
+    would blow Python's recursion limit under the naive recursive
+    definition; the walk also guarantees each record's sequence is built
+    exactly once per shared ``_cache``.
+    """
     cache: dict[OpKey, tuple[OpKey, ...]] = {} if _cache is None else _cache
-    if op_key in cache:
-        return cache[op_key]
-    try:
-        record = records[op_key]
-    except KeyError:
-        raise ProtocolError(
-            f"no view-history record for operation {op_key} — only operations "
-            f"that completed updateVersion have one"
-        ) from None
-    prefix: tuple[OpKey, ...] = ()
-    if record.parent is not None:
-        prefix = reconstruct_view_history(records, record.parent, cache)
-    full = prefix + record.concurrent + (record.own,)
-    cache[op_key] = full
-    return full
+    # Phase 1: climb ancestors until a cached prefix (or the root).
+    chain: list[tuple[OpKey, ViewHistoryRecord]] = []
+    key: OpKey | None = op_key
+    while key is not None and key not in cache:
+        try:
+            record = records[key]
+        except KeyError:
+            raise ProtocolError(
+                f"no view-history record for operation {key} — only operations "
+                f"that completed updateVersion have one"
+            ) from None
+        chain.append((key, record))
+        key = record.parent
+    # Phase 2: unwind, building each VH from its (now cached) parent's.
+    for key, record in reversed(chain):
+        prefix: tuple[OpKey, ...] = ()
+        if record.parent is not None:
+            prefix = cache[record.parent]
+        cache[key] = prefix + record.concurrent + (record.own,)
+    return cache[op_key]
 
 
 def view_from_keys(

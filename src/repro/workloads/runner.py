@@ -69,6 +69,14 @@ class StorageSystem:
         """The recorded history (pending operations included)."""
         return self.recorder.history()
 
+    def profile(self) -> dict:
+        """Machine-readable performance profile of this deployment
+        (:func:`repro.perf.system_profile`): scheduler/server/client
+        counters plus hot-path cache effectiveness."""
+        from repro.perf.profile import system_profile
+
+        return system_profile(self)
+
     def client(self, client_id: ClientId):
         return self.clients[client_id]
 

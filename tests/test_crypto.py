@@ -142,6 +142,23 @@ class TestKeyStore:
         verifier = store.verifier()
         assert not hasattr(verifier, "sign")
 
+    def test_server_verifier_has_no_verdict_cache(self):
+        """The shared verification cache is a verdict-injection capability
+        and must never cross the trust boundary to servers."""
+        store = KeyStore(3)
+        assert store.verifier()._cache is None
+        # Client capabilities do share the keystore's cache.
+        signer = store.signer(0)
+        assert signer.verifier._cache is store._cache
+
+    def test_verification_cache_dedups_across_clients(self):
+        store = KeyStore(3)
+        sig = store.signer(0).sign("PROOF", b"digest")
+        for observer in range(3):
+            assert store.signer(observer).verify(0, sig, "PROOF", b"digest")
+        stats = store.verification_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2
+
     def test_cross_client_verification(self):
         store = KeyStore(3)
         sig = store.signer(0).sign("PROOF", b"digest")

@@ -1,0 +1,226 @@
+"""Equivalence proofs for the performance fast paths.
+
+Every optimized hot path ships next to its reference implementation (the
+executable specification); these property-based tests drive both over
+randomized inputs — reusing the suite's hypothesis machinery — and assert
+byte-for-byte identical outputs:
+
+* :func:`repro.common.encoding.encode` vs ``encode_reference`` (and the
+  round trip through both decoders);
+* :func:`repro.common.encoding.decode` vs ``decode_reference``, including
+  identical *rejection* of corrupted bytes;
+* :func:`repro.ustor.digests.extend_digest` vs ``extend_digest_reference``
+  (cold cache and warm cache);
+* :func:`repro.crypto.hashing.hash_register_value` vs its definition
+  ``hash_values("VALUE", x)``;
+* the iterative view-history reconstruction vs the paper's recursive
+  definition of ``VH(o)``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.encoding import (
+    decode,
+    decode_reference,
+    encode,
+    encode_reference,
+    reset_encoding_caches,
+)
+from repro.common.errors import EncodingError
+from repro.common.types import BOTTOM, OpKind
+from repro.crypto.hashing import hash_register_value, hash_values
+from repro.ustor.client import ViewHistoryRecord
+from repro.ustor.digests import (
+    digest_of_sequence,
+    extend_digest,
+    extend_digest_reference,
+    reset_chain_cache,
+)
+from repro.ustor.viewhistory import reconstruct_view_history
+
+
+class Colour(enum.Enum):
+    RED = 1
+    GREEN = 2
+
+
+# Scalars cover every supported tag, with ints crossing the memo bound
+# and strings crossing the cached-length bound.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.binary(max_size=80),
+    st.text(max_size=70),
+    st.sampled_from(list(OpKind) + list(Colour)),
+)
+
+#: Arbitrarily nested tuples/lists of scalars (depth <= 3).
+values = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5), st.lists(inner, max_size=5).map(tuple)
+    ),
+    max_leaves=20,
+)
+
+
+def _normalise(value):
+    """What a value looks like after an encode/decode round trip."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalise(item) for item in value)
+    if isinstance(value, (bytearray, memoryview)):
+        return bytes(value)
+    return value
+
+
+class TestEncodingEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(values, max_size=6))
+    def test_encode_matches_reference(self, payload):
+        assert encode(*payload) == encode_reference(*payload)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(values, max_size=6))
+    def test_decoders_agree_and_invert(self, payload):
+        blob = encode(*payload)
+        fast = decode(blob, enums=(OpKind, Colour))
+        reference = decode_reference(blob, enums=(OpKind, Colour))
+        assert fast == reference
+        assert fast == tuple(_normalise(item) for item in payload)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(values, max_size=4), st.data())
+    def test_decoders_reject_identically(self, payload, data):
+        """A corrupted byte must be rejected (or accepted) by both paths."""
+        blob = bytearray(encode(*payload))
+        index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        new_byte = data.draw(st.integers(min_value=0, max_value=255))
+        blob[index] = new_byte
+        corrupted = bytes(blob)
+        # Corrupting a str/enum payload can also surface as invalid UTF-8;
+        # what matters is that both decoders fail (or succeed) identically.
+        try:
+            fast = decode(corrupted, enums=(OpKind, Colour))
+            fast_error = None
+        except (EncodingError, UnicodeDecodeError) as exc:
+            fast, fast_error = None, type(exc)
+        try:
+            reference = decode_reference(corrupted, enums=(OpKind, Colour))
+            reference_error = None
+        except (EncodingError, UnicodeDecodeError) as exc:
+            reference, reference_error = None, type(exc)
+        assert fast_error == reference_error
+        if fast_error is None:
+            assert fast == reference
+
+    def test_cold_cache_equivalence(self):
+        """Equality holds from a cold cache (first-ever encodings)."""
+        reset_encoding_caches()
+        payload = ("COMMIT", OpKind.WRITE, 123456, b"\x01" * 32, ("x", -7))
+        assert encode(*payload) == encode_reference(*payload)
+
+    def test_memoryview_and_bytearray_inputs(self):
+        raw = b"\xde\xad\xbe\xef"
+        for view in (bytearray(raw), memoryview(raw)):
+            assert encode(view) == encode_reference(view) == encode(raw)
+
+    def test_unsupported_type_rejected_by_both(self):
+        with pytest.raises(EncodingError):
+            encode(object())
+        with pytest.raises(EncodingError):
+            encode_reference(object())
+
+
+class TestDigestEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), max_size=40),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_extend_matches_reference(self, chain, client):
+        reset_chain_cache()
+        digest = digest_of_sequence(chain)
+        cold = extend_digest(digest, client)
+        warm = extend_digest(digest, client)  # second call hits the memo
+        assert cold == warm == extend_digest_reference(digest, client)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=30))
+    def test_sequence_digest_matches_reference_fold(self, chain):
+        reference = None
+        for client in chain:
+            reference = extend_digest_reference(reference, client)
+        assert digest_of_sequence(chain) == reference
+
+    def test_non_standard_digest_width(self):
+        """The fast path special-cases 32-byte digests; other widths must
+        still match the specification."""
+        odd = b"\x42" * 7
+        assert extend_digest(odd, 3) == extend_digest_reference(odd, 3)
+
+
+class TestValueHashEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_bytes_values(self, value):
+        assert hash_register_value(value) == hash_values("VALUE", value)
+
+    def test_bottom(self):
+        assert hash_register_value(BOTTOM) == hash_values("VALUE", None)
+
+
+def _recursive_vh(records, op_key):
+    """The paper's recursive definition of ``VH(o)`` (the specification)."""
+    record = records[op_key]
+    prefix = () if record.parent is None else _recursive_vh(records, record.parent)
+    return prefix + record.concurrent + (record.own,)
+
+
+class TestViewHistoryEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_iterative_matches_recursive(self, data):
+        """Random parent-linked record sets: iterative == recursive VH."""
+        num_ops = data.draw(st.integers(min_value=1, max_value=25))
+        records: dict[tuple[int, int], ViewHistoryRecord] = {}
+        keys: list[tuple[int, int]] = []
+        for index in range(num_ops):
+            key = (data.draw(st.integers(min_value=0, max_value=3)), index)
+            parent = (
+                None
+                if not keys
+                else data.draw(st.one_of(st.none(), st.sampled_from(keys)))
+            )
+            concurrent = tuple(
+                data.draw(st.sampled_from(keys))
+                for _ in range(data.draw(st.integers(min_value=0, max_value=2)))
+                if keys
+            )
+            records[key] = ViewHistoryRecord(
+                parent=parent, concurrent=concurrent, own=key
+            )
+            keys.append(key)
+        cache: dict = {}
+        for key in keys:
+            assert reconstruct_view_history(records, key, cache) == _recursive_vh(
+                records, key
+            )
+
+    def test_deep_chain_does_not_recurse(self):
+        """A chain longer than the recursion limit must reconstruct fine."""
+        records = {}
+        parent = None
+        for index in range(5_000):
+            key = (0, index)
+            records[key] = ViewHistoryRecord(parent=parent, concurrent=(), own=key)
+            parent = key
+        history = reconstruct_view_history(records, (0, 4_999))
+        assert len(history) == 5_000
+        assert history[0] == (0, 0) and history[-1] == (0, 4_999)

@@ -1,0 +1,119 @@
+"""Tests of the repro.perf profiling harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import SystemConfig, open_system
+from repro.perf import (
+    Profiler,
+    hot_path_cache_stats,
+    reset_hot_path_caches,
+    system_profile,
+)
+from repro.workloads.runner import SystemBuilder
+
+
+class TestProfiler:
+    def test_timers_accumulate(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.timer("phase"):
+                pass
+        snap = profiler.snapshot()
+        assert snap["timers"]["phase"]["calls"] == 3
+        assert snap["timers"]["phase"]["total_seconds"] >= 0.0
+        assert (
+            snap["timers"]["phase"]["max_seconds"]
+            <= snap["timers"]["phase"]["total_seconds"]
+        )
+
+    def test_counters(self):
+        profiler = Profiler()
+        profiler.count("replies")
+        profiler.count("replies", 4)
+        assert profiler.snapshot()["counters"] == {"replies": 5}
+
+    def test_allocation_tracking(self):
+        profiler = Profiler()
+        with profiler.track_allocations("alloc"):
+            _ = [bytes(128) for _ in range(100)]
+        stat = profiler.snapshot()["allocations"]["alloc"]
+        assert stat["calls"] == 1
+        assert stat["allocated_bytes"] >= 0
+        assert stat["peak_bytes"] >= stat["allocated_bytes"]
+
+    def test_timer_records_on_exception(self):
+        profiler = Profiler()
+        try:
+            with profiler.timer("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert profiler.snapshot()["timers"]["failing"]["calls"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        profiler = Profiler()
+        with profiler.timer("t"):
+            profiler.count("c")
+        json.dumps(profiler.snapshot())
+
+
+class TestSystemProfile:
+    def test_raw_storage_system(self):
+        system = SystemBuilder(num_clients=2, seed=5).build()
+        system.clients[0].write(b"v")
+        system.run_until_quiescent()
+        profile = system.profile()
+        assert profile["kind"] == "single"
+        assert profile["scheduler"]["events_processed"] > 0
+        assert profile["clients"]["completed_operations"] >= 1
+        assert profile["server"]["submits_handled"] >= 1
+        assert "verification_cache" in profile
+        assert "hot_path_caches" in profile
+        json.dumps(profile)
+
+    def test_api_system_carries_backend(self):
+        system = open_system(SystemConfig(num_clients=2, seed=3), backend="faust")
+        session = system.session(0)
+        session.write_sync(b"x")
+        profile = system.profile()
+        assert profile["backend"] == "faust"
+        assert profile["kind"] == "single"
+
+    def test_cluster_profile_aggregates_shards(self):
+        cluster = open_system(
+            SystemConfig(num_clients=4, seed=9, shards=2), backend="cluster"
+        )
+        session = cluster.session(0)
+        session.write_sync(b"y")
+        session.barrier()
+        profile = cluster.profile()
+        assert profile["kind"] == "cluster"
+        assert profile["num_shards"] == 2
+        assert len(profile["shards"]) == 2
+        assert profile["server"]["submits_handled"] >= 1
+        assert profile["clients"]["completed_operations"] >= 1
+        json.dumps(profile)
+
+
+class TestHotPathCacheStats:
+    def test_stats_shape_and_reset(self):
+        from repro.common.encoding import encode
+        from repro.ustor.digests import extend_digest
+
+        reset_hot_path_caches()
+        encode("PROBE", 17)
+        extend_digest(None, 1)
+        extend_digest(None, 1)  # second call is a memo hit
+        stats = hot_path_cache_stats()
+        assert stats["encoding"]["misses"] >= 1
+        assert stats["digest_chain"] == {"hits": 1, "misses": 1}
+        reset_hot_path_caches()
+        cleared = hot_path_cache_stats()
+        assert cleared["digest_chain"] == {"hits": 0, "misses": 0}
+        assert cleared["encoding"]["misses"] == 0
+
+    def test_system_profile_accepts_raw_and_wrapped(self):
+        system = SystemBuilder(num_clients=2, seed=1).build()
+        assert system_profile(system)["kind"] == "single"

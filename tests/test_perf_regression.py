@@ -1,0 +1,168 @@
+"""Tests of the BENCH_*.json benchmark-regression pipeline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.regression import compare, load_results, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_baseline.json"
+
+
+def _payload(hot_paths=None, tests=None, gate=True):
+    return {
+        "schema": "repro-bench-v1",
+        "seed": 1,
+        "hot_paths": {
+            name: {
+                "reference_seconds": speedup,
+                "optimized_seconds": 1.0,
+                "speedup": speedup,
+                "gate": gate,
+            }
+            for name, speedup in (hot_paths or {}).items()
+        },
+        "tests": [
+            {"id": name, "call_seconds": seconds}
+            for name, seconds in (tests or {}).items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        payload = _payload(hot_paths={"digest": 3.0}, tests={"t": 1.0})
+        report = compare(payload, payload, absolute=True)
+        assert report.ok
+        assert not report.regressions
+
+    def test_speedup_drop_beyond_threshold_fails(self):
+        baseline = _payload(hot_paths={"digest": 3.0})
+        current = _payload(hot_paths={"digest": 2.0})  # -33% < -20%
+        report = compare(baseline, current, max_regression=0.20)
+        assert not report.ok
+        assert [d.name for d in report.regressions] == ["digest"]
+
+    def test_speedup_drop_within_threshold_passes(self):
+        baseline = _payload(hot_paths={"digest": 3.0})
+        current = _payload(hot_paths={"digest": 2.7})  # -10%
+        assert compare(baseline, current, max_regression=0.20).ok
+
+    def test_missing_hot_path_fails(self):
+        baseline = _payload(hot_paths={"digest": 3.0})
+        current = _payload(hot_paths={})
+        report = compare(baseline, current)
+        assert not report.ok
+        assert report.missing_hot_paths == ["digest"]
+
+    def test_new_hot_path_is_a_note_not_a_failure(self):
+        baseline = _payload(hot_paths={})
+        current = _payload(hot_paths={"shiny": 9.0})
+        report = compare(baseline, current)
+        assert report.ok
+        assert any("shiny" in note for note in report.notes)
+
+    def test_ungated_hot_path_never_fails(self):
+        """``gate: false`` ratios (machine properties) are informational:
+        reported, but neither a drop nor a disappearance fails the run."""
+        baseline = _payload(hot_paths={"machine_ratio": 20.0}, gate=False)
+        dropped = compare(baseline, _payload(hot_paths={"machine_ratio": 2.0}, gate=False))
+        assert dropped.ok
+        assert any(d.kind == "hot_path_info" for d in dropped.deltas)
+        assert "informational" in dropped.render()
+        missing = compare(baseline, _payload(hot_paths={}))
+        assert missing.ok
+        assert any("machine_ratio" in note for note in missing.notes)
+
+    def test_gate_defaults_to_true_for_old_baselines(self):
+        baseline = _payload(hot_paths={"digest": 3.0})
+        for entry in baseline["hot_paths"].values():
+            del entry["gate"]
+        report = compare(baseline, _payload(hot_paths={"digest": 1.0}))
+        assert not report.ok
+
+    def test_absolute_gate_is_opt_in(self):
+        baseline = _payload(tests={"slow_test": 1.0})
+        current = _payload(tests={"slow_test": 10.0})
+        assert compare(baseline, current).ok  # ratios only by default
+        report = compare(baseline, current, absolute=True)
+        assert not report.ok
+
+    def test_absolute_gate_ignores_noise_floor(self):
+        baseline = _payload(tests={"tiny": 0.001})
+        current = _payload(tests={"tiny": 0.004})  # 4x but sub-threshold
+        assert compare(baseline, current, absolute=True, min_seconds=0.05).ok
+
+    def test_improvements_never_fail(self):
+        baseline = _payload(hot_paths={"digest": 2.0}, tests={"t": 2.0})
+        current = _payload(hot_paths={"digest": 9.0}, tests={"t": 0.2})
+        assert compare(baseline, current, absolute=True).ok
+
+    def test_report_render_and_json(self):
+        baseline = _payload(hot_paths={"digest": 3.0})
+        current = _payload(hot_paths={"digest": 1.0})
+        report = compare(baseline, current)
+        text = report.render()
+        assert "REGRESSION" in text and "FAIL" in text
+        payload = report.to_json()
+        assert payload["ok"] is False
+        json.dumps(payload)
+
+
+class TestLoadResults:
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "not-ours"}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_committed_baseline_is_loadable(self):
+        payload = load_results(BASELINE)
+        assert payload["hot_paths"], "baseline must carry hot-path ratios"
+        for entry in payload["hot_paths"].values():
+            assert entry["speedup"] > 1.0
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload(hot_paths={"d": 3.0}))
+        cur = self._write(tmp_path, "cur.json", _payload(hot_paths={"d": 3.1}))
+        assert main([base, cur]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload(hot_paths={"d": 3.0}))
+        cur = self._write(tmp_path, "cur.json", _payload(hot_paths={"d": 1.0}))
+        assert main([base, cur]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _payload(hot_paths={"d": 2.0}))
+        cur = self._write(tmp_path, "cur.json", _payload(hot_paths={"d": 2.0}))
+        assert main([base, cur, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_unreadable_file_exit_two(self, tmp_path):
+        assert main([str(tmp_path / "missing.json"), str(tmp_path / "x.json")]) == 2
+
+    def test_malformed_hot_path_entry_exit_two(self, tmp_path, capsys):
+        """A schema-tagged file with a broken hot_paths entry must produce
+        the clean error path, not a traceback."""
+        broken = _payload(hot_paths={"d": 2.0})
+        del broken["hot_paths"]["d"]["speedup"]
+        base = self._write(tmp_path, "base.json", broken)
+        cur = self._write(tmp_path, "cur.json", _payload(hot_paths={"d": 2.0}))
+        assert main([base, cur]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_baseline_against_itself(self):
+        assert main([str(BASELINE), str(BASELINE)]) == 0
