@@ -34,7 +34,7 @@ from repro.api.backends import (
     get_backend,
     open_system,
 )
-from repro.api.config import FaustParams, SystemConfig
+from repro.api.config import BatchingPolicy, FaustParams, SystemConfig
 from repro.api.errors import CapabilityError, OperationFailed, OperationTimeout
 from repro.api.events import (
     FailureNotification,
@@ -50,6 +50,7 @@ from repro.api.system import System
 __all__ = [
     "BACKENDS",
     "Backend",
+    "BatchingPolicy",
     "CapabilityError",
     "Capabilities",
     "ClusterBackend",

@@ -77,6 +77,17 @@ def _reject_storage_knobs(config: SystemConfig, backend: str) -> None:
         )
 
 
+def _reject_batching_knobs(config: SystemConfig, backend: str) -> None:
+    """The baselines speak their own wire protocols and know nothing of
+    the throughput pipeline: fail loudly rather than silently running
+    them unbatched."""
+    if config.batching is not None:
+        raise ConfigurationError(
+            f"the {backend!r} backend does not support batching=; the "
+            f"throughput pipeline runs on 'faust', 'ustor' and 'cluster'"
+        )
+
+
 def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
     """Single-server backends run one shard only: fail loudly rather than
     silently collapsing a sharded config onto one server."""
@@ -110,6 +121,7 @@ class FaustBackend:
             server_factory=config.server_factory,
             commit_piggyback=config.commit_piggyback,
             storage=config.storage,
+            batching=config.batching,
         ).build_faust(**config.faust.as_kwargs())
         _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
@@ -137,6 +149,7 @@ class UstorBackend:
             server_factory=config.server_factory,
             commit_piggyback=config.commit_piggyback,
             storage=config.storage,
+            batching=config.batching,
         ).build()
         _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
@@ -156,6 +169,7 @@ class LockstepBackend:
 
         _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
+        _reject_batching_knobs(config, self.name)
         raw = build_lockstep_system(
             config.num_clients,
             seed=config.seed,
@@ -180,6 +194,7 @@ class UncheckedBackend:
 
         _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
+        _reject_batching_knobs(config, self.name)
         raw = build_unchecked_system(
             config.num_clients,
             seed=config.seed,

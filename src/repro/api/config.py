@@ -16,6 +16,45 @@ from repro.common.errors import ConfigurationError
 from repro.sim.network import LatencyModel
 
 
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """The throughput pipeline's knobs: client flush policy + transport
+    and server amortizations.
+
+    ``max_batch``/``max_delay``/``flush_on_barrier`` shape the *session*
+    flush policy: operations submitted through a
+    :class:`~repro.api.session.Session` are buffered and handed to the
+    protocol layer when the buffer reaches ``max_batch`` operations
+    (size), when ``max_delay`` virtual time units have passed since the
+    first buffered operation (time), or when ``barrier()`` — or any
+    blocking wait — needs them issued (barrier).  ``max_delay=None``
+    disables the timer (size/barrier flushes only).
+
+    ``transport`` coalesces same-destination message bursts into single
+    scheduler events (:class:`~repro.sim.network.Network` batching);
+    ``group_commit`` batches server wakeups and WAL appends
+    (:class:`~repro.ustor.server.UstorServer` group commit).  Both
+    preserve the per-operation SUBMIT/REPLY/COMMIT protocol — histories,
+    digests and checker verdicts are unchanged (see
+    ``tests/test_batching_equivalence.py``); only the per-message
+    machinery is amortized.
+    """
+
+    max_batch: int = 8
+    max_delay: float | None = 1.0
+    flush_on_barrier: bool = True
+    transport: bool = True
+    group_commit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        if self.max_delay is not None and self.max_delay <= 0:
+            raise ConfigurationError(
+                "max_delay must be positive (or None to disable time flush)"
+            )
+
+
 @dataclass
 class FaustParams:
     """Tuning for the fail-aware layer (Section 6); ignored by backends
@@ -87,11 +126,29 @@ class SystemConfig:
     #: Crash-recovery windows targeting single shards:
     #: ``(shard, start, duration)`` triples (``cluster`` backend only).
     shard_outages: tuple[tuple[int, float, float], ...] = ()
+    #: The throughput pipeline: ``None`` (default) runs fully unbatched —
+    #: one scheduler event per message, one WAL append per record, ops
+    #: issued as submitted.  A :class:`BatchingPolicy` (or ``True`` for
+    #: the default policy) enables session auto-flush batching, transport
+    #: burst coalescing and server group commit.  Supported on the
+    #: ``faust``/``ustor``/``cluster`` backends.
+    batching: "BatchingPolicy | bool | None" = None
     faust: FaustParams = field(default_factory=FaustParams)
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
             raise ConfigurationError("need at least one client")
+        if self.batching is True:
+            self.batching = BatchingPolicy()
+        elif self.batching is False:
+            self.batching = None
+        elif self.batching is not None and not isinstance(
+            self.batching, BatchingPolicy
+        ):
+            raise ConfigurationError(
+                f"batching must be a BatchingPolicy, True/False or None, "
+                f"got {self.batching!r}"
+            )
         if self.default_timeout <= 0:
             raise ConfigurationError("default_timeout must be positive")
         for window in self.server_outages:

@@ -17,6 +17,17 @@ paper's service interface uniformly across protocols:
   guarantees where the backend provides them (:class:`CapabilityError`
   otherwise).
 
+When the deployment was opened with a batching policy
+(``SystemConfig(batching=...)``), submissions are *buffered* and handed
+to the protocol layer in batches: a flush happens when the buffer
+reaches ``max_batch`` operations, when ``max_delay`` virtual time has
+passed since the first buffered operation (a real scheduler timer), on
+``flush()``, and before any blocking wait (``result``, ``barrier`` —
+unless ``flush_on_barrier`` is off, in which case ``barrier()`` waits
+only for already-issued operations).  Batching changes *when* the
+bookkeeping happens, never the protocol: each operation still runs the
+full per-op SUBMIT/REPLY/COMMIT exchange in submission order.
+
 Sessions accept either the high-level :class:`repro.api.system.System`
 or a raw :class:`~repro.workloads.runner.StorageSystem`.
 """
@@ -51,6 +62,13 @@ class Session:
         #: common settle is an O(1) popleft of the head rather than an
         #: O(outstanding) list removal — pipelined sessions stay linear.
         self._unsettled: deque[OpHandle] = deque()
+        #: Auto-flush batching (None = unbatched): buffered submissions
+        #: and the pending flush timer, per the system's BatchingPolicy.
+        self._batching = getattr(system, "batching", None)
+        self._batch_buffer: deque[tuple[OpKind, RegisterId, Value | None, OpHandle]] = (
+            deque()
+        )
+        self._flush_timer = None
         if hasattr(self._client, "add_failure_listener"):
             self._client.add_failure_listener(self._on_client_failure)
 
@@ -91,6 +109,17 @@ class Session:
         """Operations issued through this session and not yet settled."""
         return len(self._unsettled)
 
+    @property
+    def buffered(self) -> int:
+        """Operations batched but not yet handed to the protocol layer."""
+        return len(self._batch_buffer)
+
+    @property
+    def batching(self):
+        """The session's :class:`~repro.api.config.BatchingPolicy`
+        (``None`` when the deployment runs unbatched)."""
+        return self._batching
+
     # ------------------------------------------------------------------ #
     # Operations
     # ------------------------------------------------------------------ #
@@ -115,15 +144,44 @@ class Session:
         result = self.read(register).result(timeout)
         return result.value, result.timestamp
 
+    def flush(self) -> None:
+        """Hand every buffered operation to the protocol layer now.
+
+        A no-op on unbatched sessions (nothing ever buffers).  The flush
+        preserves submission order; clients that pipeline receive the
+        whole batch at once, one-at-a-time clients are fed from the
+        session backlog as before.
+        """
+        self._cancel_flush_timer()
+        while self._batch_buffer:
+            kind, register, value, handle = self._batch_buffer.popleft()
+            try:
+                self._dispatch(kind, register, value, handle)
+            except ProtocolError as exc:
+                # The client died while the batch was parked; fail this
+                # handle and keep draining so nothing waits forever.
+                try:
+                    self._unsettled.remove(handle)
+                except ValueError:
+                    pass
+                handle._reject(OperationFailed(str(exc)))
+
     def barrier(self, timeout: float | None = None) -> None:
         """Drive the simulation until every issued handle has settled.
+
+        On a batching session the buffer is flushed first (the barrier is
+        the batching policy's ordering point), unless the policy disables
+        ``flush_on_barrier`` — then only already-issued operations are
+        waited on and buffered ones stay parked.
 
         Raises the first failure among the operations waited on, or
         :class:`OperationTimeout` if some are still pending after the
         time budget.
         """
-        waited = list(self._unsettled)
-        self._drive(lambda: not self._unsettled, timeout)
+        if self._batching is not None and self._batching.flush_on_barrier:
+            self.flush()
+        waited = self._issued_unsettled()
+        self._drive(self._all_issued_settled, timeout, flush=False)
         self._reject_if_dead()
         still_pending = [h for h in waited if not h.done()]
         if still_pending:
@@ -149,6 +207,10 @@ class Session:
         """Block until the operation with ``timestamp`` is stable w.r.t.
         every client (or failure / timeout).  Returns True on stability."""
         tracker = self._tracker()
+        if self._batch_buffer:
+            # A blocking wait issues what it waits on: the awaited write
+            # may still be parked in the batch buffer.
+            self.flush()
 
         def reached() -> bool:
             return self.failed or tracker.stable_timestamp_for_all() >= timestamp
@@ -173,6 +235,22 @@ class Session:
         self._raise_if_dead()
         handle = OpHandle(self, kind, register)
         self._unsettled.append(handle)
+        policy = self._batching
+        if policy is None:
+            self._dispatch(kind, register, value, handle)
+            return handle
+        # Batched: park the operation; flush on size, timer, or barrier.
+        self._batch_buffer.append((kind, register, value, handle))
+        if len(self._batch_buffer) >= policy.max_batch:
+            self.flush()
+        elif policy.max_delay is not None and self._flush_timer is None:
+            self._flush_timer = self._system.scheduler.schedule(
+                policy.max_delay, self._timer_flush
+            )
+        return handle
+
+    def _dispatch(self, kind: OpKind, register: RegisterId, value, handle) -> None:
+        """Hand one operation to the protocol layer (or the backlog)."""
         if getattr(self._client, "pipelines_operations", False):
             # The protocol layer queues internally; hand everything over.
             self._issue(kind, register, value, handle)
@@ -181,7 +259,36 @@ class Session:
             self._issue(kind, register, value, handle)
         else:
             self._backlog.append((kind, register, value, handle))
-        return handle
+
+    def _issued_unsettled(self) -> list[OpHandle]:
+        """Unsettled handles that have been issued (parked ones excluded).
+
+        Shared by this session's :meth:`barrier` and the cluster barrier,
+        so the parked-handle exclusion logic lives in exactly one place.
+        """
+        if not self._batch_buffer:
+            return list(self._unsettled)
+        parked = {id(entry[3]) for entry in self._batch_buffer}
+        return [h for h in self._unsettled if id(h) not in parked]
+
+    def _all_issued_settled(self) -> bool:
+        """Every issued handle settled — O(1) when nothing is parked (the
+        common case: the barrier just flushed)."""
+        if not self._batch_buffer:
+            return not self._unsettled
+        parked = {id(entry[3]) for entry in self._batch_buffer}
+        return all(
+            h.done() for h in self._unsettled if id(h) not in parked
+        )
+
+    def _timer_flush(self) -> None:
+        self._flush_timer = None
+        self.flush()
+
+    def _cancel_flush_timer(self) -> None:
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
 
     def _issue(self, kind: OpKind, register, value, handle: OpHandle) -> None:
         def completed(outcome, _handle=handle) -> None:
@@ -239,6 +346,8 @@ class Session:
     def _fail_all(self, exception: OperationFailed) -> None:
         self._inflight = None
         self._backlog.clear()
+        self._cancel_flush_timer()
+        self._batch_buffer.clear()
         unsettled, self._unsettled = self._unsettled, deque()
         for handle in unsettled:
             handle._reject(exception)
@@ -273,7 +382,16 @@ class Session:
     def _limit(self, timeout: float | None) -> float:
         return self._timeout if timeout is None else timeout
 
-    def _drive(self, predicate: Callable[[], bool], timeout: float | None) -> None:
+    def _drive(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float | None,
+        flush: bool = True,
+    ) -> None:
+        if flush and self._batch_buffer:
+            # A blocking wait cannot complete while its operation is still
+            # parked in the batch buffer: issue everything first.
+            self.flush()
         self._system.run_until(
             lambda: predicate() or self._death_reason() is not None,
             timeout=self._limit(timeout),

@@ -6,6 +6,7 @@ message statistics::
 
     python -m repro run --clients 3 --ops 6 --server correct --check
     python -m repro run --server split-brain --backend faust --until 600
+    python -m repro run --batch 8 --audit-every 50 --check  # throughput pipeline
     python -m repro run --backend lockstep --ops 4   # baseline protocols
     python -m repro run --storage log --outage 25 20 --backend faust
     python -m repro run --server rollback --backend faust  # stale-snapshot attack
@@ -30,7 +31,13 @@ import argparse
 import random
 import sys
 
-from repro.api import BACKENDS, FailureNotification, SystemConfig, open_system
+from repro.api import (
+    BACKENDS,
+    BatchingPolicy,
+    FailureNotification,
+    SystemConfig,
+    open_system,
+)
 from repro.cluster.shardmap import SHARD_MAP_STRATEGIES
 from repro.baselines.lockstep import LockStepServer, TamperingLockStepServer
 from repro.baselines.unchecked import LyingUncheckedServer, UncheckedServer
@@ -133,6 +140,18 @@ def _cmd_run(args) -> int:
             f"{backend!r} backend has none (use faust or ustor)"
         )
         return 2
+    if backend in BASELINE_SERVERS and args.batch:
+        print(
+            f"--batch needs the throughput pipeline; the {backend!r} backend "
+            f"does not support it (use faust, ustor or cluster)"
+        )
+        return 2
+    if args.batch is not None and args.batch < 1:
+        print("--batch takes a positive operations-per-flush count")
+        return 2
+    if args.audit_every is not None and args.audit_every <= 0:
+        print("--audit-every takes a positive virtual-time cadence")
+        return 2
     if (
         args.server != "correct"
         and args.server_shard is None
@@ -168,6 +187,9 @@ def _cmd_run(args) -> int:
         # The chosen behaviour hits one shard; every other shard is honest.
         shard_factories = {args.server_shard: factory}
         factory = None
+    batching = (
+        BatchingPolicy(max_batch=args.batch) if args.batch is not None else None
+    )
     system = open_system(
         SystemConfig(
             num_clients=args.clients,
@@ -179,8 +201,14 @@ def _cmd_run(args) -> int:
             shard_map=args.shard_map,
             shard_server_factories=shard_factories,
             shard_outages=shard_outages,
+            batching=batching,
         ),
         backend=backend,
+    )
+    auditor = (
+        system.attach_audit(every=args.audit_every)
+        if args.audit_every is not None
+        else None
     )
     scripts = generate_scripts(
         args.clients,
@@ -191,7 +219,9 @@ def _cmd_run(args) -> int:
         ),
         random.Random(args.seed),
     )
-    driver = Driver(system)
+    # With batching on, the workload must flow through the sessions —
+    # they are the layer that buffers and auto-flushes submissions.
+    driver = Driver(system, via_sessions=batching is not None)
     driver.attach_all(scripts)
     system.run(until=args.until)
 
@@ -203,6 +233,34 @@ def _cmd_run(args) -> int:
               f"register->shard {placement}")
     print(f"# completed {driver.stats.total_completed()}/{driver.stats.total_planned()} "
           f"operations by t={system.now:.1f}")
+    if batching is not None:
+        networks = (
+            [shard.network for shard in system.shards]
+            if is_cluster
+            else [system.network]
+        )
+        coalesced = sum(n.messages_coalesced for n in networks)
+        bursts = sum(n.bursts_formed for n in networks)
+        group_commits = sum(
+            getattr(s, "group_commits", 0)
+            for s in (system.servers if is_cluster else [system.server])
+        )
+        print(f"# batching: max_batch={batching.max_batch}, "
+              f"{coalesced} message(s) coalesced onto {bursts} burst(s), "
+              f"{group_commits} server group commit(s)")
+    if auditor is not None:
+        final = auditor.final()
+        worst = max((a.delta_ops for a in auditor.audits), default=0)
+        verdicts = " ".join(
+            f"{name}={'OK' if result.ok else 'VIOLATED'}"
+            for name, result in sorted(final.verdicts.items())
+        )
+        print(f"# audits: {len(auditor.audits)} incremental audit(s) every "
+              f"{args.audit_every:g} time units, max delta {worst} op(s)/audit")
+        print(f"# audit verdicts: {verdicts}")
+        for name, result in sorted(final.verdicts.items()):
+            if not result.ok:
+                print(f"#   {name}: {result.violation}")
     for server in (system.servers if is_cluster else [system.server]):
         if getattr(server, "restarts", 0):
             engine = server.engine
@@ -363,6 +421,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar=("SHARD", "START", "DURATION"),
         help="crash-recovery window for one shard's server (repeatable; "
         "requires --backend cluster)",
+    )
+    run.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the throughput pipeline (session auto-flush every N "
+        "operations, transport burst coalescing, server group commit); "
+        "faust/ustor/cluster backends only",
+    )
+    run.add_argument(
+        "--audit-every",
+        type=float,
+        default=None,
+        metavar="T",
+        help="run streaming incremental consistency audits every T virtual "
+        "time units (O(delta) per audit; per shard on a cluster)",
     )
     run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
     run.add_argument("--check", action="store_true", help="run consistency checkers")

@@ -49,6 +49,7 @@ def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
             server_name=f"S{shard}",
             storage=config.storage,
             scheduler=scheduler,
+            batching=config.batching,
         )
         if config.shard_protocol == "faust":
             raw = builder.build_faust(**config.faust.as_kwargs())

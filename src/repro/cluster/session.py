@@ -129,29 +129,43 @@ class ClusterSession:
         result = self.read(register).result(timeout)
         return result.value, result.timestamp
 
+    def flush(self) -> None:
+        """Flush the batch buffer of every touched shard session (a no-op
+        on unbatched deployments)."""
+        for session in self._shard_sessions.values():
+            session.flush()
+
     def barrier(self, timeout: float | None = None) -> None:
         """Drive the simulation until every handle on *every* shard this
         session touched has settled.
 
-        Mirrors the single-server contract — raises the first failure
-        among the operations waited on, or :class:`OperationTimeout`
-        naming the shards still in flight — but drains all shards: the
-        cross-shard ordering point of a sharded deployment.
+        Mirrors the single-server contract — batch buffers are flushed
+        first per the batching policy, and the call raises the first
+        failure among the operations waited on, or
+        :class:`OperationTimeout` naming the shards still in flight —
+        but drains all shards: the cross-shard ordering point of a
+        sharded deployment.
         """
+        policy = self._cluster.batching
+        if policy is not None and policy.flush_on_barrier:
+            self.flush()
         sessions = dict(self._shard_sessions)
-        waited = [
-            handle
-            for session in sessions.values()
-            for handle in list(session._unsettled)
-        ]
+        # Operations still parked in a batch buffer (flush_on_barrier
+        # off) are not waited on — they have not been issued.  The
+        # exclusion logic is the per-shard Session's, not re-derived here.
+        per_session = {
+            shard: s._issued_unsettled() for shard, s in sessions.items()
+        }
+        waited = [h for handles in per_session.values() for h in handles]
         limit = self._timeout if timeout is None else timeout
 
         def drained() -> bool:
-            # Per shard: settled, or the instance died (crash/fail) — a
-            # dead instance's handles can never settle, so waiting out
-            # the budget would only burn virtual time for everyone else.
+            # Per shard: every issued handle settled, or the instance
+            # died (crash/fail) — a dead instance's handles can never
+            # settle, so waiting out the budget would only burn virtual
+            # time for everyone else.
             return all(
-                not s._unsettled or s._death_reason() is not None
+                s._all_issued_settled() or s._death_reason() is not None
                 for s in sessions.values()
             )
 
@@ -159,10 +173,17 @@ class ClusterSession:
         for session in sessions.values():
             session._reject_if_dead()
         pending_shards = sorted(
-            shard for shard, s in sessions.items() if s._unsettled
+            shard
+            for shard, handles in per_session.items()
+            if any(not h.done() for h in handles)
         )
         if pending_shards:
-            count = sum(len(sessions[k]._unsettled) for k in pending_shards)
+            count = sum(
+                1
+                for shard in pending_shards
+                for h in per_session[shard]
+                if not h.done()
+            )
             raise OperationTimeout(
                 f"barrier: {count} operation(s) still in flight on shard(s) "
                 f"{pending_shards} after {limit} time units (a Byzantine "

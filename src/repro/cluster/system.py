@@ -295,6 +295,12 @@ class ClusterSystem:
         """The per-shard servers, indexed by shard."""
         return [shard.server for shard in self.shards]
 
+    @property
+    def batching(self):
+        """The cluster's :class:`~repro.api.config.BatchingPolicy`
+        (uniform across shards; ``None`` when unbatched)."""
+        return self.shards[0].batching
+
     def touched_shards(self, client_id: ClientId) -> tuple[int, ...]:
         """Shards ``client_id`` has issued user operations against."""
         return tuple(
@@ -415,6 +421,18 @@ class ClusterSystem:
     def shard_histories(self) -> dict[int, History]:
         """The recorded history of every shard, keyed by shard."""
         return {k: shard.history() for k, shard in enumerate(self.shards)}
+
+    def attach_audit(
+        self,
+        every: float = 50.0,
+        checks: tuple[str, ...] = ("linearizability", "causal"),
+    ):
+        """Start periodic O(delta) consistency audits — one streaming
+        checker set per shard, since each shard is its own consistency
+        domain (verdict keys are ``"shard<k>.<check>"``)."""
+        from repro.workloads.runner import IncrementalAuditor
+
+        return IncrementalAuditor(self, every=every, checks=checks)
 
     def history(self) -> History:
         """Unsupported on clusters: use :meth:`shard_histories`."""

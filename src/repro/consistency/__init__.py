@@ -1,10 +1,20 @@
 """Consistency checkers: Definitions 2, 3, 6 and fork-linearizability.
 
 All checkers consume recorded :class:`~repro.history.History` objects and
-know nothing about the protocols that produced them.
+know nothing about the protocols that produced them.  The *offline*
+checkers examine a complete history per call; the *incremental* ones
+(:mod:`repro.consistency.incremental`) subscribe to a live recorder and
+keep the same verdicts current in O(delta) per audit.
 """
 
 from repro.consistency.causal import check_causal_consistency, check_causal_exhaustive
+from repro.consistency.incremental import (
+    IncrementalCausalChecker,
+    IncrementalChecker,
+    IncrementalLinearizabilityChecker,
+    attach_incremental_checkers,
+    replay_history,
+)
 from repro.consistency.fork import (
     check_fork_linearizability_exhaustive,
     no_join_violation,
@@ -41,7 +51,12 @@ from repro.consistency.weak_fork import (
 
 __all__ = [
     "CheckResult",
+    "IncrementalCausalChecker",
+    "IncrementalChecker",
+    "IncrementalLinearizabilityChecker",
     "at_most_one_join_violation",
+    "attach_incremental_checkers",
+    "replay_history",
     "causality_violation",
     "check_causal_consistency",
     "check_causal_exhaustive",

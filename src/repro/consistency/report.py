@@ -32,8 +32,10 @@ class CheckResult:
 
 
 def ok(condition: str, witness: Any = None) -> CheckResult:
+    """A passing :class:`CheckResult` for ``condition``."""
     return CheckResult(ok=True, condition=condition, witness=witness)
 
 
 def violated(condition: str, violation: str, witness: Any = None) -> CheckResult:
+    """A failing :class:`CheckResult` describing the first violation."""
     return CheckResult(ok=False, condition=condition, violation=violation, witness=witness)

@@ -67,6 +67,7 @@ def view_violation(
 def is_view_of(
     history: History, client: ClientId, sequence: Sequence[Operation]
 ) -> bool:
+    """Is ``sequence`` a view of ``history`` at ``client`` (Definition 1)?"""
     return view_violation(history, client, sequence) is None
 
 

@@ -22,6 +22,7 @@ from repro.experiments import (
     e14_definition5_validation,
     e15_rollback_recovery,
     e16_cluster_detection,
+    e17_throughput,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -42,6 +43,7 @@ ALL_EXPERIMENTS = [
     e14_definition5_validation,
     e15_rollback_recovery,
     e16_cluster_detection,
+    e17_throughput,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

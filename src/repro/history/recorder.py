@@ -30,13 +30,31 @@ class _PendingOp:
 
 
 class HistoryRecorder:
-    """Builds a history incrementally from begin/end calls."""
+    """Builds a history incrementally from begin/end calls.
+
+    Observers (e.g. the streaming checkers of
+    :mod:`repro.consistency.incremental`) can subscribe with
+    :meth:`add_listener` and see every invocation and response as it is
+    recorded, in event order — the O(delta) alternative to re-extracting
+    the whole :class:`History` on every periodic audit.
+    """
 
     def __init__(self) -> None:
         self._next_id = 0
         self._pending: dict[int, _PendingOp] = {}
         self._done: list[Operation] = []
         self._by_key: dict[tuple[ClientId, int], int] = {}
+        self._listeners: list = []
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener`` to the live operation stream.
+
+        The listener's ``on_invoke(op)`` is called at every :meth:`begin`
+        with the operation as a (still-incomplete) :class:`Operation`
+        (``responded_at=None``); ``on_response(op)`` at every :meth:`end`
+        with the completed operation.  Either hook may be absent.
+        """
+        self._listeners.append(listener)
 
     def begin(
         self,
@@ -60,6 +78,21 @@ class HistoryRecorder:
         )
         if timestamp is not None:
             self._by_key[(client, timestamp)] = op_id
+        if self._listeners:
+            op = Operation(
+                op_id=op_id,
+                client=client,
+                kind=kind,
+                register=register,
+                value=value,
+                invoked_at=invoked_at,
+                responded_at=None,
+                timestamp=timestamp,
+            )
+            for listener in self._listeners:
+                hook = getattr(listener, "on_invoke", None)
+                if hook is not None:
+                    hook(op)
         return op_id
 
     def end(
@@ -89,6 +122,10 @@ class HistoryRecorder:
             timestamp=pending.timestamp,
         )
         self._done.append(op)
+        for listener in self._listeners:
+            hook = getattr(listener, "on_response", None)
+            if hook is not None:
+                hook(op)
         return op
 
     # ------------------------------------------------------------------ #

@@ -172,12 +172,16 @@ def reset_hot_path_caches() -> None:
 
 
 def _server_stats(server: Any) -> dict[str, Any]:
-    return {
+    stats = {
         "submits_handled": getattr(server, "submits_handled", 0),
         "commits_handled": getattr(server, "commits_handled", 0),
         "max_pending_len": getattr(server, "max_pending_len", 0),
         "restarts": getattr(server, "restarts", 0),
     }
+    if getattr(server, "group_commit", False):
+        stats["group_commits"] = getattr(server, "group_commits", 0)
+        stats["largest_group_commit"] = getattr(server, "largest_group_commit", 0)
+    return stats
 
 
 def _shard_profile(shard: Any) -> dict[str, Any]:
@@ -205,6 +209,12 @@ def _shard_profile(shard: Any) -> dict[str, Any]:
     server = getattr(shard, "server", None)
     if server is not None:
         profile["server"] = _server_stats(server)
+    network = getattr(shard, "network", None)
+    if network is not None and getattr(network, "batching", False):
+        profile["transport_batching"] = {
+            "bursts_formed": network.bursts_formed,
+            "messages_coalesced": network.messages_coalesced,
+        }
     keystore = getattr(shard, "keystore", None)
     if keystore is not None and hasattr(keystore, "verification_cache_stats"):
         profile["verification_cache"] = keystore.verification_cache_stats()

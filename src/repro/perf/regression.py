@@ -28,12 +28,21 @@ Two kinds of checks, with different portability:
 
 Exit status: 0 when no regression, 1 otherwise — wire it straight into a
 CI job (see ``.github/workflows/ci.yml``, job ``bench-regression``).
+
+**Result rotation** (``--keep N``): every benchmark session writes a
+timestamped ``BENCH_<stamp>.json``, which accumulates without bound.
+``--keep N`` prunes the timestamped files in the results directory down
+to the newest ``N`` after the comparison (or standalone, with no
+baseline/current arguments).  ``BENCH_baseline.json``,
+``BENCH_latest.json`` and archived ``BENCH_archive_*.json`` trajectory
+points are never touched.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,6 +53,30 @@ DEFAULT_MAX_REGRESSION = 0.20
 
 #: Ignore absolute-time comparisons on tests faster than this (noise).
 DEFAULT_MIN_SECONDS = 0.05
+
+#: Timestamped per-session result files (the only ones rotation prunes).
+_TIMESTAMPED = re.compile(r"^BENCH_\d{8}T\d{6}\.json$")
+
+
+def rotate_results(results_dir: str | Path, keep: int) -> list[Path]:
+    """Prune timestamped ``BENCH_*.json`` files down to the newest ``keep``.
+
+    Only per-session files (``BENCH_<YYYYMMDD>T<HHMMSS>.json``) are
+    candidates; the committed baseline, the ``BENCH_latest.json`` alias
+    and archived trajectory points are never touched.  Returns the paths
+    removed (sorted oldest first).
+    """
+    if keep < 0:
+        raise ValueError("--keep takes a non-negative count")
+    directory = Path(results_dir)
+    stamped = sorted(
+        path for path in directory.glob("BENCH_*.json")
+        if _TIMESTAMPED.match(path.name)
+    )
+    doomed = stamped[: max(0, len(stamped) - keep)]
+    for path in doomed:
+        path.unlink()
+    return doomed
 
 
 @dataclass
@@ -229,8 +262,14 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.perf",
         description="Compare two BENCH_*.json files and fail on regressions.",
     )
-    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
-    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "baseline", nargs="?", default=None,
+        help="committed baseline BENCH_*.json (omit with --keep to only rotate)",
+    )
+    parser.add_argument(
+        "current", nargs="?", default=None,
+        help="freshly produced BENCH_*.json",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -253,26 +292,70 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit the report as JSON instead of text",
     )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after the comparison (or standalone), prune timestamped "
+        "BENCH_*.json files in --results-dir to the newest N",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="directory rotated by --keep (default: the current results "
+        "file's directory, else benchmarks/results)",
+    )
     args = parser.parse_args(argv)
 
-    try:
-        baseline = load_results(args.baseline)
-        current = load_results(args.current)
-        report = compare(
-            baseline,
-            current,
-            max_regression=args.max_regression,
-            absolute=args.absolute,
-            min_seconds=args.min_seconds,
+    if args.baseline is None and args.keep is None:
+        parser.error("nothing to do: pass baseline+current and/or --keep N")
+    if (args.baseline is None) != (args.current is None):
+        parser.error("baseline and current results must be given together")
+
+    status = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_results(args.baseline)
+            current = load_results(args.current)
+            report = compare(
+                baseline,
+                current,
+                max_regression=args.max_regression,
+                absolute=args.absolute,
+                min_seconds=args.min_seconds,
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            # A broken comparison must not skip the rotation below —
+            # unbounded result-file growth is exactly what --keep stops.
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+        else:
+            if args.json:
+                print(json.dumps(report.to_json(), indent=2))
+            else:
+                print(report.render())
+            status = 0 if report.ok else 1
+
+    if args.keep is not None:
+        results_dir = args.results_dir
+        if results_dir is None:
+            if args.current is not None:
+                results_dir = Path(args.current).resolve().parent
+            else:
+                results_dir = Path("benchmarks") / "results"
+        try:
+            removed = rotate_results(results_dir, args.keep)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # Stderr, so --json consumers can parse stdout as pure JSON.
+        print(
+            f"rotation: kept newest {args.keep} timestamped result file(s) "
+            f"in {results_dir}, removed {len(removed)}",
+            file=sys.stderr,
         )
-    except (OSError, ValueError, KeyError, TypeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2))
-    else:
-        print(report.render())
-    return 0 if report.ok else 1
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via -m

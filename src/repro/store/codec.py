@@ -210,5 +210,17 @@ def encode_wal_commit(seq: int, client: ClientId, message: CommitMessage) -> byt
     return encode(("C", seq, client, commit_to_tuple(message)))
 
 
+def encode_wal_batch(entries: tuple) -> bytes:
+    """One group-commit record: several WAL entries under a single frame.
+
+    ``entries`` are the inner tuples of :func:`encode_wal_submit` /
+    :func:`encode_wal_commit` (``("S", seq, ...)`` / ``("C", seq, ...)``),
+    in application order.  Framing the whole batch as one record gives the
+    batch a single commit point: a torn tail drops it atomically, never a
+    prefix of it.
+    """
+    return encode(("B", entries))
+
+
 def encode_snapshot(covered_seq: int, state: ServerState) -> bytes:
     return encode(("SNAP", covered_seq, state_to_tuple(state)))

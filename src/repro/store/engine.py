@@ -21,7 +21,10 @@ WAL framing: each record is ``len(4B BE) || crc32(4B BE) || payload``.
 A torn tail (partial header, partial payload, or CRC mismatch — the
 expected artifact of crashing mid-append) silently ends replay; a corrupt
 *snapshot* raises :class:`StorageError`, because snapshots are replaced
-atomically and must never be half-present.
+atomically and must never be half-present.  Group commit
+(:meth:`StorageEngine.log_records`, driven by the server's batched
+wakeups) packs a whole drain's transitions into **one** frame — a single
+append, a single commit point, torn-tail atomicity for the batch.
 
 Compaction is driven by two signals: a plain record-count threshold
 (``snapshot_interval``) and the COMMIT/GC signal — when a COMMIT prunes
@@ -41,12 +44,15 @@ from repro.common.errors import ConfigurationError, StorageError
 from repro.common.types import ClientId
 from repro.store.codec import (
     commit_from_tuple,
+    commit_to_tuple,
     decode_payload,
     encode_snapshot,
+    encode_wal_batch,
     encode_wal_commit,
     encode_wal_submit,
     state_from_tuple,
     submit_from_tuple,
+    submit_to_tuple,
 )
 from repro.store.media import InMemoryMedium, Medium
 from repro.ustor.messages import CommitMessage, SubmitMessage
@@ -122,6 +128,22 @@ class StorageEngine(ABC):
     def log_commit(self, client: ClientId, message: CommitMessage) -> None:
         """Record a COMMIT transition."""
 
+    def log_records(self, records: list[tuple]) -> None:
+        """Record a group-commit batch of transitions before any of their
+        REPLYs leave the server.
+
+        ``records`` are ``("S", submit_message)`` / ``("C", client,
+        commit_message)`` tuples in application order.  The base
+        implementation appends them one by one (correct for any engine);
+        engines that can batch override this with a single durable write
+        carrying one commit point for the whole batch.
+        """
+        for record in records:
+            if record[0] == "S":
+                self.log_submit(record[1])
+            else:
+                self.log_commit(record[1], record[2])
+
     def maybe_checkpoint(self, state: ServerState, gc_advanced: bool = False) -> None:
         """Checkpoint if the engine's policy says so; ``gc_advanced`` marks
         transitions where COMMIT pruned the pending list."""
@@ -182,6 +204,8 @@ class LogStructuredEngine(StorageEngine):
         self.snapshots_taken = 0
         self.last_snapshot_bytes = 0
         self.last_recovery_replayed = 0
+        self.group_commit_batches = 0
+        self.group_commit_records = 0
 
     # ---------------------------------------------------------------- #
     # Logging
@@ -189,18 +213,48 @@ class LogStructuredEngine(StorageEngine):
 
     def log_submit(self, message: SubmitMessage) -> None:
         self._seq += 1
-        self._append(encode_wal_submit(self._seq, message))
+        self._append(encode_wal_submit(self._seq, message), records=1)
 
     def log_commit(self, client: ClientId, message: CommitMessage) -> None:
         self._seq += 1
-        self._append(encode_wal_commit(self._seq, client, message))
+        self._append(encode_wal_commit(self._seq, client, message), records=1)
 
-    def _append(self, payload: bytes) -> None:
+    def log_records(self, records: list[tuple]) -> None:
+        """Group commit: the whole batch as ONE framed append.
+
+        Every record keeps its own sequence number (recovery stays
+        per-transition idempotent across snapshots), but durability is
+        all-or-nothing: either the full batch survives a crash or none of
+        it does — exactly the unbatched guarantee, since no REPLY covered
+        by the batch leaves the server before this append returns.
+        """
+        if not records:
+            return
+        if len(records) == 1:
+            # No batch framing overhead for a lone record.
+            record = records[0]
+            if record[0] == "S":
+                self.log_submit(record[1])
+            else:
+                self.log_commit(record[1], record[2])
+            return
+        entries = []
+        for record in records:
+            self._seq += 1
+            if record[0] == "S":
+                entries.append(("S", self._seq, submit_to_tuple(record[1])))
+            else:
+                entries.append(("C", self._seq, record[1], commit_to_tuple(record[2])))
+        self._append(encode_wal_batch(tuple(entries)), records=len(records))
+        self.group_commit_batches += 1
+        self.group_commit_records += len(records)
+
+    def _append(self, payload: bytes, records: int = 1) -> None:
         framed = frame_record(payload)
         self.medium.append(self.WAL, framed)
         self.wal_appends += 1
         self.wal_bytes_written += len(framed)
-        self._records_since_checkpoint += 1
+        self._records_since_checkpoint += records
 
     # ---------------------------------------------------------------- #
     # Checkpoints / compaction
@@ -239,19 +293,23 @@ class LogStructuredEngine(StorageEngine):
             frames = list(iter_frames(data))
             for payload in frames:
                 record = decode_payload(payload)[0]
-                tag, seq = record[0], record[1]
-                if seq <= covered:
-                    # Crash landed between snapshot write and WAL truncate:
-                    # the record is already folded into the snapshot.
-                    continue
-                if tag == "S":
-                    apply_submit(state, submit_from_tuple(record[2]))
-                elif tag == "C":
-                    apply_commit(state, record[2], commit_from_tuple(record[3]))
-                else:
-                    raise StorageError(f"unknown WAL record tag {tag!r}")
-                self._seq = seq
-                replayed += 1
+                # A group-commit frame carries several entries; a plain
+                # frame is its own single entry.
+                entries = record[1] if record[0] == "B" else (record,)
+                for entry in entries:
+                    tag, seq = entry[0], entry[1]
+                    if seq <= covered:
+                        # Crash landed between snapshot write and WAL
+                        # truncate: the entry is already in the snapshot.
+                        continue
+                    if tag == "S":
+                        apply_submit(state, submit_from_tuple(entry[2]))
+                    elif tag == "C":
+                        apply_commit(state, entry[2], commit_from_tuple(entry[3]))
+                    else:
+                        raise StorageError(f"unknown WAL record tag {tag!r}")
+                    self._seq = seq
+                    replayed += 1
             valid_end = sum(_FRAME_HEADER_BYTES + len(p) for p in frames)
             if valid_end < len(data):
                 # Trim the torn tail now: appends after this recovery must

@@ -175,6 +175,16 @@ class UstorServer(Node):
     ``engine`` selects the durability model (default: the paper's volatile
     server).  The reliable channels of the model outlive a server restart,
     so deliveries during downtime are held and replayed on recovery.
+
+    ``group_commit`` turns on batched wakeups: deliveries are parked in an
+    inbox and a single drain event (scheduled at the same virtual time,
+    firing after every same-instant delivery) processes them all —
+    handlers run in arrival order, their WAL records are appended as ONE
+    batched engine write with a single commit point, and every REPLY is
+    held until that write returns, so the write-ahead discipline covers
+    the whole batch.  Virtual-time behaviour is unchanged (the drain fires
+    at the delivery instant); what shrinks is the per-message machinery:
+    one wakeup, one durable append, one checkpoint decision per burst.
     """
 
     holds_mail_while_down = True
@@ -184,6 +194,7 @@ class UstorServer(Node):
         num_clients: int,
         name: str = "S",
         engine: "StorageEngine | None" = None,
+        group_commit: bool = False,
     ) -> None:
         super().__init__(name=name)
         self._n = num_clients
@@ -193,10 +204,22 @@ class UstorServer(Node):
             engine = MemoryEngine(num_clients)
         self._engine = engine
         self.state = engine.recover()
+        self._group_commit = bool(group_commit)
+        self._inbox: list[tuple[str, object]] = []
+        self._drain_scheduled = False
+        #: While a drain is running these collect the batch's WAL records
+        #: and outgoing replies; ``None`` means "not draining" (log and
+        #: send immediately, the unbatched path).
+        self._batch_records: list[tuple] | None = None
+        self._outbox: list[tuple[str, object]] | None = None
+        self._batch_gc_advanced = False
         # E10 instrumentation: pending-list pressure over the run.
         self.max_pending_len = 0
         self.submits_handled = 0
         self.commits_handled = 0
+        # Group-commit instrumentation.
+        self.group_commits = 0
+        self.largest_group_commit = 0
         # Crash-recovery instrumentation (scenarios compare the two).
         self.restarts = 0
         self.last_pre_crash_state: ServerState | None = None
@@ -210,16 +233,88 @@ class UstorServer(Node):
     def engine(self) -> "StorageEngine":
         return self._engine
 
+    @property
+    def group_commit(self) -> bool:
+        """Are wakeups batched into group commits?"""
+        return self._group_commit
+
     def on_message(self, src: str, message) -> None:
-        if isinstance(message, SubmitMessage):
+        if not isinstance(message, (SubmitMessage, CommitMessage)):
+            return
+        if self._group_commit:
+            self._inbox.append((src, message))
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.scheduler.schedule(0.0, self._drain_inbox)
+        elif isinstance(message, SubmitMessage):
             self.handle_submit(src, message)
-        elif isinstance(message, CommitMessage):
+        else:
             self.handle_commit(src, message)
+
+    def _drain_inbox(self) -> None:
+        """Process every parked delivery under one group commit."""
+        self._drain_scheduled = False
+        if self._crashed or not self._inbox:
+            return
+        inbox, self._inbox = self._inbox, []
+        self._batch_records = []
+        self._outbox = []
+        self._batch_gc_advanced = False
+        position = 0
+        try:
+            for src, message in inbox:
+                if isinstance(message, SubmitMessage):
+                    self.handle_submit(src, message)
+                else:
+                    self.handle_commit(src, message)
+                position += 1
+        finally:
+            # Even if a handler raised mid-drain, the transitions already
+            # applied MUST reach the log before anything else happens —
+            # otherwise batched recovery would diverge from unbatched,
+            # which logs each record as it is applied.  One durable write
+            # for the whole batch; write-ahead preserved: no reply below
+            # leaves before the append returns.
+            records, self._batch_records = self._batch_records, None
+            outbox, self._outbox = self._outbox, None
+            self._engine.log_records(records)
+            self._engine.maybe_checkpoint(
+                self.state, gc_advanced=self._batch_gc_advanced
+            )
+            if position == len(inbox):
+                self.group_commits += 1
+                self.largest_group_commit = max(
+                    self.largest_group_commit, len(records)
+                )
+            else:
+                # A poison message aborted the drain.  Unbatched mode
+                # consumes the poison delivery (its handler raised) but
+                # still delivers the rest as separate events; mirror that:
+                # re-queue the unprocessed tail and drain again.
+                self._inbox[:0] = inbox[position + 1 :]
+                if self._inbox and not self._drain_scheduled:
+                    self._drain_scheduled = True
+                    self.scheduler.schedule(0.0, self._drain_inbox)
+            for dst, reply in outbox:
+                self.send(dst, reply)
+
+    def send(self, dst: str, message) -> None:
+        """Send, or park in the outbox while a group commit is draining."""
+        if self._outbox is not None:
+            self._outbox.append((dst, message))
+        else:
+            super().send(dst, message)
 
     # Crash-recovery ------------------------------------------------------
 
     def crash(self) -> None:
         self.last_pre_crash_state = self.state.clone()
+        if self._inbox:
+            # Accepted but not yet drained: the transitions were never
+            # applied or logged and no REPLY left, so hand the messages to
+            # the held-mail replay exactly as if they arrived mid-crash.
+            self._held_mail[:0] = self._inbox
+            self._inbox = []
         super().crash()
 
     def on_restart(self) -> None:
@@ -228,6 +323,27 @@ class UstorServer(Node):
         self.last_recovery_state = self.state.clone()
         self.restarts += 1
 
+    # Durability plumbing (defer-aware: batched while draining) -----------
+
+    def _log_submit(self, message: SubmitMessage) -> None:
+        if self._batch_records is not None:
+            self._batch_records.append(("S", message))
+        else:
+            self._engine.log_submit(message)
+
+    def _log_commit(self, client: ClientId, message: CommitMessage) -> None:
+        if self._batch_records is not None:
+            self._batch_records.append(("C", client, message))
+        else:
+            self._engine.log_commit(client, message)
+
+    def _maybe_checkpoint(self, gc_advanced: bool = False) -> None:
+        if self._batch_records is not None:
+            # Deferred to the single decision after the batch append.
+            self._batch_gc_advanced = self._batch_gc_advanced or gc_advanced
+        else:
+            self._engine.maybe_checkpoint(self.state, gc_advanced=gc_advanced)
+
     # Subclass hook points ------------------------------------------------
 
     def handle_submit(self, src: str, message: SubmitMessage) -> None:
@@ -235,8 +351,8 @@ class UstorServer(Node):
             self.handle_commit(src, message.piggyback)
         reply = apply_submit(self.state, message)
         # Write-ahead: the transition is durable before the REPLY leaves.
-        self._engine.log_submit(message)
-        self._engine.maybe_checkpoint(self.state)
+        self._log_submit(message)
+        self._maybe_checkpoint()
         self.submits_handled += 1
         self.max_pending_len = max(self.max_pending_len, len(self.state.pending))
         self.send(src, reply)
@@ -247,10 +363,10 @@ class UstorServer(Node):
             raise ProtocolError(f"COMMIT from non-client node {src!r}")
         pending_before = len(self.state.pending)
         apply_commit(self.state, client, message)
-        self._engine.log_commit(client, message)
+        self._log_commit(client, message)
         # The COMMIT/GC signal: a pruned pending list means the state is at
         # its smallest — the cheapest moment to checkpoint.
-        self._engine.maybe_checkpoint(
-            self.state, gc_advanced=len(self.state.pending) < pending_before
+        self._maybe_checkpoint(
+            gc_advanced=len(self.state.pending) < pending_before
         )
         self.commits_handled += 1

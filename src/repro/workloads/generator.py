@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, ProtocolError
 from repro.common.types import ClientId, OpKind, RegisterId
 from repro.workloads.runner import StorageSystem
 
@@ -107,10 +107,24 @@ class DriverStats:
 
 
 class Driver:
-    """Feeds scripts to clients, one operation at a time per client."""
+    """Feeds scripts to clients, one operation at a time per client.
 
-    def __init__(self, system: StorageSystem) -> None:
+    ``via_sessions=True`` routes operations through the api-level
+    per-client sessions instead of calling the protocol clients
+    directly — the mode a batching deployment needs, since the session
+    is the layer that buffers and auto-flushes submissions
+    (``SystemConfig(batching=...)``).  Requires a system exposing
+    ``session(client_id)`` (the api facade or a cluster).
+    """
+
+    def __init__(self, system: StorageSystem, via_sessions: bool = False) -> None:
         self._system = system
+        self._via_sessions = via_sessions
+        if via_sessions and not hasattr(system, "session"):
+            raise ConfigurationError(
+                "via_sessions needs a system with per-client sessions "
+                "(open it through repro.api)"
+            )
         self.stats = DriverStats()
 
     def attach(self, client_id: ClientId, script: list[PlannedOp]) -> None:
@@ -144,7 +158,27 @@ class Driver:
             if index + 1 < len(script):
                 self._schedule_next(client_id, script, index + 1)
 
-        if planned.kind is OpKind.WRITE:
+        if self._via_sessions:
+            # Pipelined submission: the session (and its batch buffer)
+            # absorbs the stream, so think time spaces *submissions* and
+            # batches can actually fill — waiting for completion first
+            # would cap every batch at one operation.
+            session = self._system.session(client_id)
+            try:
+                handle = (
+                    session.write(planned.value)
+                    if planned.kind is OpKind.WRITE
+                    else session.read(planned.register)
+                )
+            except ProtocolError:
+                return  # client died between operations; stop the script
+            def settled(h) -> None:
+                if h._exception is None:
+                    self.stats.completed[client_id] += 1
+            handle.add_done_callback(settled)
+            if index + 1 < len(script):
+                self._schedule_next(client_id, script, index + 1)
+        elif planned.kind is OpKind.WRITE:
             client.write(planned.value, completed)
         else:
             client.read(planned.register, completed)

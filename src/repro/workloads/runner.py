@@ -5,12 +5,18 @@ FIFO network, offline channel, keystore, server (correct or Byzantine),
 clients, history recorder — and :class:`StorageSystem` drives it.  All
 tests, examples and benchmarks build their worlds through this module, so
 a deployment is always described by a handful of declarative knobs.
+
+:class:`IncrementalAuditor` adds periodic consistency audits to any
+deployment (single-server or cluster): streaming checkers subscribe to
+the live recorder(s) and a scheduler timer snapshots their verdicts
+every ``every`` time units — O(operations since the last audit) per
+check instead of the full-history re-check an offline audit costs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import ClientId
@@ -21,10 +27,14 @@ from repro.sim.faults import ServerFaultInjector
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.offline import OfflineChannel
 from repro.sim.scheduler import Scheduler
+from repro.sim.timers import PeriodicTimer
 from repro.sim.trace import SimTrace
 from repro.store.engine import make_engine
 from repro.ustor.client import UstorClient
 from repro.ustor.server import UstorServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (api imports runner)
+    from repro.api.config import BatchingPolicy
 
 #: Builds a server given (num_clients, name); lets tests inject Byzantine ones.
 ServerFactory = Callable[[int, str], UstorServer]
@@ -43,6 +53,9 @@ class StorageSystem:
     trace: SimTrace
     keystore: KeyStore
     faust_clients: list = field(default_factory=list)
+    #: The throughput pipeline this deployment was built with (``None``
+    #: = unbatched); sessions read their flush policy from here.
+    batching: "BatchingPolicy | None" = None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Advance the simulation; returns the number of events fired."""
@@ -56,9 +69,25 @@ class StorageSystem:
     def run_until_quiescent(
         self, check_every: float = 1.0, timeout: float = 10_000.0
     ) -> None:
-        """Run until no operation is pending at any client (or timeout)."""
+        """Run until no operation is pending at any client (or timeout).
+
+        ``check_every`` is the poll cadence: the O(clients) all-idle scan
+        re-runs only once virtual time has advanced by that much since the
+        last scan (``run_until`` evaluates its predicate after *every*
+        event, so an unthrottled scan would dominate busy runs).  The
+        system may therefore run up to ``check_every`` time units past
+        the first quiescent instant before this call returns.
+        """
+        if check_every <= 0:
+            raise ConfigurationError("check_every must be positive")
+
+        last_scan = [float("-inf")]
 
         def quiet() -> bool:
+            now = self.scheduler.now
+            if now - last_scan[0] < check_every:
+                return False
+            last_scan[0] = now
             return all(
                 not getattr(c, "busy", False) for c in self.clients if not c.crashed
             )
@@ -68,6 +97,14 @@ class StorageSystem:
     def history(self) -> History:
         """The recorded history (pending operations included)."""
         return self.recorder.history()
+
+    def attach_audit(
+        self,
+        every: float = 50.0,
+        checks: tuple[str, ...] = ("linearizability", "causal"),
+    ) -> "IncrementalAuditor":
+        """Start periodic O(delta) consistency audits on this deployment."""
+        return IncrementalAuditor(self, every=every, checks=checks)
 
     def profile(self) -> dict:
         """Machine-readable performance profile of this deployment
@@ -109,6 +146,129 @@ class StorageSystem:
         return self.scheduler.now
 
 
+@dataclass(frozen=True)
+class AuditRecord:
+    """One periodic audit: when it ran, what each checker said, and how
+    many operations were newly streamed since the last audit (the delta
+    — counted once per consistency domain, not once per checker)."""
+
+    time: float
+    verdicts: dict
+    delta_ops: int
+
+    @property
+    def ok(self) -> bool:
+        """Did every checker pass at this audit?"""
+        return all(result.ok for result in self.verdicts.values())
+
+
+class IncrementalAuditor:
+    """Periodic O(delta) consistency audits over a running deployment.
+
+    Streaming checkers (:mod:`repro.consistency.incremental`) subscribe
+    to the deployment's recorder — one checker set per shard on a
+    cluster, since each shard is its own consistency domain — and a
+    repeating scheduler event snapshots their verdicts every ``every``
+    virtual time units.  Because the checkers do their work as operations
+    stream in, an audit tick only *reads* verdicts: the per-audit cost is
+    O(operations appended since the last audit), not O(history).
+
+    ``checks`` names any of ``"linearizability"`` / ``"causal"``.  Audit
+    snapshots accumulate in :attr:`audits` (shard-qualified keys like
+    ``"shard0.causal"`` on clusters); :meth:`final` takes one last
+    snapshot and returns it.
+    """
+
+    def __init__(
+        self,
+        system,
+        every: float = 50.0,
+        checks: tuple[str, ...] = ("linearizability", "causal"),
+    ) -> None:
+        from repro.consistency.incremental import attach_incremental_checkers
+
+        if every <= 0:
+            raise ConfigurationError("audit cadence must be positive")
+        if not checks:
+            raise ConfigurationError(
+                "an auditor needs at least one check "
+                "('linearizability' and/or 'causal')"
+            )
+        self._system = system
+        self.every = every
+        self.checks = tuple(checks)
+        self._checkers: dict[str, object] = {}
+        #: Checkers grouped per consistency domain (one recorder each):
+        #: all of a domain's checkers see the same operation stream, so
+        #: the domain's delta is counted once, not once per checker.
+        self._domains: list[list] = []
+        shards = getattr(system, "shards", None)
+        if shards is not None:
+            for index, shard in enumerate(shards):
+                attached = attach_incremental_checkers(shard.recorder, self.checks)
+                for name, checker in attached.items():
+                    self._checkers[f"shard{index}.{name}"] = checker
+                self._domains.append(list(attached.values()))
+        else:
+            attached = attach_incremental_checkers(system.recorder, self.checks)
+            self._checkers.update(attached)
+            self._domains.append(list(attached.values()))
+        self._ops_at_last_audit = 0
+        #: Periodic snapshots, in audit order.
+        self.audits: list[AuditRecord] = []
+        self._timer = PeriodicTimer(system.scheduler, every, self.snapshot)
+        self._timer.start()
+
+    def _streamed_ops(self) -> int:
+        # Writes count at invocation and reads at response in every
+        # checker of a domain, so any one checker's tally is the domain's
+        # operation-event count; max() tolerates uneven check sets.
+        return sum(
+            max(c.ops_processed for c in domain) for domain in self._domains
+        )
+
+    def snapshot(self) -> AuditRecord:
+        """Take one audit now (also used by the periodic tick)."""
+        verdicts = {
+            name: checker.result() for name, checker in self._checkers.items()
+        }
+        streamed = self._streamed_ops()
+        record = AuditRecord(
+            time=self._system.scheduler.now,
+            verdicts=verdicts,
+            delta_ops=streamed - self._ops_at_last_audit,
+        )
+        self._ops_at_last_audit = streamed
+        self.audits.append(record)
+        return record
+
+    def stop(self) -> None:
+        """Cancel the periodic tick (snapshots already taken are kept)."""
+        self._timer.stop()
+
+    def final(self) -> AuditRecord:
+        """Stop ticking and return one last audit over everything seen."""
+        self.stop()
+        return self.snapshot()
+
+    # -- outcomes -------------------------------------------------------- #
+
+    @property
+    def ok(self) -> bool:
+        """Has every checker passed at every audit so far? (O(1) state —
+        checkers are sticky, so the latest verdicts subsume the past.)"""
+        return all(checker.result().ok for checker in self._checkers.values())
+
+    @property
+    def checkers(self) -> dict:
+        """The live checkers, by (shard-qualified) check name."""
+        return dict(self._checkers)
+
+    def verdicts(self) -> dict:
+        """The current verdict of every checker, by check name."""
+        return {name: c.result() for name, c in self._checkers.items()}
+
+
 class SystemBuilder:
     """Declarative construction of a :class:`StorageSystem`.
 
@@ -130,6 +290,7 @@ class SystemBuilder:
         storage: str | Callable = "memory",
         scheduler: Scheduler | None = None,
         trace: SimTrace | None = None,
+        batching: "BatchingPolicy | None" = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -139,10 +300,19 @@ class SystemBuilder:
         self.latency = latency or FixedLatency(1.0)
         self.offline_latency = offline_latency or FixedLatency(5.0)
         self.storage = storage
-        # A custom factory owns its server's durability; the default server
-        # persists through the engine ``storage`` selects.
+        self.batching = batching
+        # A custom factory owns its server's durability (and its own
+        # batching behaviour); the default server persists through the
+        # engine ``storage`` selects and group-commits when the batching
+        # policy asks for it.
+        group_commit = bool(batching is not None and batching.group_commit)
         self.server_factory = server_factory or (
-            lambda n, name: UstorServer(n, name=name, engine=make_engine(storage, n))
+            lambda n, name: UstorServer(
+                n,
+                name=name,
+                engine=make_engine(storage, n),
+                group_commit=group_commit,
+            )
         )
         self.commit_piggyback = commit_piggyback
         self.server_name = server_name
@@ -155,7 +325,12 @@ class SystemBuilder:
     def _core(self):
         scheduler = self._shared_scheduler or Scheduler(seed=self.seed)
         trace = self._shared_trace or SimTrace()
-        network = Network(scheduler, default_latency=self.latency, trace=trace)
+        network = Network(
+            scheduler,
+            default_latency=self.latency,
+            trace=trace,
+            batching=bool(self.batching is not None and self.batching.transport),
+        )
         offline = OfflineChannel(scheduler, latency=self.offline_latency, trace=trace)
         keystore = KeyStore(self.num_clients, scheme=self.scheme)
         recorder = HistoryRecorder()
@@ -188,6 +363,7 @@ class SystemBuilder:
             recorder=recorder,
             trace=trace,
             keystore=keystore,
+            batching=self.batching,
         )
 
     def build_faust(self, **faust_kwargs) -> StorageSystem:
@@ -221,4 +397,5 @@ class SystemBuilder:
             trace=trace,
             keystore=keystore,
             faust_clients=list(clients),
+            batching=self.batching,
         )

@@ -38,6 +38,21 @@ class TestSystemBuilder:
         system.run_until_quiescent(timeout=100)
         assert not any(c.busy for c in system.clients)
 
+    def test_run_until_quiescent_honors_check_every(self):
+        # The poll cadence throttles the O(clients) idle scan: with a
+        # coarse cadence the system may overrun the quiescent instant by
+        # up to check_every, never by more.
+        system = SystemBuilder(num_clients=2, seed=2).build()
+        system.clients[0].write(b"x", lambda o: None)
+        system.run_until_quiescent(check_every=7.0, timeout=100)
+        assert not any(c.busy for c in system.clients)
+        assert system.now <= 2.0 + 7.0  # one op RTT + at most one cadence
+
+    def test_run_until_quiescent_rejects_bad_cadence(self):
+        system = SystemBuilder(num_clients=1, seed=2).build()
+        with pytest.raises(ConfigurationError):
+            system.run_until_quiescent(check_every=0)
+
     def test_run_until_quiescent_skips_crashed(self):
         system = SystemBuilder(num_clients=2, seed=3).build()
         system.clients[0].write(b"x", lambda o: None)

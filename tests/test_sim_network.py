@@ -179,3 +179,75 @@ class TestTraceIntegration:
     def test_message_kind_fallback(self):
         assert message_kind("plain string") == "str"
         assert message_size("plain string") == 0
+
+
+class TestTransportBatching:
+    """Same-turn same-link bursts coalesce into one delivery event."""
+
+    def make_batched(self, latency=None, seed=0):
+        sched = Scheduler(seed=seed)
+        trace = SimTrace()
+        net = Network(
+            sched,
+            default_latency=latency or FixedLatency(1.0),
+            trace=trace,
+            batching=True,
+        )
+        a, b = Recorder("A"), Recorder("B")
+        net.register(a)
+        net.register(b)
+        return sched, net, a, b, trace
+
+    def test_same_turn_burst_is_one_event(self):
+        sched, net, a, b, trace = self.make_batched()
+        a.send("B", "m1")
+        a.send("B", "m2")
+        a.send("B", "m3")
+        fired = sched.run()
+        # One delivery event for the whole burst...
+        assert fired == 1
+        assert net.bursts_formed == 1
+        assert net.messages_coalesced == 2
+        # ...delivering every member, in FIFO order, at the burst time.
+        assert [m for _, m, _ in b.received] == ["m1", "m2", "m3"]
+        assert len({t for _, _, t in b.received}) == 1
+        # Trace still counts messages, not packets (E3/E4 depend on it).
+        assert trace.message_count() == 3
+
+    def test_cross_turn_sends_do_not_coalesce(self):
+        sched, net, a, b, _ = self.make_batched()
+        a.send("B", "m1")
+        sched.run()  # the turn ends; the burst is delivered
+        a.send("B", "m2")
+        sched.run()
+        assert net.bursts_formed == 2
+        assert net.messages_coalesced == 0
+        times = [t for _, _, t in b.received]
+        assert times[0] < times[1]  # FIFO across bursts
+
+    def test_distinct_links_get_distinct_bursts(self):
+        sched, net, a, b, _ = self.make_batched()
+        a.send("B", "to-b")
+        b.send("A", "to-a")
+        assert sched.run() == 2
+        assert net.bursts_formed == 2
+        assert net.messages_coalesced == 0
+
+    def test_fifo_clamp_holds_across_bursts(self):
+        # A slow burst followed (next turn) by a fast send: the fast one
+        # must not overtake.
+        sched, net, a, b, _ = self.make_batched(latency=UniformLatency(0.0, 5.0), seed=7)
+        a.send("B", "first")
+        a.send("B", "second")  # same turn: rides the first burst
+        sched.schedule(0.001, lambda: a.send("B", "third"))
+        sched.run()
+        assert [m for _, m, _ in b.received] == ["first", "second", "third"]
+        times = [t for _, _, t in b.received]
+        assert times[0] == times[1] <= times[2]
+
+    def test_unbatched_network_reports_batching_off(self):
+        sched, net, a, b, _ = make_net()
+        assert net.batching is False
+        a.send("B", "m")
+        sched.run()
+        assert net.bursts_formed == 0

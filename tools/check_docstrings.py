@@ -3,8 +3,9 @@
 
 The container has no ``interrogate`` wheel, so this is a dependency-free
 equivalent: walk the AST of every module under the audited packages
-(default: ``repro.api`` and ``repro.cluster`` — the surface applications
-program against) and require a docstring on
+(default: ``repro.api``, ``repro.cluster``, ``repro.consistency`` and
+``repro.perf`` — the surfaces applications program against) and require a
+docstring on
 
 * every module,
 * every public class (name not starting with ``_``),
@@ -32,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "api",
     REPO_ROOT / "src" / "repro" / "cluster",
+    REPO_ROOT / "src" / "repro" / "consistency",
     REPO_ROOT / "src" / "repro" / "perf",
 ]
 
