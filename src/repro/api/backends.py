@@ -88,6 +88,18 @@ def _reject_batching_knobs(config: SystemConfig, backend: str) -> None:
         )
 
 
+def _reject_tcp_transport(config: SystemConfig, backend: str) -> None:
+    """Only the bare-USTOR stack speaks the real wire format today: the
+    fail-aware layer's clock synchronization and the baselines' bespoke
+    message types have no TCP codecs, so fail loudly rather than open a
+    deployment that could never exchange a frame."""
+    if config.transport != "sim":
+        raise ConfigurationError(
+            f"the {backend!r} backend is simulator-only; transport='tcp' "
+            f"runs on the 'ustor' backend"
+        )
+
+
 def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
     """Single-server backends run one shard only: fail loudly rather than
     silently collapsing a sharded config onto one server."""
@@ -111,6 +123,7 @@ class FaustBackend:
         """Open a FAUST deployment (single server, fail-aware clients)."""
         from repro.workloads.runner import SystemBuilder
 
+        _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
@@ -136,7 +149,15 @@ class UstorBackend:
     )
 
     def open_system(self, config: SystemConfig) -> System:
-        """Open a bare-USTOR deployment (no fail-aware layer)."""
+        """Open a bare-USTOR deployment (no fail-aware layer).
+
+        With ``transport="tcp"`` the deployment's clients speak real
+        sockets to an already-running ``repro serve`` process; the config
+        validation has rejected every server-side knob, so this is purely
+        the client half of the system.
+        """
+        if config.transport == "tcp":
+            return self._open_tcp(config)
         from repro.workloads.runner import SystemBuilder
 
         _reject_cluster_knobs(config, self.name)
@@ -154,6 +175,20 @@ class UstorBackend:
         _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
+    def _open_tcp(self, config: SystemConfig) -> System:
+        from repro.net.client import open_tcp_system
+
+        raw = open_tcp_system(
+            config.num_clients,
+            config.endpoints,
+            seed=config.seed,
+            scheme=config.scheme,
+            default_timeout=config.default_timeout,
+            commit_piggyback=config.commit_piggyback,
+            trace_path=config.trace_path,
+        )
+        return System(raw, self.name, self.capabilities, config.default_timeout)
+
 
 class LockstepBackend:
     """The SUNDR-style lock-step baseline: fork-linearizable, blocking."""
@@ -167,6 +202,7 @@ class LockstepBackend:
         """Open a lock-step baseline deployment (blocking protocol)."""
         from repro.baselines.lockstep import build_lockstep_system
 
+        _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
@@ -192,6 +228,7 @@ class UncheckedBackend:
         """Open an unchecked baseline deployment (no verification)."""
         from repro.baselines.unchecked import build_unchecked_system
 
+        _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
@@ -224,6 +261,7 @@ class ClusterBackend:
         """Open a sharded deployment (one sub-deployment per shard)."""
         from repro.cluster.backend import open_cluster_system
 
+        _reject_tcp_transport(config, self.name)
         return open_cluster_system(
             config, self.name, self._capabilities_for(config)
         )

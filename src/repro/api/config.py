@@ -85,6 +85,14 @@ class SystemConfig:
     return a server appropriate to the chosen backend (a USTOR server for
     the ``faust``/``ustor`` backends, a lock-step or plain server for the
     baselines); ``None`` selects the backend's honest server.
+
+    ``transport`` picks the world the deployment runs in: ``"sim"`` (the
+    default discrete-event simulator) or ``"tcp"`` (real sockets against
+    server processes started with ``python -m repro serve``; ``ustor``
+    backend only).  Over TCP the server is a *separate process*, so every
+    server-side knob (``server_factory``, ``storage``, ``server_outages``,
+    batching, shards, latency models) belongs to that process's command
+    line, not to this config — setting one here is rejected loudly.
     """
 
     num_clients: int
@@ -134,6 +142,17 @@ class SystemConfig:
     #: ``faust``/``ustor``/``cluster`` backends.
     batching: "BatchingPolicy | bool | None" = None
     faust: FaustParams = field(default_factory=FaustParams)
+    #: ``"sim"`` (discrete-event simulator) or ``"tcp"`` (real asyncio
+    #: sockets; ``ustor`` backend only).
+    transport: str = "sim"
+    #: Server addresses for ``transport="tcp"``: ``host:port`` strings
+    #: (or one comma-separated string).  Exactly one endpoint — the
+    #: sharded form is launched with ``serve-cluster`` and opened per
+    #: shard through :func:`repro.net.client.open_tcp_system`.
+    endpoints: tuple[str, ...] = ()
+    #: Record the run's wire trace (JSONL) here; replayable with
+    #: :func:`repro.net.trace.replay_trace` (``transport="tcp"`` only).
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -182,6 +201,54 @@ class SystemConfig:
                     f"shard_server_factories names shard {shard!r} but the "
                     f"cluster has {self.shards} shard(s)"
                 )
+        self._validate_transport()
+
+    def _validate_transport(self) -> None:
+        if self.transport not in ("sim", "tcp"):
+            raise ConfigurationError(
+                f"transport must be 'sim' or 'tcp', got {self.transport!r}"
+            )
+        if isinstance(self.endpoints, str):
+            self.endpoints = tuple(
+                part.strip() for part in self.endpoints.split(",") if part.strip()
+            )
+        else:
+            self.endpoints = tuple(self.endpoints)
+        if self.transport == "sim":
+            if self.endpoints:
+                raise ConfigurationError(
+                    "endpoints= names real servers; it needs transport='tcp'"
+                )
+            if self.trace_path is not None:
+                raise ConfigurationError(
+                    "trace_path= records a real run's wire trace; it needs "
+                    "transport='tcp' (simulated runs are already deterministic)"
+                )
+            return
+        if not self.endpoints:
+            raise ConfigurationError(
+                "transport='tcp' needs endpoints= ('host:port', e.g. from "
+                "'python -m repro serve')"
+            )
+        server_side = []
+        if self.server_factory is not None:
+            server_side.append("server_factory")
+        if self.storage != "memory":
+            server_side.append("storage")
+        if self.server_outages:
+            server_side.append("server_outages")
+        if self.batching is not None:
+            server_side.append("batching")
+        if self.latency is not None or self.offline_latency is not None:
+            server_side.append("latency")
+        if self.uses_cluster_knobs():
+            server_side.append("shards")
+        if server_side:
+            raise ConfigurationError(
+                f"transport='tcp' runs the server in its own process: "
+                f"{', '.join(server_side)} belong on the 'repro serve' "
+                f"command line, not on the client config"
+            )
 
     def uses_cluster_knobs(self) -> bool:
         """Is any shard-axis knob set away from its single-server default?"""

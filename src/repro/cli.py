@@ -18,6 +18,15 @@ message statistics::
     python -m repro attacks                       # list server behaviours
     python -m repro experiments --quick           # run the E* harness
 
+Real deployments (``repro.net``) — servers as OS processes, clients over
+real TCP, every run recorded and replayable::
+
+    python -m repro serve --clients 3 --port 4800 --storage dir:/tmp/srv
+    python -m repro run --clients 3 --transport tcp \
+        --endpoints 127.0.0.1:4800 --trace-file run.jsonl --check
+    python -m repro replay --trace run.jsonl --check   # re-derive verdicts
+    python -m repro serve-cluster --clients 6 --shards 3  # one proc/shard
+
 The CLI is a thin veneer over the library; everything it does is one or
 two calls into :mod:`repro.api`, :mod:`repro.workloads` and
 :mod:`repro.consistency`.  ``--backend`` selects the protocol stack the
@@ -90,6 +99,12 @@ BASELINE_SERVERS = {
     },
 }
 
+#: Behaviours that also run behind ``repro serve`` (real TCP).  The rest
+#: are simulator-only: they script crash-recovery or fork points against
+#: virtual time, which a real process models by actually crashing (kill
+#: the ``serve`` process) rather than by a scheduled pretence.
+TCP_SERVERS = ("correct", "tampering", "forging", "replay", "unresponsive")
+
 ATTACK_NOTES = {
     "correct": "the honest server of Algorithm 2",
     "tampering": "corrupts read values — caught at line 50",
@@ -108,11 +123,172 @@ ATTACK_NOTES = {
 def _cmd_attacks(_args) -> int:
     width = max(len(name) for name in SERVERS)
     for name in SERVERS:
-        print(f"  {name.ljust(width)}  {ATTACK_NOTES[name]}")
+        tcp = " [tcp]" if name in TCP_SERVERS else ""
+        print(f"  {name.ljust(width)}  {ATTACK_NOTES[name]}{tcp}")
+    print()
+    print("[tcp] behaviours also run as real processes: "
+          "python -m repro serve --server NAME")
+    return 0
+
+
+def _cmd_run_tcp(args) -> int:
+    """The ``run --transport tcp`` path: the client half of a real
+    deployment, against ``repro serve`` processes already listening.
+
+    Deliberately narrower than the simulated path: everything
+    server-side (behaviour, storage, outages, batching, shards) belongs
+    to the ``serve`` command line, and the flags that configure it here
+    are rejected with a pointer rather than silently ignored.
+    """
+    from repro.common.errors import ConfigurationError
+
+    backend = args.backend or ("faust" if args.faust else "ustor")
+    if backend != "ustor":
+        print(f"--transport tcp runs on the ustor backend; the {backend!r} "
+              f"stack has no wire codecs (drop --backend/--faust)")
+        return 2
+    if not args.endpoints:
+        print("--transport tcp needs --endpoints HOST:PORT "
+              "(start one with 'python -m repro serve')")
+        return 2
+    server_side = []
+    if args.server != "correct":
+        server_side.append("--server (pick it on the 'repro serve' side)")
+    if args.storage != "memory":
+        server_side.append("--storage")
+    if args.outage:
+        server_side.append("--outage")
+    if args.batch is not None:
+        server_side.append("--batch")
+    if server_side:
+        print(f"over tcp the server is its own process; move "
+              f"{', '.join(server_side)} to its command line")
+        return 2
+    if args.audit_every is not None and args.audit_every <= 0:
+        print("--audit-every takes a positive wall-clock cadence")
+        return 2
+
+    try:
+        system = open_system(
+            SystemConfig(
+                num_clients=args.clients,
+                seed=args.seed,
+                transport="tcp",
+                endpoints=args.endpoints,
+                trace_path=args.trace_file,
+                default_timeout=args.timeout,
+            ),
+            backend="ustor",
+        )
+    except ConfigurationError as exc:
+        print(f"cannot open tcp deployment: {exc}")
+        return 1
+    try:
+        auditor = (
+            system.attach_audit(every=args.audit_every)
+            if args.audit_every is not None
+            else None
+        )
+        scripts = generate_scripts(
+            args.clients,
+            WorkloadConfig(
+                ops_per_client=args.ops,
+                read_fraction=args.read_fraction,
+                mean_think_time=0.01,
+            ),
+            random.Random(args.seed),
+        )
+        driver = Driver(system, via_sessions=False)
+        driver.attach_all(scripts)
+
+        def settled() -> bool:
+            # Done, or every client is done / failed / crashed — a failed
+            # client (Byzantine server caught) never finishes its script.
+            stats = driver.stats
+            return all(
+                stats.completed.get(c.client_id, 0)
+                >= stats.planned.get(c.client_id, 0)
+                or getattr(c, "failed", False)
+                or c.crashed
+                for c in system.clients
+            )
+
+        system.run_until(settled, timeout=args.until)
+        # Give trailing COMMITs a moment to land before tearing down.
+        system.run_until_quiescent(timeout=2.0)
+
+        print(f"# run: {args.clients} clients x {args.ops} ops, "
+              f"server=remote, backend=ustor/tcp, seed={args.seed}")
+        print(f"# endpoints: {args.endpoints}")
+        print(f"# completed {driver.stats.total_completed()}"
+              f"/{driver.stats.total_planned()} operations "
+              f"in {system.now:.2f}s wall clock")
+        reconnects = sum(c.reconnects for c in system.connections)
+        frames_out = sum(c.frames_sent for c in system.connections)
+        frames_in = sum(c.frames_received for c in system.connections)
+        print(f"# transport: {frames_out} frame(s) sent, {frames_in} "
+              f"received, {reconnects} reconnect(s) with retransmission")
+        if auditor is not None:
+            final = auditor.final()
+            verdicts = " ".join(
+                f"{name}={'OK' if result.ok else 'VIOLATED'}"
+                for name, result in sorted(final.verdicts.items())
+            )
+            print(f"# audits: {len(auditor.audits)} incremental audit(s) "
+                  f"every {args.audit_every:g}s wall clock")
+            print(f"# audit verdicts: {verdicts}")
+
+        history = system.history()
+        if args.history:
+            print()
+            print(history.describe())
+        if args.timeline:
+            from repro.analysis.timeline import render_timeline
+
+            print()
+            print(render_timeline(history, width=96))
+        if args.check:
+            print()
+            print(f"linearizability:            {check_linearizability(history)}")
+            print(f"causal consistency:         "
+                  f"{check_causal_consistency(history)}")
+            views = build_client_views(history, system.recorder, system.clients)
+            print(f"weak fork-linearizability:  "
+                  f"{validate_weak_fork_linearizability(history, views)}")
+
+        print()
+        for client in system.clients:
+            flags = []
+            if client.crashed:
+                flags.append("crashed")
+            if getattr(client, "fail_reason", None):
+                flags.append(f"USTOR fail: {client.fail_reason}")
+            print(f"{client.name}: {'; '.join(flags) if flags else 'ok'}")
+
+        print()
+        print(f"messages: {system.trace.message_count()} "
+              f"({system.trace.total_bytes()} bytes on the wire)")
+        for kind in ("SUBMIT", "REPLY", "COMMIT"):
+            count = system.trace.message_count(kind)
+            if count:
+                print(f"  {kind:7s} x{count:5d}  "
+                      f"avg {system.trace.total_bytes(kind) / count:7.1f} B")
+        if args.trace_file:
+            print()
+            print(f"# wire trace: {args.trace_file} "
+                  f"(python -m repro replay --trace {args.trace_file} --check)")
+    finally:
+        system.close()
     return 0
 
 
 def _cmd_run(args) -> int:
+    if args.transport == "tcp":
+        return _cmd_run_tcp(args)
+    if args.endpoints or args.trace_file:
+        print("--endpoints/--trace-file describe a real deployment; "
+              "add --transport tcp")
+        return 2
     backend = args.backend or ("faust" if args.faust else "ustor")
     is_cluster = backend == "cluster"
     if not is_cluster and (
@@ -346,6 +522,114 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run one server process until interrupted (``repro serve``)."""
+    from repro.net.server import serve_forever
+
+    if args.server not in TCP_SERVERS:
+        known = ", ".join(TCP_SERVERS)
+        print(f"server behaviour {args.server!r} does not run over tcp "
+              f"(available: {known}; the rest script virtual-time events "
+              f"the simulator owns — see 'python -m repro attacks')")
+        return 2
+    if args.server != "correct" and args.storage != "memory":
+        print("--storage configures the correct server; Byzantine "
+              "behaviours own their durability")
+        return 2
+    factory = None if args.server == "correct" else SERVERS[args.server]
+    from repro.common.errors import ConfigurationError
+
+    try:
+        return serve_forever(
+            args.clients,
+            host=args.host,
+            port=args.port,
+            server_name=args.server_name,
+            storage=args.storage,
+            server_factory=factory,
+            # The supervisor and CI block on this line; an unflushed pipe
+            # buffer would deadlock them.
+            announce=lambda line: print(line, flush=True),
+        )
+    except ConfigurationError as exc:
+        print(f"cannot serve: {exc}")
+        return 2
+
+
+def _cmd_serve_cluster(args) -> int:
+    """Launch one ``repro serve`` process per shard and babysit them."""
+    import time
+
+    from repro.common.errors import ConfigurationError
+    from repro.net.supervisor import ClusterSupervisor
+
+    if args.shards < 1:
+        print("--shards takes a positive shard count")
+        return 2
+    supervisor = ClusterSupervisor(
+        args.clients,
+        args.shards,
+        host=args.host,
+        base_port=args.base_port,
+        storage=args.storage,
+    )
+    try:
+        endpoints = supervisor.start()
+    except ConfigurationError as exc:
+        print(f"cluster failed to start: {exc}")
+        return 1
+    try:
+        for shard, endpoint in enumerate(endpoints):
+            host, _, port = endpoint.rpartition(":")
+            print(f"SHARD {shard} LISTENING {host} {port}", flush=True)
+        print(f"CLUSTER {','.join(endpoints)}", flush=True)
+        while True:
+            time.sleep(0.5)
+            for shard, proc in enumerate(supervisor.processes):
+                code = proc.process.poll() if proc.process else None
+                if code is not None:
+                    print(f"shard {shard} exited with code {code}; "
+                          f"stopping the cluster")
+                    return 1
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        supervisor.stop()
+
+
+def _cmd_replay(args) -> int:
+    """Replay a recorded TCP run on the simulator and re-derive verdicts."""
+    from repro.common.errors import ConfigurationError
+    from repro.net.trace import replay_trace
+
+    try:
+        result = replay_trace(args.trace)
+    except (ConfigurationError, OSError) as exc:
+        print(f"cannot replay {args.trace!r}: {exc}")
+        return 1
+    history = result.history
+    print(f"# replayed {len(history)} operation(s) from {args.trace}")
+    for divergence in result.divergences:
+        print(f"DIVERGENCE: {divergence}")
+    print(f"# replay equivalent to recording: "
+          f"{'yes' if result.ok else 'NO'}")
+    failures = result.fail_reasons()
+    for client_id, reason in sorted(failures.items()):
+        print(f"C{client_id + 1}: USTOR fail: {reason}")
+    if args.check:
+        print()
+        print(f"linearizability:            {check_linearizability(history)}")
+        print(f"causal consistency:         "
+              f"{check_causal_consistency(history)}")
+        views = build_client_views(history, result.recorder, result.clients)
+        print(f"weak fork-linearizability:  "
+              f"{validate_weak_fork_linearizability(history, views)}")
+    if args.history:
+        print()
+        print(history.describe())
+    return 0 if result.ok else 1
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import main as experiments_main
 
@@ -439,7 +723,34 @@ def main(argv: list[str] | None = None) -> int:
         help="run streaming incremental consistency audits every T virtual "
         "time units (O(delta) per audit; per shard on a cluster)",
     )
-    run.add_argument("--until", type=float, default=500.0, help="virtual time budget")
+    run.add_argument(
+        "--transport",
+        choices=("sim", "tcp"),
+        default="sim",
+        help="world to run in: the discrete-event simulator (default) or "
+        "real sockets against 'repro serve' processes (ustor backend only)",
+    )
+    run.add_argument(
+        "--endpoints",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="server address(es) for --transport tcp",
+    )
+    run.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="record the tcp run's wire trace (JSONL) for 'repro replay'",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall-clock deadline for synchronous waits over tcp",
+    )
+    run.add_argument("--until", type=float, default=500.0,
+                     help="virtual time budget (wall-clock seconds over tcp)")
     run.add_argument("--check", action="store_true", help="run consistency checkers")
     run.add_argument(
         "--profile",
@@ -454,6 +765,56 @@ def main(argv: list[str] | None = None) -> int:
 
     attacks = sub.add_parser("attacks", help="list available server behaviours")
     attacks.set_defaults(func=_cmd_attacks)
+
+    serve = sub.add_parser(
+        "serve", help="run one server as a real TCP process"
+    )
+    serve.add_argument("--clients", type=int, default=3)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral one; see the LISTENING line)",
+    )
+    serve.add_argument(
+        "--server", default="correct",
+        help=f"behaviour to serve ({', '.join(TCP_SERVERS)})",
+    )
+    serve.add_argument("--server-name", default="S")
+    serve.add_argument(
+        "--storage", default="memory",
+        help="server durability: 'memory', 'log', or 'dir:PATH' "
+        "(WAL + snapshots in a directory, survives process restarts)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_cluster = sub.add_parser(
+        "serve-cluster", help="run one server process per shard"
+    )
+    serve_cluster.add_argument("--clients", type=int, default=6)
+    serve_cluster.add_argument("--shards", type=int, default=2)
+    serve_cluster.add_argument("--host", default="127.0.0.1")
+    serve_cluster.add_argument(
+        "--base-port", type=int, default=0,
+        help="shard i listens on BASE+i (0 picks ephemeral ports)",
+    )
+    serve_cluster.add_argument(
+        "--storage", default="memory",
+        help="per-shard durability; a '{shard}' placeholder is expanded, "
+        "e.g. 'dir:/tmp/faust/shard-{shard}'",
+    )
+    serve_cluster.set_defaults(func=_cmd_serve_cluster)
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded tcp run on the simulator"
+    )
+    replay.add_argument("--trace", required=True, metavar="PATH")
+    replay.add_argument(
+        "--check", action="store_true", help="run consistency checkers"
+    )
+    replay.add_argument(
+        "--history", action="store_true", help="print the replayed history"
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     experiments = sub.add_parser("experiments", help="run the E* harness")
     experiments.add_argument("--quick", action="store_true")

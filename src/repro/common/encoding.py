@@ -53,7 +53,11 @@ import enum
 import struct
 from typing import Any, Iterable
 
-from repro.common.errors import EncodingError
+from repro.common.errors import (
+    EncodingError,
+    OversizedFrameError,
+    TruncatedFrameError,
+)
 
 _TAG_NONE = b"\x00"
 _TAG_BOOL = b"\x01"
@@ -281,10 +285,16 @@ def _decode_fast(
     Tags are compared as integers (``data[offset]``), length fields are
     read in place via :func:`struct.unpack_from`, and bounds are checked
     inline — the hot loop allocates nothing but the decoded values
-    themselves.
+    themselves.  Truncation is reported as the typed
+    :class:`TruncatedFrameError` so socket readers can distinguish a
+    short read from structural corruption; the sequence-count guard
+    rejects a declared element count larger than the remaining input
+    *before* looping (every element costs at least one byte, so such a
+    count can never decode — failing fast keeps a hostile peer from
+    driving a long doomed loop).
     """
     if offset >= end:
-        raise EncodingError(
+        raise TruncatedFrameError(
             f"truncated encoding: needed 1 byte(s) at offset {offset}, "
             f"only {end - offset} available"
         )
@@ -292,12 +302,17 @@ def _decode_fast(
     offset += 1
     if tag == 0x05:
         if offset + 8 > end:
-            raise EncodingError(
+            raise TruncatedFrameError(
                 f"truncated encoding: needed 8 byte(s) at offset {offset}, "
                 f"only {end - offset} available"
             )
         count = _u64(data, offset)[0]
         offset += 8
+        if count > end - offset:
+            raise TruncatedFrameError(
+                f"truncated encoding: sequence declares {count} element(s) at "
+                f"offset {offset}, only {end - offset} byte(s) available"
+            )
         items = []
         append = items.append
         for _ in range(count):
@@ -306,14 +321,14 @@ def _decode_fast(
         return tuple(items), offset
     if tag == 0x03 or tag == 0x04 or tag == 0x06:
         if offset + 8 > end:
-            raise EncodingError(
+            raise TruncatedFrameError(
                 f"truncated encoding: needed 8 byte(s) at offset {offset}, "
                 f"only {end - offset} available"
             )
         count = _u64(data, offset)[0]
         offset += 8
         if offset + count > end:
-            raise EncodingError(
+            raise TruncatedFrameError(
                 f"truncated encoding: needed {count} byte(s) at offset {offset}, "
                 f"only {end - offset} available"
             )
@@ -332,9 +347,13 @@ def _decode_fast(
                 f"passed in ``enums``"
             ) from None
     if tag == 0x02:
-        if offset + 1 + 8 > end:
-            raise EncodingError(
-                f"truncated encoding: malformed int header at offset {offset}"
+        # Checked in the reference decoder's order (sign presence, sign
+        # validity, length presence) so corrupted input raises the same
+        # error *type* on both paths.
+        if offset + 1 > end:
+            raise TruncatedFrameError(
+                f"truncated encoding: needed 1 byte(s) at offset {offset}, "
+                f"only {end - offset} available"
             )
         sign = data[offset]
         if sign > 1:
@@ -342,10 +361,15 @@ def _decode_fast(
                 f"malformed int sign byte {data[offset:offset + 1]!r}"
             )
         offset += 1
+        if offset + 8 > end:
+            raise TruncatedFrameError(
+                f"truncated encoding: needed 8 byte(s) at offset {offset}, "
+                f"only {end - offset} available"
+            )
         count = _u64(data, offset)[0]
         offset += 8
         if offset + count > end:
-            raise EncodingError(
+            raise TruncatedFrameError(
                 f"truncated encoding: needed {count} byte(s) at offset {offset}, "
                 f"only {end - offset} available"
             )
@@ -355,7 +379,7 @@ def _decode_fast(
         return None, offset
     if tag == 0x01:
         if offset + 1 > end:
-            raise EncodingError(
+            raise TruncatedFrameError(
                 f"truncated encoding: needed 1 byte(s) at offset {offset}, "
                 f"only {end - offset} available"
             )
@@ -366,19 +390,31 @@ def _decode_fast(
     raise EncodingError(f"unknown encoding tag 0x{tag:02x} at offset {offset - 1}")
 
 
-def decode(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
+def decode(
+    data: bytes, *, enums: Iterable[type] = (), max_bytes: int | None = None
+) -> tuple:
     """Inverse of :func:`encode`: ``decode(encode(a, b)) == (a, b)``.
 
     ``enums`` lists the enum classes that may appear in the payload (their
     members are keyed by ``ClassName.MEMBER``, exactly as encoded).  Lists
     always decode as tuples — the encoder does not distinguish them.
-    Raises :class:`EncodingError` on truncation, trailing bytes, unknown
-    tags, or enum members outside the registry.
+    Raises :class:`EncodingError` on trailing bytes, unknown tags, or enum
+    members outside the registry; the :class:`DecodeError` subclasses
+    :class:`TruncatedFrameError` (input ended mid-value) and
+    :class:`OversizedFrameError` (input longer than ``max_bytes``) refine
+    the failures an untrusted socket peer can provoke.  ``max_bytes`` is
+    the hard input-size ceiling callers decoding network bytes must set —
+    it is checked before any decoding work happens.
     """
     lookup: dict[str, enum.Enum] = {
         f"{cls.__name__}.{member.name}": member for cls in enums for member in cls
     }
     raw = bytes(data)
+    if max_bytes is not None and len(raw) > max_bytes:
+        raise OversizedFrameError(
+            f"refusing to decode {len(raw)} byte(s): exceeds the "
+            f"{max_bytes}-byte limit"
+        )
     value, offset = _decode_fast(raw, 0, len(raw), lookup)
     if offset != len(raw):
         raise EncodingError(
@@ -452,7 +488,7 @@ def encode_reference(*values: Any) -> bytes:
 def _take(data: bytes, offset: int, count: int) -> tuple[bytes, int]:
     end = offset + count
     if end > len(data):
-        raise EncodingError(
+        raise TruncatedFrameError(
             f"truncated encoding: needed {count} byte(s) at offset {offset}, "
             f"only {len(data) - offset} available"
         )
@@ -489,6 +525,11 @@ def _decode_one_reference(
     if tag == _TAG_SEQ:
         raw, offset = _take(data, offset, _LEN_BYTES)
         count = int.from_bytes(raw, "big")
+        if count > len(data) - offset:  # mirror of the fast-path guard
+            raise TruncatedFrameError(
+                f"truncated encoding: sequence declares {count} element(s) at "
+                f"offset {offset}, only {len(data) - offset} byte(s) available"
+            )
         items = []
         for _ in range(count):
             item, offset = _decode_one_reference(data, offset, enum_lookup)
@@ -508,13 +549,21 @@ def _decode_one_reference(
     raise EncodingError(f"unknown encoding tag 0x{tag.hex()} at offset {offset - 1}")
 
 
-def decode_reference(data: bytes, *, enums: Iterable[type] = ()) -> tuple:
+def decode_reference(
+    data: bytes, *, enums: Iterable[type] = (), max_bytes: int | None = None
+) -> tuple:
     """Reference decoder: specification for (and equivalent to)
     :func:`decode`."""
     lookup: dict[str, enum.Enum] = {
         f"{cls.__name__}.{member.name}": member for cls in enums for member in cls
     }
-    value, offset = _decode_one_reference(bytes(data), 0, lookup)
+    raw = bytes(data)
+    if max_bytes is not None and len(raw) > max_bytes:
+        raise OversizedFrameError(
+            f"refusing to decode {len(raw)} byte(s): exceeds the "
+            f"{max_bytes}-byte limit"
+        )
+    value, offset = _decode_one_reference(raw, 0, lookup)
     if offset != len(data):
         raise EncodingError(
             f"trailing garbage: {len(data) - offset} byte(s) after a complete "

@@ -22,6 +22,27 @@ class EncodingError(ReproError):
     """A value could not be canonically encoded for signing or hashing."""
 
 
+class DecodeError(EncodingError):
+    """Bytes received from an untrusted source failed to decode.
+
+    The canonical codec doubles as the wire format of the real transport
+    (:mod:`repro.net`), where the peer is the *untrusted server* of the
+    paper's model: malformed input is an expected hostile act, not a
+    programming error.  Subclasses distinguish the two failure shapes a
+    socket reader must treat differently — input that ended too early
+    (:class:`TruncatedFrameError`, possibly just a short read) and input
+    that claims to be larger than the reader is willing to buffer
+    (:class:`OversizedFrameError`, a resource-exhaustion attempt)."""
+
+
+class TruncatedFrameError(DecodeError):
+    """The input ended before a complete value/frame was decoded."""
+
+
+class OversizedFrameError(DecodeError):
+    """A frame or value declared a size above the configured maximum."""
+
+
 class CryptoError(ReproError):
     """A cryptographic operation failed (unknown key, malformed signature)."""
 

@@ -1,0 +1,565 @@
+"""Asyncio client runtime: real connections behind the unchanged facade.
+
+The protocol clients (:class:`~repro.ustor.client.UstorClient`) and the
+session layer above them are event-driven and never block, so moving
+them onto sockets needs no changes there — only a transport whose
+``send`` writes frames, and a scheduler whose ``now`` is a wall clock.
+:class:`NetSystem` assembles both and mirrors the surface of the
+simulator's :class:`~repro.workloads.runner.StorageSystem`, which is
+what keeps ``Session``/``OpHandle``, the incremental auditors, the
+workload driver and the consistency checkers working unchanged.
+
+Reliability bridge
+------------------
+
+The model assumes reliable FIFO channels; TCP provides that only while
+one connection lives.  Each client therefore keeps an ``unacked`` list
+of every frame sent since its last received REPLY and retransmits it
+after reconnecting (the server deduplicates — see
+:mod:`repro.net.server`).  A REPLY empties the list *before* it is
+delivered, so the COMMIT (and any next SUBMIT) the delivery triggers
+starts the next unacked window.
+
+Waiting
+-------
+
+``run_until(predicate, timeout)`` pumps the event loop until the
+predicate holds or ``timeout`` wall-clock seconds pass, waking on every
+received frame.  Session code maps a ``False`` return to
+:class:`~repro.api.errors.OperationTimeout` — the paper's timed model
+(operations complete or time out in bounded wall-clock time) lands on
+exactly the same exception the simulated deadline used.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import (
+    ConfigurationError,
+    DecodeError,
+    EncodingError,
+    SimulationError,
+)
+from repro.crypto.keystore import KeyStore
+from repro.history.history import History
+from repro.history.recorder import HistoryRecorder
+from repro.net.framing import MAX_FRAME_BYTES, encode_frame, read_frame
+from repro.net.realtime import RealtimeScheduler
+from repro.net.wire import (
+    decode_payload,
+    hello_payload,
+    message_to_payload,
+    payload_to_message,
+)
+from repro.sim.trace import SimTrace
+from repro.ustor.client import UstorClient
+from repro.ustor.messages import ReplyMessage
+
+__all__ = [
+    "NetRuntime",
+    "ClientConnection",
+    "ClientTransport",
+    "NetSystem",
+    "open_tcp_system",
+    "parse_endpoint",
+]
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with loud failure."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ConfigurationError(
+            f"endpoints are 'host:port' strings, got {endpoint!r}"
+        )
+    return host, int(port)
+
+
+class NetRuntime:
+    """Owns the event loop and the pump that stands in for ``run_until``."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.scheduler = RealtimeScheduler(self.loop, seed=seed)
+        self.scheduler.attach_runtime(self)
+        self._wake: asyncio.Event | None = None
+        self._closed = False
+
+    def wake(self) -> None:
+        """Nudge a pending :meth:`pump_until` (called on frame receipt)."""
+        if self._wake is not None:
+            self._wake.set()
+
+    def pump_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        """Drive the loop until ``predicate()`` or ``timeout`` seconds."""
+        if self.loop.is_running():
+            raise SimulationError(
+                "re-entrant wait: run_until called from inside the event loop"
+            )
+        deadline = None if timeout is None else self.scheduler.now + timeout
+
+        async def pump() -> bool:
+            if self._wake is None:
+                self._wake = asyncio.Event()
+            while True:
+                if predicate():
+                    return True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self.scheduler.now
+                    if remaining <= 0:
+                        return False
+                self._wake.clear()
+                # The wake event covers frame receipt; the short fallback
+                # poll covers everything else (timers, connects, deadline).
+                delay = 0.05 if remaining is None else min(0.05, remaining)
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=delay)
+                except asyncio.TimeoutError:
+                    pass
+
+        return self.loop.run_until_complete(pump())
+
+    def run_coroutine(self, coro):
+        """Run one coroutine to completion on the runtime's loop."""
+        return self.loop.run_until_complete(coro)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.loop.close()
+
+
+class ClientConnection:
+    """One client's TCP link to one server, with reconnect + retransmit."""
+
+    def __init__(
+        self,
+        runtime: NetRuntime,
+        client_id: int,
+        num_clients: int,
+        endpoint: str,
+        server_name: str,
+        *,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        reconnect_delay: float = 0.05,
+        sim_trace: SimTrace | None = None,
+        trace_writer=None,
+    ) -> None:
+        self._runtime = runtime
+        self.client_id = client_id
+        self._n = num_clients
+        self.host, self.port = parse_endpoint(endpoint)
+        self.server_name = server_name
+        self._max_frame = max_frame_bytes
+        self._reconnect_delay = reconnect_delay
+        self._sim_trace = sim_trace
+        self._trace_writer = trace_writer
+        self._node: UstorClient | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+        self.connected = False
+        #: A fatal handshake mismatch (wrong server / population); set
+        #: once, stops the reconnect loop for good.
+        self.error: str | None = None
+        #: Frames sent since the last REPLY received, for retransmission.
+        self.unacked: list[bytes] = []
+        self.reconnects = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def attach(self, node: UstorClient) -> None:
+        self._node = node
+
+    def start(self) -> None:
+        self._task = self._runtime.loop.create_task(self._run())
+
+    # -- outbound ------------------------------------------------------ #
+
+    def send_message(self, message) -> None:
+        payload = message_to_payload(message)
+        self.unacked.append(payload)
+        if self._trace_writer is not None:
+            self._trace_writer.frame("c2s", self.client_id, payload, retx=False)
+        if self._sim_trace is not None:
+            now = self._runtime.scheduler.now
+            self._sim_trace.record_message(
+                now, now, self._node.name, self.server_name,
+                getattr(message, "kind", type(message).__name__),
+                len(payload),
+            )
+        self._write(payload)
+
+    def _write(self, payload: bytes) -> None:
+        if self._writer is None or self._writer.is_closing():
+            return  # queued in unacked; the reconnect flush will carry it
+        try:
+            self._writer.write(encode_frame(payload, max_bytes=self._max_frame))
+            self.frames_sent += 1
+        except (ConnectionError, OSError):  # pragma: no cover - close race
+            pass
+
+    # -- connection loop ----------------------------------------------- #
+
+    async def _run(self) -> None:
+        first_attempt = True
+        while not self._closed:
+            if not first_attempt:
+                await asyncio.sleep(self._reconnect_delay)
+            first_attempt = False
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except (ConnectionError, OSError):
+                continue
+            try:
+                writer.write(
+                    encode_frame(hello_payload(self.client_id, self._n))
+                )
+                welcome = await read_frame(reader, max_bytes=self._max_frame)
+                if welcome is None:
+                    continue
+                record = decode_payload(welcome, max_bytes=self._max_frame)
+                if not (
+                    record[0] == "WELCOME"
+                    and len(record) == 3
+                    and record[1] == self.server_name
+                    and record[2] == self._n
+                ):
+                    # A mis-wired deployment, not a transient fault:
+                    # reconnecting will not fix it, so stop for good.
+                    self.error = (
+                        f"endpoint {self.host}:{self.port} answered as "
+                        f"{record[1:]!r}; expected server "
+                        f"{self.server_name!r} with {self._n} client(s)"
+                    )
+                    self._closed = True
+                    return
+                self._writer = writer
+                self.connected = True
+                self._runtime.wake()
+                for payload in list(self.unacked):
+                    # Retransmissions are flagged so the replayer knows the
+                    # logical message was already recorded once.
+                    if self._trace_writer is not None:
+                        self._trace_writer.frame(
+                            "c2s", self.client_id, payload, retx=True
+                        )
+                    writer.write(
+                        encode_frame(payload, max_bytes=self._max_frame)
+                    )
+                if self.unacked:
+                    self.reconnects += 1
+                await writer.drain()
+                while True:
+                    payload = await read_frame(reader, max_bytes=self._max_frame)
+                    if payload is None:
+                        break
+                    self._on_payload(payload)
+            except (ConnectionError, OSError):
+                pass
+            except (DecodeError, EncodingError):
+                # Undecodable bytes from the (untrusted) server: note it,
+                # drop the connection, let deadlines do their job.
+                if self._sim_trace is not None and self._node is not None:
+                    self._sim_trace.note(
+                        self._runtime.scheduler.now,
+                        self._node.name,
+                        "net-malformed-frame",
+                    )
+            finally:
+                self.connected = False
+                self._writer = None
+                writer.close()
+
+    def _on_payload(self, payload: bytes) -> None:
+        self.frames_received += 1
+        if self._trace_writer is not None:
+            self._trace_writer.frame("s2c", self.client_id, payload, retx=False)
+        message = payload_to_message(payload)
+        if self._sim_trace is not None:
+            now = self._runtime.scheduler.now
+            self._sim_trace.record_message(
+                now, now, self.server_name, self._node.name,
+                getattr(message, "kind", type(message).__name__),
+                len(payload),
+            )
+        if isinstance(message, ReplyMessage):
+            # Everything up to here is answered; the COMMIT/next SUBMIT the
+            # delivery below triggers opens the next unacked window.
+            self.unacked.clear()
+        if self._node is not None:
+            self._node.deliver(self.server_name, message)
+        self._runtime.wake()
+
+    # -- teardown ------------------------------------------------------ #
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+class ClientTransport:
+    """The :class:`~repro.net.transport.Transport` over per-client sockets.
+
+    Routes ``send(src, dst, ...)`` to the connection registered for the
+    ``(client, server)`` pair — one client may hold several connections
+    on a sharded deployment.
+    """
+
+    def __init__(self, runtime: NetRuntime, trace: SimTrace | None = None) -> None:
+        self._runtime = runtime
+        self._trace = trace
+        self._routes: dict[tuple[str, str], ClientConnection] = {}
+
+    @property
+    def trace(self) -> SimTrace | None:
+        return self._trace
+
+    def register(self, node) -> None:
+        node.bind(self._runtime.scheduler, self)
+
+    def add_route(self, client_name: str, connection: ClientConnection) -> None:
+        self._routes[(client_name, connection.server_name)] = connection
+
+    def send(self, src: str, dst: str, message) -> None:
+        route = self._routes.get((src, dst))
+        if route is None:
+            raise ConfigurationError(
+                f"no connection from {src!r} to {dst!r}"
+            )
+        route.send_message(message)
+
+
+@dataclass
+class NetSystem:
+    """A real-transport deployment behind the ``StorageSystem`` surface."""
+
+    runtime: NetRuntime
+    scheduler: RealtimeScheduler
+    network: ClientTransport
+    clients: list
+    recorder: HistoryRecorder
+    trace: SimTrace
+    keystore: KeyStore
+    connections: list[ClientConnection]
+    default_timeout: float = 30.0
+    #: No co-located server object — servers are separate processes (or
+    #: loopback hosts listed in ``hosts``); ``None`` keeps facade code
+    #: that probes ``system.server`` honest about that.
+    server: None = None
+    offline: None = None
+    batching: None = None
+    faust_clients: list = field(default_factory=list)
+    #: Loopback hosts owned by this system (closed with it); empty when
+    #: the servers are real separate processes.
+    hosts: list = field(default_factory=list)
+    trace_writer: object | None = None
+    #: Whether :meth:`close` also closes the runtime's event loop.  False
+    #: when the runtime was injected (loopback tests share one runtime
+    #: between host and clients and own its lifetime themselves).
+    owns_runtime: bool = True
+
+    # -- running ------------------------------------------------------- #
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        return self.runtime.pump_until(predicate, timeout)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Pump for ``until`` seconds of wall-clock time (facade parity)."""
+        if until is None:
+            raise ConfigurationError(
+                "a real deployment cannot run to event-queue exhaustion; "
+                "give run() a wall-clock bound or use run_until()"
+            )
+        deadline = until
+        self.runtime.pump_until(lambda: self.scheduler.now >= deadline, None)
+        return self.scheduler.events_processed
+
+    def run_until_quiescent(
+        self, check_every: float = 0.05, timeout: float = 30.0
+    ) -> None:
+        def quiet() -> bool:
+            return all(
+                not getattr(c, "busy", False)
+                for c in self.clients
+                if not c.crashed
+            )
+
+        self.run_until(quiet, timeout=timeout)
+
+    # -- introspection (StorageSystem parity) -------------------------- #
+
+    def history(self) -> History:
+        return self.recorder.history()
+
+    def attach_audit(
+        self,
+        every: float = 1.0,
+        checks: tuple[str, ...] = ("linearizability", "causal"),
+    ):
+        from repro.workloads.runner import IncrementalAuditor
+
+        return IncrementalAuditor(self, every=every, checks=checks)
+
+    def client(self, client_id: int):
+        return self.clients[client_id]
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def wait_connected(self, timeout: float = 5.0) -> None:
+        """Block until every connection finished its handshake."""
+        ok = self.run_until(
+            lambda: any(c.error for c in self.connections)
+            or all(c.connected for c in self.connections),
+            timeout=timeout,
+        )
+        errors = sorted({c.error for c in self.connections if c.error})
+        if errors:
+            raise ConfigurationError("; ".join(errors))
+        if not ok:
+            missing = [
+                f"{c.host}:{c.port}" for c in self.connections if not c.connected
+            ]
+            raise ConfigurationError(
+                f"could not connect to {sorted(set(missing))} "
+                f"within {timeout:g}s"
+            )
+
+    def close(self) -> None:
+        """Tear down connections, loopback hosts, trace and loop."""
+
+        async def shutdown() -> None:
+            for connection in self.connections:
+                await connection.aclose()
+            for host in self.hosts:
+                await host.stop()
+
+        if not self.runtime.loop.is_closed():
+            self.runtime.run_coroutine(shutdown())
+        if self.trace_writer is not None:
+            self.trace_writer.close()
+        if self.owns_runtime:
+            self.runtime.close()
+
+    def __enter__(self) -> "NetSystem":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_tcp_system(
+    num_clients: int,
+    endpoints: tuple[str, ...] | list[str] | str,
+    *,
+    seed: int = 0,
+    scheme: str = "hmac",
+    server_name: str = "S",
+    default_timeout: float = 30.0,
+    commit_piggyback: bool = False,
+    trace_path: str | None = None,
+    runtime: NetRuntime | None = None,
+    connect_timeout: float | None = 5.0,
+) -> NetSystem:
+    """Open a single-server deployment over real TCP.
+
+    ``endpoints`` must name exactly one ``host:port`` (the sharded form
+    lives in the cluster layer).  Keys are deterministic from
+    ``(scheme, num_clients)`` — the same determinism that makes simulated
+    runs reproducible makes the server processes and the replayer agree
+    with these clients about every signature.
+    """
+    if isinstance(endpoints, str):
+        endpoints = tuple(part for part in endpoints.split(",") if part)
+    if len(endpoints) != 1:
+        raise ConfigurationError(
+            f"a single-server system takes exactly one endpoint, "
+            f"got {list(endpoints)!r}"
+        )
+    owns_runtime = runtime is None
+    runtime = runtime or NetRuntime(seed=seed)
+    sim_trace = SimTrace()
+    transport = ClientTransport(runtime, trace=sim_trace)
+    keystore = KeyStore(num_clients, scheme=scheme)
+    recorder = HistoryRecorder()
+    trace_writer = None
+    if trace_path is not None:
+        from repro.net.trace import WireTraceWriter
+
+        trace_writer = WireTraceWriter(
+            trace_path,
+            clock=lambda: runtime.scheduler.now,
+            num_clients=num_clients,
+            scheme=scheme,
+            server_name=server_name,
+            endpoints=tuple(endpoints),
+            commit_piggyback=commit_piggyback,
+        )
+        recorder.add_listener(trace_writer)
+    clients: list[UstorClient] = []
+    connections: list[ClientConnection] = []
+    for i in range(num_clients):
+        client = UstorClient(
+            client_id=i,
+            num_clients=num_clients,
+            signer=keystore.signer(i),
+            server_name=server_name,
+            recorder=recorder,
+            commit_piggyback=commit_piggyback,
+        )
+        transport.register(client)
+        connection = ClientConnection(
+            runtime,
+            i,
+            num_clients,
+            endpoints[0],
+            server_name,
+            sim_trace=sim_trace,
+            trace_writer=trace_writer,
+        )
+        connection.attach(client)
+        transport.add_route(client.name, connection)
+        connection.start()
+        clients.append(client)
+        connections.append(connection)
+    system = NetSystem(
+        runtime=runtime,
+        scheduler=runtime.scheduler,
+        network=transport,
+        clients=clients,
+        recorder=recorder,
+        trace=sim_trace,
+        keystore=keystore,
+        connections=connections,
+        default_timeout=default_timeout,
+        trace_writer=trace_writer,
+        owns_runtime=owns_runtime,
+    )
+    if connect_timeout is not None:
+        try:
+            system.wait_connected(timeout=connect_timeout)
+        except ConfigurationError:
+            system.close()
+            raise
+    return system

@@ -1,0 +1,101 @@
+"""Length-prefixed framing for canonical TLV payloads on byte streams.
+
+TCP delivers a byte stream; the protocol speaks in messages.  A frame is
+a 4-byte big-endian payload length followed by the payload — one
+canonically-encoded value sequence (:mod:`repro.common.encoding`).  The
+peer is the *untrusted server* of the paper's model, so the reader
+enforces a hard size bound before buffering (``OversizedFrameError``)
+and reports streams that end mid-frame as ``TruncatedFrameError`` —
+the same typed errors the codec itself raises for hostile input, so
+transport code has exactly one failure vocabulary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from repro.common.errors import OversizedFrameError, TruncatedFrameError
+
+#: Hard upper bound on a frame payload.  Generously above any legitimate
+#: USTOR message (replies grow with ``n``, not with history), far below
+#: anything that could exhaust memory.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+LENGTH_PREFIX_BYTES = _LEN.size
+
+
+def encode_frame(payload: bytes, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Wrap an encoded payload in its length prefix."""
+    if len(payload) > max_bytes:
+        raise OversizedFrameError(
+            f"frame payload is {len(payload)} bytes (limit {max_bytes})"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame extractor for synchronous consumers (replay, tests).
+
+    Feed it chunks in any fragmentation; it yields complete payloads in
+    order.  State between calls is just the undecoded tail.
+    """
+
+    def __init__(self, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_bytes = max_bytes
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        self._buffer.extend(chunk)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buffer) < LENGTH_PREFIX_BYTES:
+                return frames
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > self._max_bytes:
+                raise OversizedFrameError(
+                    f"peer declared a {length}-byte frame (limit {self._max_bytes})"
+                )
+            end = LENGTH_PREFIX_BYTES + length
+            if len(self._buffer) < end:
+                return frames
+            frames.append(bytes(self._buffer[LENGTH_PREFIX_BYTES:end]))
+            del self._buffer[:end]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes | None:
+    """Read one frame payload; ``None`` on clean EOF at a frame boundary.
+
+    EOF *inside* a frame (after the prefix started) is a truncation and
+    raises :class:`TruncatedFrameError` — a peer must not be able to make
+    a half-message look like an orderly shutdown.
+    """
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrameError(
+            f"stream ended inside a frame length prefix "
+            f"({len(exc.partial)}/{LENGTH_PREFIX_BYTES} bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > max_bytes:
+        raise OversizedFrameError(
+            f"peer declared a {length}-byte frame (limit {max_bytes})"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrameError(
+            f"stream ended inside a frame payload "
+            f"({len(exc.partial)}/{length} bytes)"
+        ) from exc

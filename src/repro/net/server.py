@@ -1,0 +1,330 @@
+"""Asyncio host wrapping a protocol server behind real TCP connections.
+
+The protocol server (:class:`~repro.ustor.server.UstorServer` or one of
+its Byzantine variants) is unchanged — it still receives ``on_message``
+callbacks and answers with ``send``.  The host supplies everything the
+simulator used to: a transport whose ``send`` routes REPLYs onto the
+right client's socket, a wall-clock scheduler, and the connection
+lifecycle (handshake, reconnects, duplicate suppression).
+
+Exactly-once over at-least-once
+-------------------------------
+
+TCP gives reliable FIFO delivery *per connection*; the model's channels
+are reliable *per client*.  Clients bridge the gap by retransmitting
+everything sent since their last REPLY when they reconnect, which makes
+delivery at-least-once — but a duplicate SUBMIT is protocol-fatal (the
+duplicate pending entry would fail every other client's Algorithm 1
+line 43 check).  The host therefore deduplicates by the SUBMIT's
+timestamp, which the protocol already makes strictly increasing per
+client:
+
+* a SUBMIT whose timestamp matches the *reply journal* (the last REPLY
+  sent per client) is answered by resending that exact REPLY;
+* a SUBMIT at or below the highest timestamp already applied, with no
+  journaled REPLY (the journal is volatile — a host restart loses it),
+  is dropped: the operation times out at the client, which is precisely
+  the fail-aware outcome the paper's timed model prescribes for a server
+  that lost the ability to answer correctly;
+* COMMITs are always delivered — ``apply_commit`` is idempotent (the
+  version comparison on line 119 is strict, so a duplicate neither
+  advances the commit index nor prunes twice).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, DecodeError, EncodingError
+from repro.common.types import client_name
+from repro.net.framing import MAX_FRAME_BYTES, encode_frame, read_frame
+from repro.net.realtime import RealtimeScheduler
+from repro.net.wire import (
+    decode_payload,
+    message_to_payload,
+    payload_to_message,
+    welcome_payload,
+)
+from repro.sim.trace import SimTrace
+from repro.store.engine import make_engine
+from repro.ustor.messages import CommitMessage, ReplyMessage, SubmitMessage
+from repro.ustor.server import UstorServer
+
+
+class _HostTransport:
+    """The server node's view of the world: sends become socket writes."""
+
+    def __init__(self, host: "NetServerHost") -> None:
+        self._host = host
+
+    def register(self, node) -> None:
+        node.bind(self._host.scheduler, self)
+
+    @property
+    def trace(self) -> SimTrace | None:
+        return self._host.trace
+
+    def send(self, src: str, dst: str, message) -> None:
+        self._host._send_to_client(dst, message)
+
+
+class NetServerHost:
+    """One protocol server behind one listening TCP socket.
+
+    Two modes of use:
+
+    * **loopback** — ``await start()`` on an already-running (or pumped)
+      event loop; client and server share the loop, which keeps the
+      integration tests single-process and fast;
+    * **standalone** — :func:`serve_forever` (the ``repro serve``
+      subcommand) gives the host its own loop and process.
+
+    ``server_factory`` receives ``(num_clients, server_name)`` exactly
+    like the simulator's builder, so the CLI's Byzantine behaviours plug
+    straight in.  The host requires a non-group-commit server: it
+    journals each REPLY as the synchronous answer to the SUBMIT being
+    delivered, which group commit's deferred replies would break.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        server_name: str = "S",
+        storage: str = "memory",
+        server_factory: Callable[[int, str], UstorServer] | None = None,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        trace: SimTrace | None = None,
+    ) -> None:
+        if num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        self._n = num_clients
+        self.host = host
+        self.port = port
+        self.server_name = server_name
+        self._max_frame = max_frame_bytes
+        self.trace = trace
+        self._factory = server_factory or (
+            lambda n, name: UstorServer(
+                n, name=name, engine=make_engine(storage, n)
+            )
+        )
+        self.scheduler: RealtimeScheduler | None = None
+        self.node: UstorServer | None = None
+        self._listener: asyncio.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._connections: dict[str, asyncio.StreamWriter] = {}
+        #: Per client: (timestamp of the last replied SUBMIT, its REPLY
+        #: payload bytes) — volatile by design; see the module docstring.
+        self._journal: dict[int, tuple[int, bytes]] = {}
+        #: Highest SUBMIT timestamp delivered per client (dedup floor).
+        self._seen: dict[int, int] = {}
+        #: Client whose SUBMIT is being delivered right now (journaling).
+        self._inflight: str | None = None
+        self.submits_deduplicated = 0
+        self.submits_dropped_stale = 0
+
+    # ---------------------------------------------------------------- #
+    # Lifecycle
+    # ---------------------------------------------------------------- #
+
+    async def start(self) -> None:
+        loop = asyncio.get_event_loop()
+        self.scheduler = RealtimeScheduler(loop)
+        self.node = self._factory(self._n, self.server_name)
+        if getattr(self.node, "group_commit", False):
+            raise ConfigurationError(
+                "the TCP host needs synchronous replies; build the server "
+                "with group_commit=False"
+            )
+        _HostTransport(self).register(self.node)
+        # Recovered durable state re-establishes the dedup floor: without
+        # this, a SUBMIT applied (and WAL-logged) just before a crash
+        # would be *re-applied* when the client retransmits it after the
+        # restart — a duplicate pending entry, which is protocol-fatal
+        # for every other client (Algorithm 1 line 43).
+        state = getattr(self.node, "state", None)
+        if state is not None:
+            for client_id, entry in enumerate(state.mem):
+                if entry.timestamp:
+                    self._seen[client_id] = entry.timestamp
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+        for writer in list(self._connections.values()):
+            writer.close()
+        self._connections.clear()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ---------------------------------------------------------------- #
+    # Connections
+    # ---------------------------------------------------------------- #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        name: str | None = None
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            hello = await read_frame(reader, max_bytes=self._max_frame)
+            if hello is None:
+                return
+            record = decode_payload(hello, max_bytes=self._max_frame)
+            if not (
+                record[0] == "HELLO"
+                and len(record) == 3
+                and isinstance(record[1], int)
+                and 0 <= record[1] < self._n
+                and record[2] == self._n
+            ):
+                return  # wrong population or malformed handshake: refuse
+            client_id = record[1]
+            name = client_name(client_id)
+            previous = self._connections.get(name)
+            if previous is not None and previous is not writer:
+                previous.close()  # at most one live connection per client
+            self._connections[name] = writer
+            writer.write(
+                encode_frame(welcome_payload(self.server_name, self._n))
+            )
+            while True:
+                payload = await read_frame(reader, max_bytes=self._max_frame)
+                if payload is None:
+                    return
+                self._handle_client_payload(client_id, payload)
+        except (DecodeError, EncodingError, ConnectionError, OSError):
+            # A hostile or broken peer costs this connection, nothing more.
+            return
+        except asyncio.CancelledError:
+            return  # orderly stop(); not an error worth the loop's logging
+        finally:
+            if name is not None and self._connections.get(name) is writer:
+                del self._connections[name]
+            writer.close()
+
+    def _handle_client_payload(self, client_id: int, payload: bytes) -> None:
+        message = payload_to_message(payload)
+        name = client_name(client_id)
+        if isinstance(message, SubmitMessage):
+            if message.invocation.client != client_id:
+                raise EncodingError(
+                    f"connection of {name} submitted for client "
+                    f"{message.invocation.client}"
+                )
+            self._deliver_submit(client_id, name, message)
+        elif isinstance(message, CommitMessage):
+            assert self.node is not None
+            self.node.deliver(name, message)
+        # REPLY from a client is meaningless; payload_to_message already
+        # rejected anything else.
+
+    def _deliver_submit(
+        self, client_id: int, name: str, message: SubmitMessage
+    ) -> None:
+        assert self.node is not None
+        t = message.timestamp
+        journaled = self._journal.get(client_id)
+        if journaled is not None and journaled[0] == t:
+            # Retransmission of the last answered SUBMIT: resend its REPLY.
+            self.submits_deduplicated += 1
+            self._write_frame(name, journaled[1])
+            return
+        floor = self._seen.get(client_id, 0)
+        if journaled is not None:
+            floor = max(floor, journaled[0])
+        if t <= floor:
+            # Already applied but the REPLY is gone (journal lost across a
+            # host restart): unanswerable — the client's deadline handles it.
+            self.submits_dropped_stale += 1
+            return
+        self._seen[client_id] = t
+        self._inflight = name
+        try:
+            self.node.deliver(name, message)
+        finally:
+            self._inflight = None
+
+    # ---------------------------------------------------------------- #
+    # Outbound (called by the protocol server through _HostTransport)
+    # ---------------------------------------------------------------- #
+
+    def _send_to_client(self, dst: str, message) -> None:
+        payload = message_to_payload(message)
+        if isinstance(message, ReplyMessage) and self._inflight == dst:
+            submit_t = self._seen.get(self._client_id_of(dst))
+            if submit_t is not None:
+                self._journal[self._client_id_of(dst)] = (submit_t, payload)
+        self._write_frame(dst, payload)
+
+    @staticmethod
+    def _client_id_of(name: str) -> int:
+        return int(name[1:]) - 1
+
+    def _write_frame(self, dst: str, payload: bytes) -> None:
+        writer = self._connections.get(dst)
+        if writer is None or writer.is_closing():
+            return  # client away; it will retransmit and be journal-answered
+        try:
+            writer.write(encode_frame(payload, max_bytes=self._max_frame))
+        except (ConnectionError, OSError):  # pragma: no cover - race on close
+            pass
+
+
+def serve_forever(
+    num_clients: int,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    server_name: str = "S",
+    storage: str = "memory",
+    server_factory: Callable[[int, str], UstorServer] | None = None,
+    announce: Callable[[str], None] = print,
+) -> int:
+    """Run one server process until interrupted (``repro serve``).
+
+    Prints ``LISTENING <host> <port>`` once the socket is bound — the
+    supervisor and the CI smoke test wait for that line.
+    """
+    loop = asyncio.new_event_loop()
+    try:
+        asyncio.set_event_loop(loop)
+        server = NetServerHost(
+            num_clients,
+            host=host,
+            port=port,
+            server_name=server_name,
+            storage=storage,
+            server_factory=server_factory,
+        )
+        loop.run_until_complete(server.start())
+        announce(f"LISTENING {server.host} {server.port}")
+        try:
+            loop.run_forever()
+        except KeyboardInterrupt:
+            pass
+        loop.run_until_complete(server.stop())
+        return 0
+    finally:
+        asyncio.set_event_loop(None)
+        loop.close()

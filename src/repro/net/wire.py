@@ -1,0 +1,92 @@
+"""Protocol messages <-> frame payloads.
+
+One frame payload is one canonically encoded tuple whose first element
+names the record::
+
+    ("HELLO",   client_id, num_clients)     client -> server, once
+    ("WELCOME", server_name, num_clients)   server -> client, once
+    ("SUBMIT",  <submit tuple>)             repro.store.codec shapes
+    ("COMMIT",  <commit tuple>)
+    ("REPLY",   <reply tuple>)
+
+Reusing :mod:`repro.store.codec` for the message bodies means the wire
+format *is* the durable-state format: whatever the WAL can persist, the
+socket can carry, and a recorded frame decodes with the same validation
+a WAL record gets (malformed input from a Byzantine server raises
+:class:`~repro.common.errors.EncodingError`, never half-builds a
+message).
+"""
+
+from __future__ import annotations
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import EncodingError
+from repro.common.types import OpKind
+from repro.net.framing import MAX_FRAME_BYTES
+from repro.store.codec import (
+    commit_from_tuple,
+    commit_to_tuple,
+    reply_from_tuple,
+    reply_to_tuple,
+    submit_from_tuple,
+    submit_to_tuple,
+)
+from repro.ustor.messages import CommitMessage, ReplyMessage, SubmitMessage
+
+ProtocolMessage = SubmitMessage | CommitMessage | ReplyMessage
+
+_TO_TUPLE = {
+    "SUBMIT": submit_to_tuple,
+    "COMMIT": commit_to_tuple,
+    "REPLY": reply_to_tuple,
+}
+_FROM_TUPLE = {
+    "SUBMIT": submit_from_tuple,
+    "COMMIT": commit_from_tuple,
+    "REPLY": reply_from_tuple,
+}
+
+
+def message_to_payload(message: ProtocolMessage) -> bytes:
+    """Encode one protocol message as a frame payload."""
+    try:
+        to_tuple = _TO_TUPLE[message.kind]
+    except (KeyError, AttributeError):
+        raise EncodingError(f"not a wire message: {message!r}") from None
+    return encode((message.kind, to_tuple(message)))
+
+
+def hello_payload(client_id: int, num_clients: int) -> bytes:
+    return encode(("HELLO", client_id, num_clients))
+
+
+def welcome_payload(server_name: str, num_clients: int) -> bytes:
+    return encode(("WELCOME", server_name, num_clients))
+
+
+def decode_payload(
+    payload: bytes, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple:
+    """Decode a frame payload into its ``(kind, ...)`` record tuple."""
+    values = decode(payload, enums=(OpKind,), max_bytes=max_bytes)
+    if len(values) != 1:
+        raise EncodingError(
+            f"frame payload must hold exactly one record, got {len(values)}"
+        )
+    record = values[0]
+    if not isinstance(record, tuple) or not record or not isinstance(record[0], str):
+        raise EncodingError(f"malformed frame record: {record!r}")
+    return record
+
+
+def payload_to_message(payload: bytes) -> ProtocolMessage:
+    """Decode a SUBMIT/COMMIT/REPLY payload into its message object."""
+    record = decode_payload(payload)
+    kind = record[0]
+    try:
+        from_tuple = _FROM_TUPLE[kind]
+    except KeyError:
+        raise EncodingError(f"unknown wire message kind: {kind!r}") from None
+    if len(record) != 2:
+        raise EncodingError(f"malformed {kind} record: {record!r}")
+    return from_tuple(record[1])

@@ -23,6 +23,12 @@ flushed batch of session operations, crosses the simulated wire as one
 event instead of k.  Per-message trace records are still emitted (E3/E4
 count messages, not packets); burst formation is visible through the
 ``bursts_formed`` / ``messages_coalesced`` counters.
+
+:class:`Network` is the simulator's implementation of the transport seam
+(:class:`repro.net.transport.Transport`): it satisfies that protocol
+structurally — ``register``/``send``/``trace`` — without importing it,
+and :mod:`repro.net` provides the real-socket implementation of the same
+surface.  Protocol nodes only ever see the seam.
 """
 
 from __future__ import annotations

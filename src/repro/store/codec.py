@@ -29,6 +29,7 @@ from repro.ustor.messages import (
     CommitMessage,
     InvocationTuple,
     MemEntry,
+    ReplyMessage,
     SignedVersion,
     SubmitMessage,
 )
@@ -149,6 +150,41 @@ def submit_from_tuple(data: tuple) -> SubmitMessage:
         value=value,
         data_sig=data_sig,
         piggyback=None if piggyback is None else commit_from_tuple(piggyback),
+    )
+
+
+def reply_to_tuple(message: ReplyMessage) -> tuple:
+    reader_version = (
+        None
+        if message.reader_version is None
+        else signed_version_to_tuple(message.reader_version)
+    )
+    mem = None if message.mem is None else mem_entry_to_tuple(message.mem)
+    return (
+        message.commit_index,
+        signed_version_to_tuple(message.last_version),
+        tuple(invocation_to_tuple(inv) for inv in message.pending),
+        tuple(message.proofs),
+        reader_version,
+        mem,
+    )
+
+
+def reply_from_tuple(data: tuple) -> ReplyMessage:
+    commit_index, last_version, pending, proofs, reader_version, mem = _shape(
+        data, 6, "ReplyMessage"
+    )
+    return ReplyMessage(
+        commit_index=commit_index,
+        last_version=signed_version_from_tuple(last_version),
+        pending=tuple(invocation_from_tuple(inv) for inv in pending),
+        proofs=tuple(proofs),
+        reader_version=(
+            None
+            if reader_version is None
+            else signed_version_from_tuple(reader_version)
+        ),
+        mem=None if mem is None else mem_entry_from_tuple(mem),
     )
 
 

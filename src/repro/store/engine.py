@@ -54,7 +54,7 @@ from repro.store.codec import (
     submit_from_tuple,
     submit_to_tuple,
 )
-from repro.store.media import InMemoryMedium, Medium
+from repro.store.media import DirectoryMedium, InMemoryMedium, Medium
 from repro.ustor.messages import CommitMessage, SubmitMessage
 from repro.ustor.server import ServerState, apply_commit, apply_submit
 
@@ -353,10 +353,20 @@ def make_engine(
     num_clients: int,
 ) -> StorageEngine:
     """Resolve a storage spec: an engine name (``"memory"`` / ``"log"``),
-    an engine instance (passed through), or a factory ``f(num_clients)``."""
+    ``"dir:<path>"`` (the log engine over real files in ``<path>`` — the
+    form server *processes* use, since their state must outlive them), an
+    engine instance (passed through), or a factory ``f(num_clients)``."""
     if isinstance(spec, StorageEngine):
         return spec
     if isinstance(spec, str):
+        if spec.startswith("dir:"):
+            path = spec[len("dir:"):]
+            if not path:
+                raise ConfigurationError(
+                    "the 'dir:' storage spec needs a directory path, "
+                    "e.g. 'dir:/var/lib/faust'"
+                )
+            return LogStructuredEngine(num_clients, medium=DirectoryMedium(path))
         try:
             cls = ENGINES[spec]
         except KeyError:

@@ -6,8 +6,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.encoding import encode, encode_sequence
-from repro.common.errors import EncodingError
+from repro.common.encoding import decode, decode_reference, encode, encode_sequence
+from repro.common.errors import (
+    DecodeError,
+    EncodingError,
+    OversizedFrameError,
+    TruncatedFrameError,
+)
 from repro.common.types import OpKind
 
 
@@ -80,6 +85,67 @@ class TestConcatenationAmbiguity:
         proof = encode("PROOF", b"\x01" * 32)
         payloads = [submit, data, commit, proof]
         assert len(set(payloads)) == 4
+
+
+class TestUntrustedInputHardening:
+    """Socket peers are untrusted: decode failures must be typed.
+
+    The real transport (``repro.net``) feeds bytes straight off a TCP
+    stream into :func:`decode`; these tests pin the error contract the
+    frame reader relies on (both decoder implementations, since the
+    equivalence suite asserts they reject identically).
+    """
+
+    DECODERS = (decode, decode_reference)
+
+    def test_truncation_is_typed_at_every_cut(self):
+        blob = encode("SUBMIT", OpKind.WRITE, 7, b"\x00" * 32, ("x", -1), None)
+        for cut in range(len(blob)):
+            for dec in self.DECODERS:
+                with pytest.raises(TruncatedFrameError):
+                    dec(blob[:cut], enums=(OpKind,))
+
+    def test_truncated_is_a_decode_and_encoding_error(self):
+        assert issubclass(TruncatedFrameError, DecodeError)
+        assert issubclass(OversizedFrameError, DecodeError)
+        assert issubclass(DecodeError, EncodingError)
+
+    def test_oversized_input_rejected_before_decoding(self):
+        blob = encode(b"\x01" * 1024)
+        for dec in self.DECODERS:
+            with pytest.raises(OversizedFrameError):
+                dec(blob, max_bytes=64)
+
+    def test_max_bytes_at_exact_size_accepted(self):
+        blob = encode("hello")
+        for dec in self.DECODERS:
+            assert dec(blob, max_bytes=len(blob)) == ("hello",)
+
+    def test_huge_declared_sequence_count_fails_fast(self):
+        # A 1 TiB element count in a 9-byte input must be rejected without
+        # looping a trillion times.
+        bad = b"\x05" + (2**40).to_bytes(8, "big")
+        for dec in self.DECODERS:
+            with pytest.raises(TruncatedFrameError):
+                dec(bad)
+
+    def test_huge_declared_byte_length_fails_fast(self):
+        bad = b"\x05" + (1).to_bytes(8, "big") + b"\x03" + (2**40).to_bytes(8, "big")
+        for dec in self.DECODERS:
+            with pytest.raises(TruncatedFrameError):
+                dec(bad)
+
+    def test_structural_corruption_stays_plain_encoding_error(self):
+        # Unknown tags / bad sign bytes are corruption, not truncation.
+        unknown_tag = b"\x05" + (1).to_bytes(8, "big") + b"\x7f"
+        bad_sign = (
+            b"\x05" + (1).to_bytes(8, "big") + b"\x02\x09" + (1).to_bytes(8, "big") + b"\x01"
+        )
+        for blob in (unknown_tag, bad_sign):
+            for dec in self.DECODERS:
+                with pytest.raises(EncodingError) as excinfo:
+                    dec(blob)
+                assert not isinstance(excinfo.value, DecodeError)
 
 
 _scalars = st.one_of(
