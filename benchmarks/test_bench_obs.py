@@ -1,0 +1,266 @@
+"""Overhead benchmarks for the ``repro.obs`` metrics registry.
+
+The observability instrumentation sits on the protocol hot seams —
+session op issue/settle, batching flushes, server group commits — and
+its contract is that the *default* (disabled) registry is a near-no-op:
+at most 5% on top of the digest-chain and TLV-encode hot paths that
+dominate those seams.  Each test times a protocol-shaped loop twice:
+
+* **bare** — the digest/encode work alone, shaped exactly like
+  ``test_bench_perf.py``'s workloads;
+* **instrumented** — the same work plus the registry calls a hot seam
+  makes per operation (counter bumps and one histogram observation, the
+  density of ``Session._submit``/``_settle`` and the flush seam).
+
+With the default ``NullRegistry`` the instrumented/bare ratio must stay
+under :data:`OVERHEAD_BUDGET`; timings are best-of-``k`` minima and the
+ratio gets a bounded retry so one noisy scheduler tick cannot fail the
+gate.  The same loops re-timed under a live
+:class:`~repro.obs.registry.Registry` are recorded ``gate=False``:
+real bucket arithmetic is a cost we report but do not gate on.
+
+The gated ``hot_paths`` entries store *reference = instrumented,
+optimized = bare*, so the recorded ratio IS the overhead factor (just
+above 1.0).  The 5% budget is enforced by the in-test assertion, which
+runs in the same CI job as the regression pipeline; the baseline entry
+keeps the pipeline aware the path exists (a vanished gated hot path
+still fails CI).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.common.encoding import encode
+from repro.common.types import OpKind
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Registry,
+    get_registry,
+    use_registry,
+)
+from repro.ustor.digests import extend_digest
+
+#: Ceiling on instrumented/bare wall-clock with the registry disabled.
+OVERHEAD_BUDGET = 1.05
+
+#: Interleaved sampling rounds bounding the noise-floor search.
+MEASURE_ATTEMPTS = 16
+
+
+def _best_seconds(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of ``repeats`` runs of ``fn`` (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _measure_overhead(bare, instrumented):
+    """``(ratio, bare_seconds, instrumented_seconds)`` from noise floors.
+
+    A single back-to-back timing pair swings by ±10% on a busy machine —
+    far more than the ~2% effect under measurement — so the ratio is
+    taken over the *global minima* of interleaved best-of-k samples:
+    minima converge on each loop's true floor, where the instrumented
+    loop's strictly-greater work shows up as a ratio just above 1.
+    Sampling stops once the floors have separated cleanly (ratio between
+    1 and the budget) or at the attempt bound, so one preempted run can
+    neither flake the gate nor end the measurement early.
+    """
+    bare()  # warm caches (digest memo / encoding) outside the timings
+    instrumented()
+    best_bare = best_instrumented = float("inf")
+    ratio = float("inf")
+    was_collecting = gc.isenabled()
+    gc.disable()  # a collection pause dwarfs the effect being measured
+    try:
+        for attempt in range(MEASURE_ATTEMPTS):
+            best_bare = min(best_bare, _best_seconds(bare))
+            best_instrumented = min(
+                best_instrumented, _best_seconds(instrumented)
+            )
+            ratio = best_instrumented / best_bare
+            if attempt >= 1 and 1.0 <= ratio <= OVERHEAD_BUDGET:
+                break
+    finally:
+        if was_collecting:
+            gc.enable()
+    return ratio, best_bare, best_instrumented
+
+
+# --------------------------------------------------------------------- #
+# Digest-chain ops under the session issue/settle seam
+# --------------------------------------------------------------------- #
+
+DIGEST_OPS, CHAIN_LENGTH, CLIENTS = 32, 64, 8
+
+
+def _bare_digest_ops(ops: int, length: int, clients: int):
+    for _ in range(ops):
+        digest = None
+        for k in range(length):
+            digest = extend_digest(digest, k % clients)
+
+
+def _instrumented_digest_ops(ops, length, clients, issued, settled, latency):
+    # One op = one updateVersion-sized chain fold; the seam bumps the
+    # issued/settled counters and observes one latency per op — exactly
+    # Session._submit/_settle's density.
+    for _ in range(ops):
+        issued.inc()
+        digest = None
+        for k in range(length):
+            digest = extend_digest(digest, k % clients)
+        settled.inc()
+        latency.observe(float(length))
+
+
+def test_digest_seam_overhead_with_registry_off(record_hot_path):
+    registry = get_registry()
+    assert not registry.enabled, "benchmarks assume the default NullRegistry"
+    issued = registry.counter("bench.obs.issued")
+    settled = registry.counter("bench.obs.settled")
+    latency = registry.histogram("bench.obs.latency", LATENCY_BUCKETS)
+
+    ratio, bare_seconds, instrumented_seconds = _measure_overhead(
+        lambda: _bare_digest_ops(DIGEST_OPS, CHAIN_LENGTH, CLIENTS),
+        lambda: _instrumented_digest_ops(
+            DIGEST_OPS, CHAIN_LENGTH, CLIENTS, issued, settled, latency
+        ),
+    )
+    record_hot_path(
+        "obs_registry_off_digest",
+        instrumented_seconds,
+        bare_seconds,
+        ops=DIGEST_OPS,
+        chain_length=CHAIN_LENGTH,
+        overhead_percent=round((ratio - 1.0) * 100.0, 2),
+    )
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"disabled-registry instrumentation costs {100 * (ratio - 1):.1f}% "
+        f"on the digest hot path (budget {100 * (OVERHEAD_BUDGET - 1):.0f}%)"
+    )
+
+
+def test_digest_seam_cost_with_registry_on(record_hot_path):
+    with use_registry(Registry()) as registry:
+        issued = registry.counter("bench.obs.issued")
+        settled = registry.counter("bench.obs.settled")
+        latency = registry.histogram("bench.obs.latency", LATENCY_BUCKETS)
+        bare = lambda: _bare_digest_ops(DIGEST_OPS, CHAIN_LENGTH, CLIENTS)
+        instrumented = lambda: _instrumented_digest_ops(
+            DIGEST_OPS, CHAIN_LENGTH, CLIENTS, issued, settled, latency
+        )
+        bare()
+        instrumented()
+        bare_seconds = _best_seconds(bare)
+        instrumented_seconds = _best_seconds(instrumented)
+        # Live recording really happened (not optimised away).
+        assert issued.value > 0
+        assert latency.count > 0
+    record_hot_path(
+        "obs_registry_on_digest",
+        instrumented_seconds,
+        bare_seconds,
+        gate=False,  # live bucket arithmetic is a machine property
+        ops=DIGEST_OPS,
+        chain_length=CHAIN_LENGTH,
+    )
+
+
+# --------------------------------------------------------------------- #
+# TLV-encode batches under the flush / group-commit seam
+# --------------------------------------------------------------------- #
+
+ENCODE_ROUNDS = 200
+
+
+def _protocol_payloads(n: int = 8) -> list[tuple]:
+    digest = b"\xaa" * 32
+    vector = tuple(range(n))
+    digests = tuple(digest for _ in range(n))
+    return [
+        ("SUBMIT", OpKind.WRITE, 3, 17),
+        ("SUBMIT", OpKind.READ, 5, 42),
+        ("DATA", 17, digest),
+        ("COMMIT", vector, digests),
+        ("PROOF", digest),
+        ("VALUE", b"v" * 64),
+    ]
+
+
+def _bare_encode_batches(rounds: int, payloads: list[tuple]):
+    for _ in range(rounds):
+        for payload in payloads:
+            encode(*payload)
+
+
+def _instrumented_encode_batches(rounds, payloads, flushes, batch_ops):
+    # One round = one flushed batch / group commit: a counter bump and
+    # one batch-size observation per batch, not per frame — the density
+    # of Session.flush and the server's group-commit seam.
+    size = float(len(payloads))
+    for _ in range(rounds):
+        for payload in payloads:
+            encode(*payload)
+        flushes.inc()
+        batch_ops.observe(size)
+
+
+def test_encode_seam_overhead_with_registry_off(record_hot_path):
+    registry = get_registry()
+    assert not registry.enabled, "benchmarks assume the default NullRegistry"
+    flushes = registry.counter("bench.obs.flushes")
+    batch_ops = registry.histogram("bench.obs.batch_ops", COUNT_BUCKETS)
+    payloads = _protocol_payloads()
+
+    ratio, bare_seconds, instrumented_seconds = _measure_overhead(
+        lambda: _bare_encode_batches(ENCODE_ROUNDS, payloads),
+        lambda: _instrumented_encode_batches(
+            ENCODE_ROUNDS, payloads, flushes, batch_ops
+        ),
+    )
+    record_hot_path(
+        "obs_registry_off_encode",
+        instrumented_seconds,
+        bare_seconds,
+        rounds=ENCODE_ROUNDS,
+        payloads=len(payloads),
+        overhead_percent=round((ratio - 1.0) * 100.0, 2),
+    )
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"disabled-registry instrumentation costs {100 * (ratio - 1):.1f}% "
+        f"on the encode hot path (budget {100 * (OVERHEAD_BUDGET - 1):.0f}%)"
+    )
+
+
+def test_encode_seam_cost_with_registry_on(record_hot_path):
+    payloads = _protocol_payloads()
+    with use_registry(Registry()) as registry:
+        flushes = registry.counter("bench.obs.flushes")
+        batch_ops = registry.histogram("bench.obs.batch_ops", COUNT_BUCKETS)
+        bare = lambda: _bare_encode_batches(ENCODE_ROUNDS, payloads)
+        instrumented = lambda: _instrumented_encode_batches(
+            ENCODE_ROUNDS, payloads, flushes, batch_ops
+        )
+        bare()
+        instrumented()
+        bare_seconds = _best_seconds(bare)
+        instrumented_seconds = _best_seconds(instrumented)
+        assert flushes.value > 0
+        assert batch_ops.count > 0
+    record_hot_path(
+        "obs_registry_on_encode",
+        instrumented_seconds,
+        bare_seconds,
+        gate=False,  # live bucket arithmetic is a machine property
+        rounds=ENCODE_ROUNDS,
+        payloads=len(payloads),
+    )

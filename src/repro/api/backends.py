@@ -186,6 +186,8 @@ class UstorBackend:
             default_timeout=config.default_timeout,
             commit_piggyback=config.commit_piggyback,
             trace_path=config.trace_path,
+            trace_ids=config.trace_ids,
+            span_log=config.span_log,
         )
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
@@ -303,4 +305,9 @@ def get_backend(backend: str | Backend) -> Backend:
 
 def open_system(config: SystemConfig, backend: str | Backend = "faust") -> System:
     """Open a deployment described by ``config`` on the chosen backend."""
-    return get_backend(backend).open_system(config)
+    system = get_backend(backend).open_system(config)
+    if config.span_log is not None:
+        # Sessions read the span log off the facade when constructed, so
+        # it must be attached before the first session() call.
+        system.span_log = config.span_log
+    return system

@@ -153,6 +153,15 @@ class SystemConfig:
     #: Record the run's wire trace (JSONL) here; replayable with
     #: :func:`repro.net.trace.replay_trace` (``transport="tcp"`` only).
     trace_path: str | None = None
+    #: Stamp SUBMIT/COMMIT with deterministic causal trace ids (an
+    #: optional TLV field the server echoes into REPLYs), so one client
+    #: operation can be followed across processes (``transport="tcp"``
+    #: only; simulated runs trace at the session layer instead).
+    trace_ids: bool = False
+    #: A :class:`repro.obs.tracing.SpanLog` collecting per-operation
+    #: spans (sessions on every transport; the wire client's SUBMIT/fail
+    #: instants over tcp).  ``None`` = no tracing.
+    span_log: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -223,6 +232,12 @@ class SystemConfig:
                 raise ConfigurationError(
                     "trace_path= records a real run's wire trace; it needs "
                     "transport='tcp' (simulated runs are already deterministic)"
+                )
+            if self.trace_ids:
+                raise ConfigurationError(
+                    "trace_ids= stamps wire messages for cross-process "
+                    "tracing; it needs transport='tcp' (simulated runs are "
+                    "traced at the session layer)"
                 )
             return
         if not self.endpoints:

@@ -41,6 +41,8 @@ from repro.api.errors import CapabilityError, OperationFailed, OperationTimeout
 from repro.api.handles import OpHandle, OpResult
 from repro.common.errors import ProtocolError
 from repro.common.types import Bottom, OpKind, RegisterId, Value, register_name
+from repro.obs.registry import COUNT_BUCKETS, get_registry
+from repro.obs.tracing import make_trace_id
 
 
 class Session:
@@ -69,6 +71,18 @@ class Session:
             deque()
         )
         self._flush_timer = None
+        # Observability: registry handles captured once (no-ops when
+        # metrics are off) plus the system-wide span log, if any.
+        registry = get_registry()
+        self._obs_enabled = registry.enabled
+        self._obs_issued = registry.counter("session.ops_issued")
+        self._obs_settled = registry.counter("session.ops_settled")
+        self._obs_flushes = registry.counter("session.flushes")
+        self._obs_batch_size = registry.histogram(
+            "session.flush_batch_ops", COUNT_BUCKETS
+        )
+        self._obs_latency = registry.histogram("session.op_latency")
+        self._span_log = getattr(system, "span_log", None)
         if hasattr(self._client, "add_failure_listener"):
             self._client.add_failure_listener(self._on_client_failure)
 
@@ -153,6 +167,9 @@ class Session:
         session backlog as before.
         """
         self._cancel_flush_timer()
+        if self._batch_buffer:
+            self._obs_flushes.inc()
+            self._obs_batch_size.observe(len(self._batch_buffer))
         while self._batch_buffer:
             kind, register, value, handle = self._batch_buffer.popleft()
             try:
@@ -234,6 +251,9 @@ class Session:
     def _submit(self, kind: OpKind, register: RegisterId, value) -> OpHandle:
         self._raise_if_dead()
         handle = OpHandle(self, kind, register)
+        self._obs_issued.inc()
+        if self._obs_enabled or self._span_log is not None:
+            handle._obs_issued_at = self._system.scheduler.now
         self._unsettled.append(handle)
         policy = self._batching
         if policy is None:
@@ -307,6 +327,23 @@ class Session:
                 self._unsettled.remove(handle)
             except ValueError:
                 pass
+        self._obs_settled.inc()
+        issued_at = getattr(handle, "_obs_issued_at", None)
+        if issued_at is not None:
+            now = self._system.scheduler.now
+            self._obs_latency.observe(now - issued_at)
+            if self._span_log is not None:
+                self._span_log.span(
+                    f"op:{handle.kind.name.lower()}",
+                    ts=issued_at,
+                    dur=now - issued_at,
+                    trace_id=make_trace_id(self._client_id, outcome.timestamp),
+                    proc="client",
+                    args={
+                        "client": self._client_id,
+                        "register": handle.register,
+                    },
+                )
         handle._resolve(
             OpResult(
                 kind=handle.kind,

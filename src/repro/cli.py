@@ -18,6 +18,14 @@ message statistics::
     python -m repro attacks                       # list server behaviours
     python -m repro experiments --quick           # run the E* harness
 
+Observability (``repro.obs``) — metrics, health gauges, causal spans::
+
+    python -m repro run --server rollback --backend faust --metrics
+    python -m repro run --ops 20 --batch 4 --span-log spans.jsonl \
+        --chrome-trace trace.json --metrics-snapshot metrics.jsonl
+    python -m repro serve --metrics-port 0        # announces METRICS host port
+    python -m repro stats --endpoint 127.0.0.1:PORT   # scrape /metrics
+
 Real deployments (``repro.net``) — servers as OS processes, clients over
 real TCP, every run recorded and replayable::
 
@@ -131,6 +139,107 @@ def _cmd_attacks(_args) -> int:
     return 0
 
 
+def _obs_prepare(args):
+    """Honour the run's observability flags; returns the SpanLog (or None).
+
+    ``enable_metrics`` must run *before* the deployment is built:
+    instrumented objects capture their registry handles at construction,
+    so a registry swapped in afterwards would never see their events.
+    """
+    if args.metrics or args.metrics_snapshot or args.metrics_port is not None:
+        from repro.obs.registry import enable_metrics
+
+        enable_metrics()
+    if args.span_log or args.chrome_trace:
+        from repro.obs.tracing import SpanLog
+
+        return SpanLog()
+    return None
+
+
+def _obs_health(system, servers=(), auditor=None):
+    """A HealthMonitor over the deployment, when metrics are enabled."""
+    from repro.obs.registry import get_registry
+
+    if not get_registry().enabled:
+        return None
+    from repro.obs.health import HealthMonitor
+
+    monitor = HealthMonitor(system.clients, lambda: system.now, servers=servers)
+    if auditor is not None:
+        monitor.watch_auditor(auditor)
+    return monitor
+
+
+def _obs_snapshot_writer(args, health=None):
+    """The JSONL snapshot writer for ``--metrics-snapshot`` (or None)."""
+    if not args.metrics_snapshot:
+        return None
+    from repro.obs.exposition import JsonlSnapshotWriter
+    from repro.obs.registry import get_registry
+
+    return JsonlSnapshotWriter(
+        get_registry(),
+        args.metrics_snapshot,
+        on_snapshot=health.refresh if health is not None else None,
+    )
+
+
+def _obs_finish(args, span_log, now, health=None, writer=None) -> None:
+    """Write the obs artifacts and print the fail-aware summary lines."""
+    from repro.obs.registry import get_registry
+
+    registry = get_registry()
+    if health is not None:
+        stats = health.refresh()
+        detection = stats.get("health.time_to_detection")
+        if detection is not None:
+            print(f"# detection: first fail_i {detection:.3f} time unit(s) "
+                  f"after the first known deviation")
+        print(f"# stability: max per-client lag "
+              f"{stats['health.max_stability_lag']} op(s)")
+    if writer is not None:
+        writer.write(now)
+        print(f"# metrics snapshot: {writer.path} "
+              f"({writer.snapshots_written} snapshot(s))")
+    if span_log is not None and args.span_log:
+        span_log.write_jsonl(args.span_log)
+        print(f"# span log: {args.span_log} "
+              f"({len(span_log.records)} span record(s))")
+    if span_log is not None and args.chrome_trace:
+        span_log.write_chrome(args.chrome_trace)
+        print(f"# chrome trace: {args.chrome_trace} "
+              f"(open in chrome://tracing or Perfetto)")
+    if args.metrics and registry.enabled:
+        from repro.obs.exposition import render_prometheus
+
+        print()
+        print("# metrics (repro.obs)")
+        print(render_prometheus(registry), end="")
+
+
+def _cmd_stats(args) -> int:
+    """Scrape a live ``/metrics`` endpoint (``repro stats``)."""
+    import urllib.error
+    import urllib.request
+
+    host, _, port = args.endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        print("--endpoint takes HOST:PORT — the METRICS line printed by "
+              "'repro serve --metrics-port' or 'repro run --metrics-port'")
+        return 2
+    path = "/metrics.json" if args.json else "/metrics"
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"cannot scrape {url}: {exc}")
+        return 1
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_run_tcp(args) -> int:
     """The ``run --transport tcp`` path: the client half of a real
     deployment, against ``repro serve`` processes already listening.
@@ -168,6 +277,7 @@ def _cmd_run_tcp(args) -> int:
         print("--audit-every takes a positive wall-clock cadence")
         return 2
 
+    span_log = _obs_prepare(args)
     try:
         system = open_system(
             SystemConfig(
@@ -177,6 +287,8 @@ def _cmd_run_tcp(args) -> int:
                 endpoints=args.endpoints,
                 trace_path=args.trace_file,
                 default_timeout=args.timeout,
+                trace_ids=args.trace_ids,
+                span_log=span_log,
             ),
             backend="ustor",
         )
@@ -184,11 +296,26 @@ def _cmd_run_tcp(args) -> int:
         print(f"cannot open tcp deployment: {exc}")
         return 1
     try:
+        # The server is a remote process, so deviation times cannot be
+        # probed; the monitor's start is the conservative baseline.
+        health = _obs_health(system)
+        writer = _obs_snapshot_writer(args, health)
+        if writer is not None:
+            writer.write(system.now)  # the t=0 baseline line
+        if args.metrics_port is not None:
+            metrics_server = system.start_metrics(
+                port=args.metrics_port,
+                on_scrape=health.refresh if health is not None else None,
+            )
+            print(f"METRICS {metrics_server.host} {metrics_server.port}",
+                  flush=True)
         auditor = (
             system.attach_audit(every=args.audit_every)
             if args.audit_every is not None
             else None
         )
+        if health is not None and auditor is not None:
+            health.watch_auditor(auditor)
         scripts = generate_scripts(
             args.clients,
             WorkloadConfig(
@@ -277,6 +404,7 @@ def _cmd_run_tcp(args) -> int:
             print()
             print(f"# wire trace: {args.trace_file} "
                   f"(python -m repro replay --trace {args.trace_file} --check)")
+        _obs_finish(args, span_log, system.now, health, writer)
     finally:
         system.close()
     return 0
@@ -288,6 +416,15 @@ def _cmd_run(args) -> int:
     if args.endpoints or args.trace_file:
         print("--endpoints/--trace-file describe a real deployment; "
               "add --transport tcp")
+        return 2
+    if args.metrics_port is not None:
+        print("--metrics-port exposes a live process over HTTP; a simulated "
+              "run is synchronous — use --metrics to print the final "
+              "registry (or add --transport tcp)")
+        return 2
+    if args.trace_ids:
+        print("--trace-ids stamps real wire messages; add --transport tcp "
+              "(simulated runs trace at the session layer via --span-log)")
         return 2
     backend = args.backend or ("faust" if args.faust else "ustor")
     is_cluster = backend == "cluster"
@@ -366,6 +503,7 @@ def _cmd_run(args) -> int:
     batching = (
         BatchingPolicy(max_batch=args.batch) if args.batch is not None else None
     )
+    span_log = _obs_prepare(args)
     system = open_system(
         SystemConfig(
             num_clients=args.clients,
@@ -378,6 +516,7 @@ def _cmd_run(args) -> int:
             shard_server_factories=shard_factories,
             shard_outages=shard_outages,
             batching=batching,
+            span_log=span_log,
         ),
         backend=backend,
     )
@@ -386,6 +525,14 @@ def _cmd_run(args) -> int:
         if args.audit_every is not None
         else None
     )
+    health = _obs_health(
+        system,
+        servers=(system.servers if is_cluster else [system.server]),
+        auditor=auditor,
+    )
+    writer = _obs_snapshot_writer(args, health)
+    if writer is not None:
+        writer.write(system.now)  # the t=0 baseline line
     scripts = generate_scripts(
         args.clients,
         WorkloadConfig(
@@ -396,8 +543,12 @@ def _cmd_run(args) -> int:
         random.Random(args.seed),
     )
     # With batching on, the workload must flow through the sessions —
-    # they are the layer that buffers and auto-flushes submissions.
-    driver = Driver(system, via_sessions=batching is not None)
+    # they are the layer that buffers and auto-flushes submissions.  Span
+    # tracing lives at the same layer, so --span-log/--chrome-trace route
+    # through the sessions too (simulated clients have no wire to stamp).
+    driver = Driver(
+        system, via_sessions=batching is not None or span_log is not None
+    )
     driver.attach_all(scripts)
     system.run(until=args.until)
 
@@ -513,6 +664,8 @@ def _cmd_run(args) -> int:
         print(f"notifications: {len(events)} "
               f"({failures} failure, {len(events) - failures} stability)")
 
+    _obs_finish(args, span_log, system.now, health, writer)
+
     if args.profile:
         import json as _json
 
@@ -547,6 +700,7 @@ def _cmd_serve(args) -> int:
             server_name=args.server_name,
             storage=args.storage,
             server_factory=factory,
+            metrics_port=args.metrics_port,
             # The supervisor and CI block on this line; an unflushed pipe
             # buffer would deadlock them.
             announce=lambda line: print(line, flush=True),
@@ -751,6 +905,47 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.add_argument("--until", type=float, default=500.0,
                      help="virtual time budget (wall-clock seconds over tcp)")
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the repro.obs registry and print the final metrics "
+        "(Prometheus text) after the run",
+    )
+    run.add_argument(
+        "--metrics-snapshot",
+        default=None,
+        metavar="PATH",
+        help="write whole-registry snapshots (JSONL) to PATH "
+        "(implies --metrics)",
+    )
+    run.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics over HTTP for the run's lifetime "
+        "(0 picks an ephemeral port; see the METRICS line; "
+        "--transport tcp only)",
+    )
+    run.add_argument(
+        "--span-log",
+        default=None,
+        metavar="PATH",
+        help="write per-operation trace spans (JSONL) to PATH",
+    )
+    run.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="write the span log as a Chrome trace-event file "
+        "(chrome://tracing / Perfetto)",
+    )
+    run.add_argument(
+        "--trace-ids",
+        action="store_true",
+        help="stamp SUBMIT/COMMIT with deterministic causal trace ids "
+        "(an optional TLV field the server echoes; --transport tcp only)",
+    )
     run.add_argument("--check", action="store_true", help="run consistency checkers")
     run.add_argument(
         "--profile",
@@ -785,7 +980,28 @@ def main(argv: list[str] | None = None) -> int:
         help="server durability: 'memory', 'log', or 'dir:PATH' "
         "(WAL + snapshots in a directory, survives process restarts)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose GET /metrics over HTTP (0 picks an ephemeral port; "
+        "the METRICS line announces it; scrape with 'repro stats')",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="scrape a live /metrics endpoint and print it"
+    )
+    stats.add_argument(
+        "--endpoint", required=True, metavar="HOST:PORT",
+        help="the metrics listener (the METRICS line of 'repro serve "
+        "--metrics-port' or 'repro run --metrics-port')",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="fetch /metrics.json (raw snapshot) instead of Prometheus text",
+    )
+    stats.add_argument("--timeout", type=float, default=5.0,
+                       metavar="SECONDS")
+    stats.set_defaults(func=_cmd_stats)
 
     serve_cluster = sub.add_parser(
         "serve-cluster", help="run one server process per shard"

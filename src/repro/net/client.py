@@ -48,6 +48,7 @@ from repro.history.history import History
 from repro.history.recorder import HistoryRecorder
 from repro.net.framing import MAX_FRAME_BYTES, encode_frame, read_frame
 from repro.net.realtime import RealtimeScheduler
+from repro.obs.registry import SIZE_BUCKETS, get_registry
 from repro.net.wire import (
     decode_payload,
     hello_payload,
@@ -174,6 +175,16 @@ class ClientConnection:
         self.reconnects = 0
         self.frames_sent = 0
         self.frames_received = 0
+        # Registry handles captured once: aggregate transport counters
+        # across every connection (no-op instruments when metrics are off).
+        registry = get_registry()
+        self._obs_sent = registry.counter("net.frames_sent")
+        self._obs_received = registry.counter("net.frames_received")
+        self._obs_reconnects = registry.counter("net.reconnects")
+        self._obs_retransmissions = registry.counter("net.retransmissions")
+        self._obs_frame_bytes = registry.histogram(
+            "net.frame_bytes", SIZE_BUCKETS
+        )
 
     def attach(self, node: UstorClient) -> None:
         self._node = node
@@ -203,6 +214,8 @@ class ClientConnection:
         try:
             self._writer.write(encode_frame(payload, max_bytes=self._max_frame))
             self.frames_sent += 1
+            self._obs_sent.inc()
+            self._obs_frame_bytes.observe(len(payload))
         except (ConnectionError, OSError):  # pragma: no cover - close race
             pass
 
@@ -256,6 +269,8 @@ class ClientConnection:
                     )
                 if self.unacked:
                     self.reconnects += 1
+                    self._obs_reconnects.inc()
+                    self._obs_retransmissions.inc(len(self.unacked))
                 await writer.drain()
                 while True:
                     payload = await read_frame(reader, max_bytes=self._max_frame)
@@ -280,6 +295,7 @@ class ClientConnection:
 
     def _on_payload(self, payload: bytes) -> None:
         self.frames_received += 1
+        self._obs_received.inc()
         if self._trace_writer is not None:
             self._trace_writer.frame("s2c", self.client_id, payload, retx=False)
         message = payload_to_message(payload)
@@ -373,6 +389,11 @@ class NetSystem:
     #: when the runtime was injected (loopback tests share one runtime
     #: between host and clients and own its lifetime themselves).
     owns_runtime: bool = True
+    #: Optional :class:`repro.obs.tracing.SpanLog` shared with the clients
+    #: (and read by sessions) when causal tracing is on.
+    span_log: object | None = None
+    #: Client-side ``/metrics`` endpoint, once :meth:`start_metrics` ran.
+    metrics_server: object | None = None
 
     # -- running ------------------------------------------------------- #
 
@@ -446,6 +467,28 @@ class NetSystem:
                 f"within {timeout:g}s"
             )
 
+    def start_metrics(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_scrape: Callable[[], None] | None = None,
+    ):
+        """Expose the current registry on an HTTP ``/metrics`` endpoint.
+
+        Runs on this system's event loop; returns the started
+        :class:`~repro.obs.exposition.MetricsHTTPServer` (its ``port``
+        resolves the ephemeral bind).  Stopped again by :meth:`close`.
+        """
+        from repro.obs.exposition import MetricsHTTPServer
+
+        server = MetricsHTTPServer(
+            get_registry(), host=host, port=port, on_scrape=on_scrape
+        )
+        self.runtime.run_coroutine(server.start())
+        self.metrics_server = server
+        return server
+
     def close(self) -> None:
         """Tear down connections, loopback hosts, trace and loop."""
 
@@ -454,6 +497,8 @@ class NetSystem:
                 await connection.aclose()
             for host in self.hosts:
                 await host.stop()
+            if self.metrics_server is not None:
+                await self.metrics_server.stop()
 
         if not self.runtime.loop.is_closed():
             self.runtime.run_coroutine(shutdown())
@@ -481,6 +526,8 @@ def open_tcp_system(
     trace_path: str | None = None,
     runtime: NetRuntime | None = None,
     connect_timeout: float | None = 5.0,
+    trace_ids: bool = False,
+    span_log=None,
 ) -> NetSystem:
     """Open a single-server deployment over real TCP.
 
@@ -489,6 +536,11 @@ def open_tcp_system(
     ``(scheme, num_clients)`` — the same determinism that makes simulated
     runs reproducible makes the server processes and the replayer agree
     with these clients about every signature.
+
+    ``trace_ids=True`` stamps SUBMIT/COMMIT with deterministic causal
+    trace ids (recorded in the wire-trace header so replay stays
+    byte-identical); ``span_log`` shares one
+    :class:`~repro.obs.tracing.SpanLog` across the clients and sessions.
     """
     if isinstance(endpoints, str):
         endpoints = tuple(part for part in endpoints.split(",") if part)
@@ -515,6 +567,7 @@ def open_tcp_system(
             server_name=server_name,
             endpoints=tuple(endpoints),
             commit_piggyback=commit_piggyback,
+            trace_ids=trace_ids,
         )
         recorder.add_listener(trace_writer)
     clients: list[UstorClient] = []
@@ -527,7 +580,9 @@ def open_tcp_system(
             server_name=server_name,
             recorder=recorder,
             commit_piggyback=commit_piggyback,
+            trace_ids=trace_ids,
         )
+        client.span_log = span_log
         transport.register(client)
         connection = ClientConnection(
             runtime,
@@ -555,6 +610,7 @@ def open_tcp_system(
         default_timeout=default_timeout,
         trace_writer=trace_writer,
         owns_runtime=owns_runtime,
+        span_log=span_log,
     )
     if connect_timeout is not None:
         try:

@@ -40,6 +40,7 @@ from repro.common.errors import ConfigurationError, DecodeError, EncodingError
 from repro.common.types import client_name
 from repro.net.framing import MAX_FRAME_BYTES, encode_frame, read_frame
 from repro.net.realtime import RealtimeScheduler
+from repro.obs.registry import get_registry
 from repro.net.wire import (
     decode_payload,
     message_to_payload,
@@ -98,6 +99,8 @@ class NetServerHost:
         server_factory: Callable[[int, str], UstorServer] | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         trace: SimTrace | None = None,
+        metrics_port: int | None = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
@@ -126,6 +129,20 @@ class NetServerHost:
         self._inflight: str | None = None
         self.submits_deduplicated = 0
         self.submits_dropped_stale = 0
+        #: ``/metrics`` endpoint config; started with the host when a port
+        #: (0 = ephemeral) was given.
+        self._metrics_port = metrics_port
+        self._metrics_host = metrics_host
+        self.metrics_server = None
+        #: Optional :class:`repro.obs.tracing.SpanLog`: when set, every
+        #: delivered SUBMIT that carries a trace id is recorded as a
+        #: server-side instant, extending the causal trace across the
+        #: process boundary.
+        self.span_log = None
+        registry = get_registry()
+        self._obs_submits = registry.counter("server.submits_delivered")
+        self._obs_dedup = registry.counter("server.submits_deduplicated")
+        self._obs_dropped = registry.counter("server.submits_dropped_stale")
 
     # ---------------------------------------------------------------- #
     # Lifecycle
@@ -155,8 +172,20 @@ class NetServerHost:
             self._handle_connection, self.host, self.port
         )
         self.port = self._listener.sockets[0].getsockname()[1]
+        if self._metrics_port is not None:
+            from repro.obs.exposition import MetricsHTTPServer
+
+            self.metrics_server = MetricsHTTPServer(
+                get_registry(),
+                host=self._metrics_host,
+                port=self._metrics_port,
+            )
+            await self.metrics_server.start()
 
     async def stop(self) -> None:
+        if self.metrics_server is not None:
+            await self.metrics_server.stop()
+            self.metrics_server = None
         if self._listener is not None:
             self._listener.close()
             await self._listener.wait_closed()
@@ -248,6 +277,7 @@ class NetServerHost:
         if journaled is not None and journaled[0] == t:
             # Retransmission of the last answered SUBMIT: resend its REPLY.
             self.submits_deduplicated += 1
+            self._obs_dedup.inc()
             self._write_frame(name, journaled[1])
             return
         floor = self._seen.get(client_id, 0)
@@ -257,8 +287,19 @@ class NetServerHost:
             # Already applied but the REPLY is gone (journal lost across a
             # host restart): unanswerable — the client's deadline handles it.
             self.submits_dropped_stale += 1
+            self._obs_dropped.inc()
             return
         self._seen[client_id] = t
+        self._obs_submits.inc()
+        if self.span_log is not None and message.trace_id is not None:
+            assert self.scheduler is not None
+            self.span_log.instant(
+                "server:submit",
+                ts=self.scheduler.now,
+                trace_id=message.trace_id,
+                proc=f"server:{self.server_name}",
+                args={"client": client_id, "timestamp": t},
+            )
         self._inflight = name
         try:
             self.node.deliver(name, message)
@@ -300,15 +341,23 @@ def serve_forever(
     storage: str = "memory",
     server_factory: Callable[[int, str], UstorServer] | None = None,
     announce: Callable[[str], None] = print,
+    metrics_port: int | None = None,
 ) -> int:
     """Run one server process until interrupted (``repro serve``).
 
     Prints ``LISTENING <host> <port>`` once the socket is bound — the
-    supervisor and the CI smoke test wait for that line.
+    supervisor and the CI smoke test wait for that line.  With
+    ``metrics_port`` (0 = ephemeral) the process enables a recording
+    metrics registry, exposes it at ``http://<host>:<metrics_port>/metrics``
+    and announces ``METRICS <host> <port>`` the same way.
     """
     loop = asyncio.new_event_loop()
     try:
         asyncio.set_event_loop(loop)
+        if metrics_port is not None:
+            from repro.obs.registry import enable_metrics
+
+            enable_metrics()
         server = NetServerHost(
             num_clients,
             host=host,
@@ -316,9 +365,15 @@ def serve_forever(
             server_name=server_name,
             storage=storage,
             server_factory=server_factory,
+            metrics_port=metrics_port,
         )
         loop.run_until_complete(server.start())
         announce(f"LISTENING {server.host} {server.port}")
+        if server.metrics_server is not None:
+            announce(
+                f"METRICS {server.metrics_server.host} "
+                f"{server.metrics_server.port}"
+            )
         try:
             loop.run_forever()
         except KeyboardInterrupt:

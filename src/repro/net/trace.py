@@ -88,6 +88,7 @@ class WireTraceWriter:
         server_name: str = "S",
         endpoints: tuple[str, ...] = (),
         commit_piggyback: bool = False,
+        trace_ids: bool = False,
     ) -> None:
         self.path = path
         self._clock = clock
@@ -103,6 +104,10 @@ class WireTraceWriter:
                 "server": server_name,
                 "endpoints": list(endpoints),
                 "piggyback": commit_piggyback,
+                # Recorded so replay rebuilds clients that mint the same
+                # trace-id field (byte-identical frames either way); old
+                # traces simply lack the key and default to False.
+                "trace_ids": trace_ids,
             }
         )
 
@@ -253,6 +258,7 @@ def replay_trace(path: str) -> ReplayResult:
             server_name=server_name,
             recorder=recorder,
             commit_piggyback=bool(header.get("piggyback", False)),
+            trace_ids=bool(header.get("trace_ids", False)),
         )
         transport.register(client)
         clients.append(client)

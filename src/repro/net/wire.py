@@ -15,6 +15,13 @@ socket can carry, and a recorded frame decodes with the same validation
 a WAL record gets (malformed input from a Byzantine server raises
 :class:`~repro.common.errors.EncodingError`, never half-builds a
 message).
+
+SUBMIT/COMMIT/REPLY tuples may carry one *optional trailing* element —
+the causal trace id (:mod:`repro.obs.tracing`).  The codec appends it
+only when present and pads it with ``None`` when absent, so decoders for
+the longer form read every old frame, WAL record and wire trace
+unchanged, and a deployment with tracing off emits bytes identical to a
+build that predates the field.
 """
 
 from __future__ import annotations

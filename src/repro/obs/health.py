@@ -1,0 +1,179 @@
+"""Fail-aware health gauges: stability lag, time-to-detection, audits.
+
+The paper's product promise is that clients *learn* about server
+misbehaviour with bounded lag; :class:`HealthMonitor` turns that promise
+into numbers a dashboard can alarm on:
+
+* ``health.c<i>.stability_lag`` — operations client ``i`` has issued
+  minus operations of ``i`` known stable.  FAUST clients answer from
+  their own :class:`~repro.faust.stability.StabilityTracker` (the
+  paper's ``W_i`` cut); plain USTOR clients have no tracker, so the
+  monitor computes the global-observer proxy ``min_j V_j[i]`` over the
+  co-resident clients' version vectors — the exact quantity the offline
+  checkers use.
+* ``health.time_to_detection`` — first ``fail_i`` output minus the first
+  known Byzantine *deviation*.  Deviation times come from
+  :meth:`note_deviation`, or are auto-discovered from server attributes
+  the adversaries already expose (``rollback_crash_time``,
+  ``first_deviation_at``); absent both, the monitor's start time is the
+  conservative baseline.
+* ``health.failures`` / ``health.first_failure_time`` — the
+  ``FailureNotification`` fan-out, recorded by failure listeners the
+  monitor registers on every client; the timestamps coincide with the
+  :class:`~repro.api.events.NotificationHub`'s because both listen on
+  the same client callbacks under the same clock.
+* ``audit.*`` — progress and verdict of an attached
+  :class:`~repro.workloads.runner.IncrementalAuditor`.
+
+Gauges are only as fresh as the last :meth:`refresh`; the exposition
+layer calls it on every scrape/snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.obs.registry import Registry, get_registry
+
+#: Server attributes understood as "first Byzantine deviation" times, in
+#: the order they are preferred.  ``rollback_crash_time`` is when the
+#: rollback adversary snapshots reality and starts lying about it.
+_DEVIATION_ATTRS = ("first_deviation_at", "rollback_crash_time")
+
+
+class HealthMonitor:
+    """Computes the fail-aware gauges for one running system.
+
+    ``clients`` are protocol clients (USTOR or FAUST); ``now`` is the
+    deployment's clock (the simulator scheduler's or wall time).
+    ``servers`` are optional server objects probed for deviation
+    timestamps on refresh.  The monitor registers a failure listener on
+    every client at construction, so detections are timestamped even if
+    nobody refreshes until after the run.
+    """
+
+    def __init__(
+        self,
+        clients: Iterable,
+        now: Callable[[], float],
+        *,
+        registry: Registry | None = None,
+        servers: Iterable = (),
+        auditor=None,
+    ) -> None:
+        self._clients = list(clients)
+        self._now = now
+        self._registry = registry if registry is not None else get_registry()
+        self._servers = list(servers)
+        self._auditor = auditor
+        self.started_at = now()
+        #: (time, client_index, reason) per observed ``fail_i``.
+        self.failures: list[tuple[float, int, str]] = []
+        self.deviation_time: float | None = None
+        self._failures_counter = self._registry.counter("health.failures")
+        for index, client in enumerate(self._clients):
+            add = getattr(client, "add_failure_listener", None)
+            if add is not None:
+                add(self._make_failure_listener(index))
+
+    def _make_failure_listener(self, index: int):
+        def on_fail(reason: str) -> None:
+            self.failures.append((self._now(), index, reason))
+            self._failures_counter.inc()
+
+        return on_fail
+
+    def note_deviation(self, time: float) -> None:
+        """Record the (earliest known) Byzantine deviation time."""
+        if self.deviation_time is None or time < self.deviation_time:
+            self.deviation_time = time
+
+    def watch_auditor(self, auditor) -> None:
+        """Attach an incremental auditor whose progress refresh reports."""
+        self._auditor = auditor
+
+    # ---------------------------------------------------------------- #
+    # Derived quantities
+    # ---------------------------------------------------------------- #
+
+    def stability_lags(self) -> list[int]:
+        """Per-client ops issued minus ops stable, at this instant."""
+        vectors = []
+        for client in self._clients:
+            version = getattr(client, "version", None)
+            vectors.append(tuple(version.vector) if version is not None else ())
+        lags = []
+        for index, client in enumerate(self._clients):
+            issued = vectors[index][index] if vectors[index] else 0
+            tracker = getattr(client, "tracker", None)
+            if tracker is not None:
+                stable = tracker.stable_timestamp_for_all()
+            else:
+                stable = min(
+                    (v[index] for v in vectors if len(v) > index),
+                    default=0,
+                )
+            lags.append(max(0, issued - stable))
+        return lags
+
+    def first_failure_time(self) -> float | None:
+        """Timestamp of the earliest observed ``fail_i``, or None."""
+        return min((t for t, _c, _r in self.failures), default=None)
+
+    def time_to_detection(self) -> float | None:
+        """Seconds from first deviation (or monitor start) to first fail_i."""
+        detected = self.first_failure_time()
+        if detected is None:
+            return None
+        baseline = (
+            self.deviation_time
+            if self.deviation_time is not None
+            else self.started_at
+        )
+        return max(0.0, detected - baseline)
+
+    def _discover_deviation(self) -> None:
+        for server in self._servers:
+            for attr in _DEVIATION_ATTRS:
+                time = getattr(server, attr, None)
+                if time is not None:
+                    self.note_deviation(time)
+                    break
+
+    def refresh(self) -> dict:
+        """Recompute every gauge into the registry; returns them as a dict.
+
+        Exposed keys: per-client ``health.c<i>.stability_lag``, the
+        aggregate ``health.max_stability_lag``, detection gauges, and —
+        when an auditor is attached — ``audit.audits`` and ``audit.ok``.
+        """
+        registry = self._registry
+        self._discover_deviation()
+        values: dict = {}
+        lags = self.stability_lags()
+        for index, lag in enumerate(lags):
+            name = f"health.c{index}.stability_lag"
+            registry.gauge(name).set(lag)
+            values[name] = lag
+        max_lag = max(lags, default=0)
+        registry.gauge("health.max_stability_lag").set(max_lag)
+        values["health.max_stability_lag"] = max_lag
+        first_fail = self.first_failure_time()
+        if first_fail is not None:
+            registry.gauge("health.first_failure_time").set(first_fail)
+            values["health.first_failure_time"] = first_fail
+        detection = self.time_to_detection()
+        if detection is not None:
+            registry.gauge("health.time_to_detection").set(detection)
+            values["health.time_to_detection"] = detection
+        if self.deviation_time is not None:
+            registry.gauge("health.deviation_time").set(self.deviation_time)
+            values["health.deviation_time"] = self.deviation_time
+        if self._auditor is not None:
+            audits = len(getattr(self._auditor, "audits", ()))
+            ok = 1.0 if getattr(self._auditor, "ok", True) else 0.0
+            registry.gauge("audit.runs").set(audits)
+            registry.gauge("audit.ok").set(ok)
+            values["audit.runs"] = audits
+            values["audit.ok"] = ok
+        return values

@@ -32,6 +32,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.registry import get_registry
+
 
 @dataclass
 class TimerStat:
@@ -65,13 +67,52 @@ class AllocationStat:
             self.peak_bytes = peak
 
 
+class _AllocSection:
+    """One open ``track_allocations`` section (process-global stack entry).
+
+    ``peak_so_far`` carries the highest *absolute* traced-memory peak
+    observed while the section was open: every inner section boundary
+    folds the current peak into all open sections before resetting the
+    high-water mark, so an outer section keeps its pre-inner peak even
+    though the inner section resets :mod:`tracemalloc`'s single counter.
+    """
+
+    __slots__ = ("before", "peak_so_far")
+
+    def __init__(self, before: int) -> None:
+        self.before = before
+        self.peak_so_far = before
+
+
+#: Open allocation-tracking sections, outermost first.  tracemalloc is
+#: process-global state, so the stack is too (shared across Profilers).
+_alloc_stack: list[_AllocSection] = []
+_tracing_started_by_us = False
+
+
+def _fold_peak_into_open_sections(peak: int) -> None:
+    for section in _alloc_stack:
+        if peak > section.peak_so_far:
+            section.peak_so_far = peak
+
+
 @dataclass
 class Profiler:
-    """Timers + counters + allocation stats with a JSON-able snapshot."""
+    """Timers + counters + allocation stats with a JSON-able snapshot.
+
+    When the process-wide :mod:`repro.obs` registry is enabled
+    (:func:`repro.obs.registry.enable_metrics`), timers and counters are
+    mirrored onto it as ``perf.timer.<name>`` histograms and
+    ``perf.counter.<name>`` counters, so profiler sections show up in
+    the same exposition (``/metrics``, ``repro stats``) as the runtime's
+    own instrumentation.  :meth:`snapshot` always reads the local state.
+    """
 
     timers: dict[str, TimerStat] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     allocations: dict[str, AllocationStat] = field(default_factory=dict)
+    #: The obs registry mirrored into (captured at construction).
+    registry: Any = field(default_factory=get_registry, repr=False, compare=False)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -85,38 +126,61 @@ class Profiler:
             if stat is None:
                 stat = self.timers[name] = TimerStat()
             stat.observe(elapsed)
+            if self.registry.enabled:
+                self.registry.histogram(f"perf.timer.{name}").observe(elapsed)
 
     def count(self, name: str, by: int = 1) -> None:
         """Add ``by`` to the named counter (created at zero)."""
         self.counters[name] = self.counters.get(name, 0) + by
+        if self.registry.enabled:
+            self.registry.counter(f"perf.counter.{name}").inc(by)
 
     @contextmanager
     def track_allocations(self, name: str) -> Iterator[None]:
         """Record the traced-memory delta of the ``with`` body.
 
         Starts :mod:`tracemalloc` only if it is not already running (and
-        stops it again in that case).  The peak high-water mark is reset
-        on entry, so ``peak_bytes`` is the peak *above the section's
-        starting usage* — not the process-lifetime peak — even when
-        ambient tracing was already active.  (With nested sections the
-        inner reset means an outer section's peak reflects its post-inner
-        high-water; peaks are per-section measurements, not a hierarchy.)
+        stops it again once the last tracked section exits).  The peak
+        high-water mark is reset on entry, so ``peak_bytes`` is the peak
+        *above the section's starting usage* — not the process-lifetime
+        peak — even when ambient tracing was already active.
+
+        Sections nest correctly: tracemalloc has a single process-wide
+        high-water mark, so each section boundary folds the current peak
+        into every still-open section before resetting it.  An outer
+        section therefore reports ``max`` over its whole body (including
+        any peak reached *before* an inner section reset the mark), and
+        an inner section never inherits allocations from outside itself.
         """
-        started_here = not tracemalloc.is_tracing()
-        if started_here:
+        global _tracing_started_by_us
+        if not tracemalloc.is_tracing():
             tracemalloc.start()
-        before, _ = tracemalloc.get_traced_memory()
+            _tracing_started_by_us = True
+        before, peak = tracemalloc.get_traced_memory()
+        _fold_peak_into_open_sections(peak)
         tracemalloc.reset_peak()
+        section = _AllocSection(before)
+        _alloc_stack.append(section)
         try:
             yield
         finally:
             current, peak = tracemalloc.get_traced_memory()
-            if started_here:
+            for index, open_section in enumerate(_alloc_stack):
+                if open_section is section:
+                    del _alloc_stack[index]
+                    break
+            _fold_peak_into_open_sections(peak)
+            tracemalloc.reset_peak()
+            if not _alloc_stack and _tracing_started_by_us:
                 tracemalloc.stop()
+                _tracing_started_by_us = False
             stat = self.allocations.get(name)
             if stat is None:
                 stat = self.allocations[name] = AllocationStat()
-            stat.observe(max(0, current - before), max(0, peak - before))
+            stat.observe(
+                max(0, current - section.before),
+                max(0, max(section.peak_so_far, peak) - section.before),
+            )
 
     def snapshot(self) -> dict[str, Any]:
         """Everything collected so far as plain JSON-able data."""
@@ -265,4 +329,7 @@ def system_profile(system: Any) -> dict[str, Any]:
     if backend_name is not None:
         profile["backend"] = backend_name
     profile["hot_path_caches"] = hot_path_cache_stats()
+    registry = get_registry()
+    if registry.enabled:
+        profile["obs"] = registry.snapshot()
     return profile

@@ -37,6 +37,7 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.common.errors import ChannelError, SimulationError
+from repro.obs.registry import Counter, get_registry
 from repro.sim.process import Node
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import SimTrace
@@ -177,10 +178,25 @@ class Network:
         self._links: dict[tuple[str, str], _Link] = {}
         self._batching = bool(batching)
         self._open_bursts: dict[tuple[str, str], _Burst] = {}
-        #: Batching instrumentation: delivery events created, and messages
-        #: that rode an already-open burst (saved scheduler events).
-        self.bursts_formed = 0
-        self.messages_coalesced = 0
+        # Batching instrumentation lives on repro.obs counters: the
+        # per-instance pair backs the read-through aliases below (always
+        # counting, so per-network stats work with metrics off), while the
+        # registry pair aggregates across every network when metrics are on.
+        self._bursts_counter = Counter()
+        self._coalesced_counter = Counter()
+        registry = get_registry()
+        self._obs_bursts = registry.counter("sim.network.bursts_formed")
+        self._obs_coalesced = registry.counter("sim.network.messages_coalesced")
+
+    @property
+    def bursts_formed(self) -> int:
+        """Delivery events created for message bursts (batching mode)."""
+        return self._bursts_counter.value
+
+    @property
+    def messages_coalesced(self) -> int:
+        """Messages that rode an already-open burst (saved scheduler events)."""
+        return self._coalesced_counter.value
 
     @property
     def trace(self) -> SimTrace | None:
@@ -242,7 +258,8 @@ class Network:
             if burst is not None and burst.marker == marker:
                 # Same link, same turn: ride the already-scheduled delivery.
                 burst.messages.append(message)
-                self.messages_coalesced += 1
+                self._coalesced_counter.inc()
+                self._obs_coalesced.inc()
                 self._record(now, burst.delivery, src, dst, message)
                 return
         candidate = now + link.latency.sample(self._scheduler.rng) + link.extra_delay
@@ -255,7 +272,8 @@ class Network:
         if self._batching:
             burst = _Burst(marker, delivery, message)
             self._open_bursts[(src, dst)] = burst
-            self.bursts_formed += 1
+            self._bursts_counter.inc()
+            self._obs_bursts.inc()
             self._scheduler.schedule_at(delivery, self._deliver_burst, src, dst, burst)
         else:
             self._scheduler.schedule_at(delivery, self._deliver, src, dst, message)

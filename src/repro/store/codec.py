@@ -43,6 +43,20 @@ def _shape(value: Any, length: int, what: str) -> tuple:
     return value
 
 
+def _flex_shape(value: Any, base: int, extra: int, what: str) -> tuple:
+    """Shape check for encodings with optional trailing fields.
+
+    Accepts ``base`` to ``base + extra`` elements and pads the missing
+    trailing positions with ``None``, so decoders written for the longer
+    form read older (shorter) encodings unchanged — how the optional
+    trace-id field stays compatible with pre-existing WALs and wire
+    traces.
+    """
+    if not isinstance(value, tuple) or not base <= len(value) <= base + extra:
+        raise EncodingError(f"malformed {what} encoding: {value!r}")
+    return value + (None,) * (base + extra - len(value))
+
+
 # --------------------------------------------------------------------- #
 # Versions
 # --------------------------------------------------------------------- #
@@ -111,19 +125,27 @@ def invocation_from_tuple(data: tuple) -> InvocationTuple:
 
 
 def commit_to_tuple(message: CommitMessage) -> tuple:
-    return (
+    base = (
         version_to_tuple(message.version),
         message.commit_sig,
         message.proof_sig,
     )
+    # The trace id is an *optional trailing* element: absent, the bytes
+    # are identical to every encoding ever written before it existed.
+    if message.trace_id is not None:
+        return base + (message.trace_id,)
+    return base
 
 
 def commit_from_tuple(data: tuple) -> CommitMessage:
-    version, commit_sig, proof_sig = _shape(data, 3, "CommitMessage")
+    version, commit_sig, proof_sig, trace_id = _flex_shape(
+        data, 3, 1, "CommitMessage"
+    )
     return CommitMessage(
         version=version_from_tuple(version),
         commit_sig=commit_sig,
         proof_sig=proof_sig,
+        trace_id=trace_id,
     )
 
 
@@ -131,18 +153,21 @@ def submit_to_tuple(message: SubmitMessage) -> tuple:
     piggyback = (
         None if message.piggyback is None else commit_to_tuple(message.piggyback)
     )
-    return (
+    base = (
         message.timestamp,
         invocation_to_tuple(message.invocation),
         message.value,
         message.data_sig,
         piggyback,
     )
+    if message.trace_id is not None:
+        return base + (message.trace_id,)
+    return base
 
 
 def submit_from_tuple(data: tuple) -> SubmitMessage:
-    timestamp, invocation, value, data_sig, piggyback = _shape(
-        data, 5, "SubmitMessage"
+    timestamp, invocation, value, data_sig, piggyback, trace_id = _flex_shape(
+        data, 5, 1, "SubmitMessage"
     )
     return SubmitMessage(
         timestamp=timestamp,
@@ -150,6 +175,7 @@ def submit_from_tuple(data: tuple) -> SubmitMessage:
         value=value,
         data_sig=data_sig,
         piggyback=None if piggyback is None else commit_from_tuple(piggyback),
+        trace_id=trace_id,
     )
 
 
@@ -160,7 +186,7 @@ def reply_to_tuple(message: ReplyMessage) -> tuple:
         else signed_version_to_tuple(message.reader_version)
     )
     mem = None if message.mem is None else mem_entry_to_tuple(message.mem)
-    return (
+    base = (
         message.commit_index,
         signed_version_to_tuple(message.last_version),
         tuple(invocation_to_tuple(inv) for inv in message.pending),
@@ -168,12 +194,21 @@ def reply_to_tuple(message: ReplyMessage) -> tuple:
         reader_version,
         mem,
     )
+    if message.trace_id is not None:
+        return base + (message.trace_id,)
+    return base
 
 
 def reply_from_tuple(data: tuple) -> ReplyMessage:
-    commit_index, last_version, pending, proofs, reader_version, mem = _shape(
-        data, 6, "ReplyMessage"
-    )
+    (
+        commit_index,
+        last_version,
+        pending,
+        proofs,
+        reader_version,
+        mem,
+        trace_id,
+    ) = _flex_shape(data, 6, 1, "ReplyMessage")
     return ReplyMessage(
         commit_index=commit_index,
         last_version=signed_version_from_tuple(last_version),
@@ -185,6 +220,7 @@ def reply_from_tuple(data: tuple) -> ReplyMessage:
             else signed_version_from_tuple(reader_version)
         ),
         mem=None if mem is None else mem_entry_from_tuple(mem),
+        trace_id=trace_id,
     )
 
 

@@ -42,6 +42,7 @@ from typing import Callable, Iterator
 
 from repro.common.errors import ConfigurationError, StorageError
 from repro.common.types import ClientId
+from repro.obs.registry import SIZE_BUCKETS, get_registry
 from repro.store.codec import (
     commit_from_tuple,
     commit_to_tuple,
@@ -206,6 +207,11 @@ class LogStructuredEngine(StorageEngine):
         self.last_recovery_replayed = 0
         self.group_commit_batches = 0
         self.group_commit_records = 0
+        registry = get_registry()
+        self._obs_wal_appends = registry.counter("store.wal_appends")
+        self._obs_wal_frame_bytes = registry.histogram(
+            "store.wal_frame_bytes", SIZE_BUCKETS
+        )
 
     # ---------------------------------------------------------------- #
     # Logging
@@ -254,6 +260,8 @@ class LogStructuredEngine(StorageEngine):
         self.medium.append(self.WAL, framed)
         self.wal_appends += 1
         self.wal_bytes_written += len(framed)
+        self._obs_wal_appends.inc()
+        self._obs_wal_frame_bytes.observe(len(framed))
         self._records_since_checkpoint += records
 
     # ---------------------------------------------------------------- #

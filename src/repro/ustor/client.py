@@ -39,6 +39,7 @@ from repro.common.types import (
 from repro.crypto.hashing import hash_register_value
 from repro.crypto.keystore import ClientSigner
 from repro.history.recorder import HistoryRecorder
+from repro.obs.tracing import make_trace_id
 from repro.sim.process import Node
 from repro.ustor.digests import extend_digest
 from repro.ustor.messages import (
@@ -108,6 +109,7 @@ class UstorClient(Node):
         recorder: HistoryRecorder | None = None,
         on_fail: Callable[[str], None] | None = None,
         commit_piggyback: bool = False,
+        trace_ids: bool = False,
     ) -> None:
         super().__init__(name=client_name(client_id))
         if signer.client != client_id:
@@ -119,6 +121,13 @@ class UstorClient(Node):
         self._recorder = recorder
         self._on_fail = on_fail
         self._piggyback = commit_piggyback
+        #: Stamp SUBMIT/COMMIT with deterministic causal trace ids.  Off
+        #: by default: the wire bytes are then identical to a build that
+        #: predates the field (and E4's size sums are unchanged).
+        self.trace_ids = trace_ids
+        #: Optional :class:`repro.obs.tracing.SpanLog`; when set, the
+        #: client emits submit/commit/fail instants tagged with trace ids.
+        self.span_log = None
 
         # -- Algorithm 1 state (lines 5-7) --------------------------------
         self._last_write_hash = hash_register_value(BOTTOM)  # x_bar_i
@@ -220,6 +229,7 @@ class UstorClient(Node):
             )
         self._pending = _PendingInvocation(kind, register, t, value, op_id, callback)
 
+        trace_id = make_trace_id(self._id, t) if self.trace_ids else None
         message = SubmitMessage(
             timestamp=t,
             invocation=InvocationTuple(
@@ -228,7 +238,17 @@ class UstorClient(Node):
             value=value if kind is OpKind.WRITE else None,
             data_sig=data_sig,
             piggyback=self._take_deferred_commit(),
+            trace_id=trace_id,
         )
+        if self.span_log is not None:
+            self.span_log.instant(
+                f"submit:{kind.name.lower()}",
+                ts=self.now,
+                trace_id=trace_id if trace_id is not None
+                else make_trace_id(self._id, t),
+                proc="client",
+                args={"client": self._id, "register": register},
+            )
         self.send(self._server, message)  # line 15 / 27
 
     def _take_deferred_commit(self) -> CommitMessage | None:
@@ -263,7 +283,17 @@ class UstorClient(Node):
         )
         proof_sig = self._signer.sign("PROOF", self._version.digests[self._id])
         commit = CommitMessage(
-            version=self._version, commit_sig=commit_sig, proof_sig=proof_sig
+            version=self._version,
+            commit_sig=commit_sig,
+            proof_sig=proof_sig,
+            # Minted locally (not copied from the REPLY's echo): the COMMIT
+            # must stay a pure function of client state so replayed frames
+            # match even when a Byzantine server tampered with the echo.
+            trace_id=(
+                make_trace_id(self._id, pending.timestamp)
+                if self.trace_ids
+                else None
+            ),
         )
         if self._piggyback:
             self._deferred_commit = commit
@@ -474,6 +504,21 @@ class UstorClient(Node):
         trace = self.network.trace
         if trace is not None:
             trace.note(self.now, self.name, "ustor-fail", reason)
+        if self.span_log is not None:
+            # Tag the detection with the offending operation's trace id so
+            # the span log links the SUBMIT to the failure notification.
+            pending = self._pending
+            self.span_log.instant(
+                "fail",
+                ts=self.now,
+                trace_id=(
+                    make_trace_id(self._id, pending.timestamp)
+                    if pending is not None
+                    else None
+                ),
+                proc="client",
+                args={"client": self._id, "reason": reason},
+            )
         if self._on_fail is not None:
             self._on_fail(reason)
         for listener in list(self._fail_listeners):

@@ -101,16 +101,22 @@ class CommitMessage:
     version: Version
     commit_sig: bytes  # phi — over (COMMIT, V, M)
     proof_sig: bytes  # psi — over (PROOF, M[i])
+    #: Optional causal trace id (not part of the paper's protocol; rides
+    #: outside every signature, so correctness never depends on it).
+    trace_id: int | None = None
 
     kind = "COMMIT"
 
     def wire_size(self) -> int:
-        return (
+        size = (
             MARKER_BYTES
             + version_wire_size(self.version)
             + _sig_size(self.commit_sig)
             + _sig_size(self.proof_sig)
         )
+        if self.trace_id is not None:
+            size += INT_BYTES
+        return size
 
 
 @dataclass(frozen=True)
@@ -126,6 +132,8 @@ class SubmitMessage:
     value: Value | None  # written value; None (BOTTOM) for reads
     data_sig: bytes
     piggyback: CommitMessage | None = None
+    #: Optional causal trace id; echoed by the server into the REPLY.
+    trace_id: int | None = None
 
     kind = "SUBMIT"
 
@@ -139,6 +147,8 @@ class SubmitMessage:
         )
         if self.piggyback is not None:
             size += self.piggyback.wire_size()
+        if self.trace_id is not None:
+            size += INT_BYTES
         return size
 
 
@@ -155,6 +165,8 @@ class ReplyMessage:
     proofs: tuple[bytes | None, ...]  # P — PROOF-signatures
     reader_version: SignedVersion | None = None  # SVER[j]
     mem: MemEntry | None = None  # MEM[j]
+    #: Echo of the SUBMIT's trace id (None when the client sent none).
+    trace_id: int | None = None
 
     kind = "REPLY"
 
@@ -166,4 +178,6 @@ class ReplyMessage:
             size += self.reader_version.wire_size()
         if self.mem is not None:
             size += self.mem.wire_size()
+        if self.trace_id is not None:
+            size += INT_BYTES
         return size

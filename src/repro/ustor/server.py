@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ProtocolError
 from repro.common.types import ClientId, OpKind, parse_client_name
+from repro.obs.registry import COUNT_BUCKETS, get_registry
 from repro.sim.process import Node
 from repro.ustor.messages import (
     CommitMessage,
@@ -124,6 +125,7 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
             proofs=state.proofs_as_tuple(),
             reader_version=state.sver[j],
             mem=state.mem[j],
+            trace_id=message.trace_id,
         )
     else:
         # line 113: store the new value.
@@ -135,6 +137,7 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
             last_version=state.sver[state.commit_index],
             pending=state.pending_as_tuple(),
             proofs=state.proofs_as_tuple(),
+            trace_id=message.trace_id,
         )
 
     # line 116: append after building the reply — the submitting operation
@@ -220,6 +223,13 @@ class UstorServer(Node):
         # Group-commit instrumentation.
         self.group_commits = 0
         self.largest_group_commit = 0
+        registry = get_registry()
+        self._obs_submits = registry.counter("ustor.server.submits")
+        self._obs_commits = registry.counter("ustor.server.commits")
+        self._obs_group_commits = registry.counter("ustor.server.group_commits")
+        self._obs_group_size = registry.histogram(
+            "ustor.server.group_commit_records", COUNT_BUCKETS
+        )
         # Crash-recovery instrumentation (scenarios compare the two).
         self.restarts = 0
         self.last_pre_crash_state: ServerState | None = None
@@ -286,6 +296,8 @@ class UstorServer(Node):
                 self.largest_group_commit = max(
                     self.largest_group_commit, len(records)
                 )
+                self._obs_group_commits.inc()
+                self._obs_group_size.observe(len(records))
             else:
                 # A poison message aborted the drain.  Unbatched mode
                 # consumes the poison delivery (its handler raised) but
@@ -354,6 +366,7 @@ class UstorServer(Node):
         self._log_submit(message)
         self._maybe_checkpoint()
         self.submits_handled += 1
+        self._obs_submits.inc()
         self.max_pending_len = max(self.max_pending_len, len(self.state.pending))
         self.send(src, reply)
 
@@ -370,3 +383,4 @@ class UstorServer(Node):
             gc_advanced=len(self.state.pending) < pending_before
         )
         self.commits_handled += 1
+        self._obs_commits.inc()

@@ -23,6 +23,7 @@ from repro.common.types import ClientId
 from repro.crypto.keystore import KeyStore
 from repro.history.history import History
 from repro.history.recorder import HistoryRecorder
+from repro.obs.registry import COUNT_BUCKETS, get_registry
 from repro.sim.faults import ServerFaultInjector
 from repro.sim.network import FixedLatency, LatencyModel, Network
 from repro.sim.offline import OfflineChannel
@@ -56,6 +57,9 @@ class StorageSystem:
     #: The throughput pipeline this deployment was built with (``None``
     #: = unbatched); sessions read their flush policy from here.
     batching: "BatchingPolicy | None" = None
+    #: Assign a :class:`repro.obs.tracing.SpanLog` here *before* opening
+    #: sessions to collect per-operation spans (sessions capture it once).
+    span_log: object | None = None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Advance the simulation; returns the number of events fired."""
@@ -216,6 +220,10 @@ class IncrementalAuditor:
         self._ops_at_last_audit = 0
         #: Periodic snapshots, in audit order.
         self.audits: list[AuditRecord] = []
+        registry = get_registry()
+        self._obs_audits = registry.counter("audit.audits")
+        self._obs_delta = registry.histogram("audit.delta_ops", COUNT_BUCKETS)
+        self._obs_ok = registry.gauge("audit.ok")
         self._timer = PeriodicTimer(system.scheduler, every, self.snapshot)
         self._timer.start()
 
@@ -240,6 +248,9 @@ class IncrementalAuditor:
         )
         self._ops_at_last_audit = streamed
         self.audits.append(record)
+        self._obs_audits.inc()
+        self._obs_delta.observe(record.delta_ops)
+        self._obs_ok.set(1.0 if record.ok else 0.0)
         return record
 
     def stop(self) -> None:

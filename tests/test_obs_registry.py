@@ -1,0 +1,200 @@
+"""Unit tests for the metrics registry (``repro.obs.registry``).
+
+The registry's contract has two halves: enabled registries share
+instruments by dotted name and snapshot everything; the disabled default
+hands out detached/no-op instruments whose cost is near zero and whose
+values nobody ever reads.  Both halves are pinned here, plus the
+histogram's nearest-rank percentile math the exposition layer leans on.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    enable_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(())
+        with pytest.raises(ConfigurationError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram((2.0, 1.0))
+
+    def test_histogram_exact_aggregates(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(555.5)
+        assert hist.mean == pytest.approx(555.5 / 4)
+        assert hist.max == 500.0
+
+    def test_histogram_percentiles_are_nearest_rank(self):
+        hist = Histogram((1.0, 10.0, 100.0))
+        # 90 observations <= 1.0, 10 in (1, 10]: p50 is the first bucket's
+        # upper bound, p95 and p99 the second's.
+        for _ in range(90):
+            hist.observe(0.5)
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.p50 == 1.0
+        assert hist.p95 == 10.0
+        assert hist.p99 == 10.0
+
+    def test_histogram_overflow_rank_answers_exact_max(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.5)
+        hist.observe(123.0)  # above every bound: overflow bucket
+        assert hist.percentile(1.0) == 123.0
+
+    def test_histogram_percentile_domain_and_empty(self):
+        hist = Histogram((1.0,))
+        assert hist.percentile(0.5) == 0.0  # empty
+        with pytest.raises(ConfigurationError):
+            hist.percentile(1.5)
+
+    def test_histogram_bucket_counts_are_cumulative(self):
+        hist = Histogram((1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        assert hist.bucket_counts() == [(1.0, 1), (10.0, 2), (inf, 3)]
+
+    def test_histogram_snapshot_keys(self):
+        hist = Histogram(COUNT_BUCKETS)
+        hist.observe(3)
+        snap = hist.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "max", "p50", "p95", "p99"}
+        assert snap["count"] == 1
+
+
+class TestRegistry:
+    def test_same_name_shares_one_instrument(self):
+        registry = Registry()
+        a = registry.counter("net.frames_sent")
+        b = registry.counter("net.frames_sent")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_collision_is_loud(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_histogram_bounds_mismatch_is_loud(self):
+        registry = Registry()
+        registry.histogram("h", COUNT_BUCKETS)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", LATENCY_BUCKETS)
+        assert registry.histogram("h", COUNT_BUCKETS).bounds == COUNT_BUCKETS
+
+    def test_names_get_and_snapshot(self):
+        registry = Registry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.gauge").set(1.5)
+        registry.histogram("c.hist", (1.0,)).observe(0.5)
+        assert registry.names() == ["a.gauge", "b.count", "c.hist"]
+        assert registry.get("b.count").value == 2
+        assert registry.get("missing") is None
+        snap = registry.snapshot()
+        assert snap["b.count"] == 2
+        assert snap["a.gauge"] == 1.5
+        assert snap["c.hist"]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert Registry().enabled is True
+
+    def test_counters_are_detached_but_still_count(self):
+        registry = NullRegistry()
+        a = registry.counter("same.name")
+        b = registry.counter("same.name")
+        assert a is not b  # detached: no shared aggregation
+        a.inc(3)
+        assert a.value == 3  # per-instance aliases keep working
+        assert b.value == 0
+
+    def test_histogram_is_shared_noop(self):
+        registry = NullRegistry()
+        a = registry.histogram("x")
+        b = registry.histogram("y", COUNT_BUCKETS)
+        assert a is b  # one shared sink
+        a.observe(123.0)
+        assert a.count == 0  # observe discards
+
+    def test_snapshot_is_empty(self):
+        registry = NullRegistry()
+        registry.counter("x").inc()
+        registry.gauge("y").set(1.0)
+        assert registry.snapshot() == {}
+        assert registry.names() == []
+
+
+class TestProcessRegistry:
+    def test_default_is_disabled(self):
+        assert get_registry().enabled is False
+
+    def test_set_registry_returns_previous(self):
+        fresh = Registry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        scoped = Registry()
+        with use_registry(scoped) as active:
+            assert active is scoped
+            assert get_registry() is scoped
+        assert get_registry() is outer
+
+    def test_enable_metrics_installs_a_fresh_recorder(self):
+        previous = get_registry()
+        try:
+            registry = enable_metrics()
+            assert get_registry() is registry
+            assert registry.enabled
+            assert registry.snapshot() == {}
+        finally:
+            set_registry(previous)

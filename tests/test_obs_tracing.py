@@ -1,0 +1,96 @@
+"""Unit tests for causal trace ids and the span log (``repro.obs.tracing``).
+
+Trace ids must be pure functions of protocol state (client index and
+protocol timestamp) — that is what keeps ``repro replay --check``
+byte-identical when ids ride the wire — and the span log must export
+both grep-friendly JSONL and viewer-ready Chrome trace events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.tracing import (
+    TIMESTAMP_BITS,
+    SpanLog,
+    make_trace_id,
+    trace_client,
+    trace_timestamp,
+)
+
+
+class TestTraceIds:
+    def test_id_is_a_pure_function_of_the_pair(self):
+        assert make_trace_id(0, 1) == 1
+        assert make_trace_id(1, 1) == (1 << TIMESTAMP_BITS) | 1
+        assert make_trace_id(2, 7) == make_trace_id(2, 7)
+
+    def test_round_trip(self):
+        trace_id = make_trace_id(5, 1234)
+        assert trace_client(trace_id) == 5
+        assert trace_timestamp(trace_id) == 1234
+
+    def test_negative_operands_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace_id(-1, 0)
+        with pytest.raises(ConfigurationError):
+            make_trace_id(0, -1)
+
+
+class TestSpanLog:
+    def test_span_and_instant_records(self):
+        log = SpanLog()
+        span = log.span("op:write", ts=1.0, dur=0.5, trace_id=7,
+                        args={"client": 0})
+        instant = log.instant("fail", ts=2.0, trace_id=7, proc="client")
+        assert len(log) == 2
+        assert span["ph"] == "X" and span["dur"] == 0.5
+        assert instant["ph"] == "i" and "dur" not in instant
+        assert log.records == [span, instant]
+
+    def test_for_trace_filters_by_id(self):
+        log = SpanLog()
+        log.instant("a", ts=0.0, trace_id=1)
+        log.instant("b", ts=1.0, trace_id=2)
+        log.instant("c", ts=2.0, trace_id=1)
+        assert [r["name"] for r in log.for_trace(1)] == ["a", "c"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = SpanLog()
+        log.span("op:read", ts=0.25, dur=1.0, trace_id=3)
+        path = tmp_path / "spans.jsonl"
+        assert log.write_jsonl(path) == 1
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["trace_id"] == 3
+
+    def test_chrome_events_scale_and_layout(self):
+        log = SpanLog()
+        log.span("op:write", ts=1.0, dur=0.5,
+                 trace_id=make_trace_id(2, 9), proc="client")
+        log.instant("server:submit", ts=1.2,
+                    trace_id=make_trace_id(2, 9), proc="server:S")
+        events = log.chrome_events()
+        metas = [e for e in events if e["ph"] == "M"]
+        # One process_name metadata event per distinct proc.
+        assert {m["args"]["name"] for m in metas} == {"client", "server:S"}
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["ts"] == pytest.approx(1_000_000.0)
+        assert span["dur"] == pytest.approx(500_000.0)
+        assert span["tid"] == 2  # the trace id's client index is the row
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+        # The two reporting components land in different viewer processes.
+        assert span["pid"] != instant["pid"]
+
+    def test_write_chrome_is_loadable_json(self, tmp_path):
+        log = SpanLog()
+        log.instant("x", ts=0.0)
+        path = tmp_path / "trace.json"
+        count = log.write_chrome(path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count

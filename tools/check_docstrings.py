@@ -3,9 +3,9 @@
 
 The container has no ``interrogate`` wheel, so this is a dependency-free
 equivalent: walk the AST of every module under the audited packages
-(default: ``repro.api``, ``repro.cluster``, ``repro.consistency`` and
-``repro.perf`` — the surfaces applications program against) and require a
-docstring on
+(default: ``repro.api``, ``repro.cluster``, ``repro.consistency``,
+``repro.obs`` and ``repro.perf`` — the surfaces applications program
+against) and require a docstring on
 
 * every module,
 * every public class (name not starting with ``_``),
@@ -34,6 +34,7 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "api",
     REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "consistency",
+    REPO_ROOT / "src" / "repro" / "obs",
     REPO_ROOT / "src" / "repro" / "perf",
 ]
 
