@@ -111,6 +111,18 @@ def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
         )
 
 
+def _reject_replica_knobs(config: SystemConfig, backend: str) -> None:
+    """Replica groups live behind the cluster backend (or a TCP client
+    with one endpoint per replica): fail loudly rather than silently
+    running a single unreplicated server."""
+    if config.uses_replica_knobs():
+        raise ConfigurationError(
+            f"the {backend!r} backend is single-server: replicas=, quorum=, "
+            f"counter= and replica_server_factories= are only supported on "
+            f"the 'cluster' backend (or transport='tcp' client-side)"
+        )
+
+
 class FaustBackend:
     """USTOR plus the fail-aware layer (Section 6) — the paper's service."""
 
@@ -125,6 +137,7 @@ class FaustBackend:
 
         _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
+        _reject_replica_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
             seed=config.seed,
@@ -161,6 +174,7 @@ class UstorBackend:
         from repro.workloads.runner import SystemBuilder
 
         _reject_cluster_knobs(config, self.name)
+        _reject_replica_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
             seed=config.seed,
@@ -181,6 +195,7 @@ class UstorBackend:
         raw = open_tcp_system(
             config.num_clients,
             config.endpoints,
+            server_name=config.server_name,
             seed=config.seed,
             scheme=config.scheme,
             default_timeout=config.default_timeout,
@@ -188,6 +203,9 @@ class UstorBackend:
             trace_path=config.trace_path,
             trace_ids=config.trace_ids,
             span_log=config.span_log,
+            replicas=config.replicas,
+            quorum=config.quorum,
+            counter=config.counter is not None,
         )
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
@@ -206,6 +224,7 @@ class LockstepBackend:
 
         _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
+        _reject_replica_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
         raw = build_lockstep_system(
@@ -232,6 +251,7 @@ class UncheckedBackend:
 
         _reject_tcp_transport(config, self.name)
         _reject_cluster_knobs(config, self.name)
+        _reject_replica_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
         raw = build_unchecked_system(

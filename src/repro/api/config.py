@@ -134,6 +134,25 @@ class SystemConfig:
     #: Crash-recovery windows targeting single shards:
     #: ``(shard, start, duration)`` triples (``cluster`` backend only).
     shard_outages: tuple[tuple[int, float, float], ...] = ()
+    #: Replicas per shard (:mod:`repro.replica`).  ``1`` is the paper's
+    #: single untrusted server; ``>1`` puts a client-side quorum group
+    #: behind each shard (``cluster`` backend, or ``transport='tcp'``
+    #: with one endpoint per replica).
+    replicas: int = 1
+    #: REPLYs that must agree byte-for-byte to elect a round's winner.
+    #: ``None`` = majority (``replicas // 2 + 1``); ``replicas`` demands
+    #: unanimity (nothing masked, everything detected).
+    quorum: int | None = None
+    #: Trusted monotonic counter per replica (``None`` = no trust
+    #: anchor): ``"durable"`` survives server crashes (the hardware
+    #: model, catches rollbacks in O(1) operations), ``"volatile"``
+    #: resets with the process (demonstrates why durability is part of
+    #: the trust model).  Over tcp the flag only arms the client-side
+    #: verifier — the counter itself belongs to ``repro serve --counter``.
+    counter: str | None = None
+    #: Per-replica server overrides ``{replica: factory}`` — lets one
+    #: replica run a Byzantine server while the rest stay honest.
+    replica_server_factories: dict = field(default_factory=dict)
     #: The throughput pipeline: ``None`` (default) runs fully unbatched —
     #: one scheduler event per message, one WAL append per record, ops
     #: issued as submitted.  A :class:`BatchingPolicy` (or ``True`` for
@@ -146,10 +165,14 @@ class SystemConfig:
     #: sockets; ``ustor`` backend only).
     transport: str = "sim"
     #: Server addresses for ``transport="tcp"``: ``host:port`` strings
-    #: (or one comma-separated string).  Exactly one endpoint — the
+    #: (or one comma-separated string).  One endpoint per replica — the
     #: sharded form is launched with ``serve-cluster`` and opened per
     #: shard through :func:`repro.net.client.open_tcp_system`.
     endpoints: tuple[str, ...] = ()
+    #: The name the tcp server process answers as (``repro serve
+    #: --server-name``; ``serve-cluster`` names shard *i* ``S{i}``).  The
+    #: handshake cross-checks it, so it must match the process exactly.
+    server_name: str = "S"
     #: Record the run's wire trace (JSONL) here; replayable with
     #: :func:`repro.net.trace.replay_trace` (``transport="tcp"`` only).
     trace_path: str | None = None
@@ -210,6 +233,29 @@ class SystemConfig:
                     f"shard_server_factories names shard {shard!r} but the "
                     f"cluster has {self.shards} shard(s)"
                 )
+        if self.replicas < 1:
+            raise ConfigurationError("a shard needs at least one replica")
+        if self.quorum is not None:
+            if self.replicas == 1:
+                raise ConfigurationError(
+                    "quorum= tunes a replica group; it needs replicas > 1"
+                )
+            if not 1 <= self.quorum <= self.replicas:
+                raise ConfigurationError(
+                    f"quorum must be in [1, {self.replicas}], "
+                    f"got {self.quorum!r}"
+                )
+        if self.counter not in (None, "volatile", "durable"):
+            raise ConfigurationError(
+                f"counter must be None, 'volatile' or 'durable', "
+                f"got {self.counter!r}"
+            )
+        for replica in self.replica_server_factories:
+            if not 0 <= replica < self.replicas:
+                raise ConfigurationError(
+                    f"replica_server_factories names replica {replica!r} but "
+                    f"each shard has {self.replicas} replica(s)"
+                )
         self._validate_transport()
 
     def _validate_transport(self) -> None:
@@ -239,11 +285,23 @@ class SystemConfig:
                     "tracing; it needs transport='tcp' (simulated runs are "
                     "traced at the session layer)"
                 )
+            if self.server_name != "S":
+                raise ConfigurationError(
+                    "server_name= matches a real server process's handshake; "
+                    "it needs transport='tcp' (simulated servers are named "
+                    "by the backend)"
+                )
             return
         if not self.endpoints:
             raise ConfigurationError(
                 "transport='tcp' needs endpoints= ('host:port', e.g. from "
                 "'python -m repro serve')"
+            )
+        if len(self.endpoints) != self.replicas:
+            raise ConfigurationError(
+                f"transport='tcp' needs one endpoint per replica: "
+                f"replicas={self.replicas} but {len(self.endpoints)} "
+                f"endpoint(s) given"
             )
         server_side = []
         if self.server_factory is not None:
@@ -258,6 +316,8 @@ class SystemConfig:
             server_side.append("latency")
         if self.uses_cluster_knobs():
             server_side.append("shards")
+        if self.replica_server_factories:
+            server_side.append("replica_server_factories")
         if server_side:
             raise ConfigurationError(
                 f"transport='tcp' runs the server in its own process: "
@@ -273,6 +333,15 @@ class SystemConfig:
             or self.shard_protocol != "faust"
             or self.shard_server_factories
             or self.shard_outages
+        )
+
+    def uses_replica_knobs(self) -> bool:
+        """Is any replica-axis knob set away from its single-server default?"""
+        return bool(
+            self.replicas != 1
+            or self.quorum is not None
+            or self.counter is not None
+            or self.replica_server_factories
         )
 
 

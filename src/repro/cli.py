@@ -240,6 +240,31 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _print_quorum_stats(protocol_clients) -> None:
+    """Aggregate and print replica-group stats over the protocol clients."""
+    coordinators = [
+        c.quorum_coordinator
+        for c in protocol_clients
+        if getattr(c, "quorum_coordinator", None) is not None
+    ]
+    if not coordinators:
+        return
+    totals = {"rounds_resolved": 0, "masked_deviations": 0,
+              "read_repairs": 0, "late_replies": 0}
+    convicted: dict[str, str] = {}
+    for coordinator in coordinators:
+        stats = coordinator.stats()
+        for key in totals:
+            totals[key] += stats[key]
+        convicted.update(stats["convicted"])
+    print(f"# replicas: {len(coordinators[0].replicas)} per group, quorum "
+          f"{coordinators[0].quorum}: {totals['rounds_resolved']} round(s) "
+          f"resolved, {totals['masked_deviations']} deviant reply(ies) "
+          f"masked, {totals['read_repairs']} read repair(s)")
+    for replica, violation in sorted(convicted.items()):
+        print(f"#   convicted {replica}: {violation}")
+
+
 def _cmd_run_tcp(args) -> int:
     """The ``run --transport tcp`` path: the client half of a real
     deployment, against ``repro serve`` processes already listening.
@@ -269,6 +294,9 @@ def _cmd_run_tcp(args) -> int:
         server_side.append("--outage")
     if args.batch is not None:
         server_side.append("--batch")
+    if args.server_replica is not None:
+        server_side.append("--server-replica (pick the behaviour per "
+                           "'repro serve' process)")
     if server_side:
         print(f"over tcp the server is its own process; move "
               f"{', '.join(server_side)} to its command line")
@@ -285,10 +313,14 @@ def _cmd_run_tcp(args) -> int:
                 seed=args.seed,
                 transport="tcp",
                 endpoints=args.endpoints,
+                server_name=args.server_name,
                 trace_path=args.trace_file,
                 default_timeout=args.timeout,
                 trace_ids=args.trace_ids,
                 span_log=span_log,
+                replicas=args.replicas,
+                quorum=args.quorum,
+                counter=args.counter,
             ),
             backend="ustor",
         )
@@ -355,6 +387,7 @@ def _cmd_run_tcp(args) -> int:
         frames_in = sum(c.frames_received for c in system.connections)
         print(f"# transport: {frames_out} frame(s) sent, {frames_in} "
               f"received, {reconnects} reconnect(s) with retransmission")
+        _print_quorum_stats(system.clients)
         if auditor is not None:
             final = auditor.final()
             verdicts = " ".join(
@@ -413,9 +446,9 @@ def _cmd_run_tcp(args) -> int:
 def _cmd_run(args) -> int:
     if args.transport == "tcp":
         return _cmd_run_tcp(args)
-    if args.endpoints or args.trace_file:
-        print("--endpoints/--trace-file describe a real deployment; "
-              "add --transport tcp")
+    if args.endpoints or args.trace_file or args.server_name != "S":
+        print("--endpoints/--trace-file/--server-name describe a real "
+              "deployment; add --transport tcp")
         return 2
     if args.metrics_port is not None:
         print("--metrics-port exposes a live process over HTTP; a simulated "
@@ -437,6 +470,28 @@ def _cmd_run(args) -> int:
             "--backend cluster"
         )
         return 2
+    if not is_cluster and (
+        args.replicas != 1 or args.quorum is not None
+        or args.counter is not None or args.server_replica is not None
+    ):
+        print(
+            "--replicas/--quorum/--counter/--server-replica need "
+            "--backend cluster (or --transport tcp)"
+        )
+        return 2
+    if args.server_replica is not None:
+        if args.server == "correct":
+            print("--server-replica targets a Byzantine behaviour; "
+                  "pick a --server")
+            return 2
+        if args.replicas < 2:
+            print("--server-replica targets one replica of a group; "
+                  "add --replicas")
+            return 2
+        if args.server_shard is not None:
+            print("--server-replica and --server-shard both place the "
+                  "behaviour; pick one")
+            return 2
     table = BASELINE_SERVERS.get(backend, SERVERS)
     if args.server not in SERVERS:
         print(f"unknown server {args.server!r}; see 'python -m repro attacks'")
@@ -468,6 +523,7 @@ def _cmd_run(args) -> int:
     if (
         args.server != "correct"
         and args.server_shard is None
+        and args.server_replica is None
         and (args.storage != "memory" or args.outage or args.shard_outage)
     ):
         print(
@@ -500,6 +556,12 @@ def _cmd_run(args) -> int:
         # The chosen behaviour hits one shard; every other shard is honest.
         shard_factories = {args.server_shard: factory}
         factory = None
+    replica_factories = {}
+    if args.server_replica is not None:
+        # The behaviour hits one replica of every group; with quorum-many
+        # honest peers left, its deviation is masked rather than fatal.
+        replica_factories = {args.server_replica: factory}
+        factory = None
     batching = (
         BatchingPolicy(max_batch=args.batch) if args.batch is not None else None
     )
@@ -515,6 +577,10 @@ def _cmd_run(args) -> int:
             shard_map=args.shard_map,
             shard_server_factories=shard_factories,
             shard_outages=shard_outages,
+            replicas=args.replicas,
+            quorum=args.quorum,
+            counter=args.counter,
+            replica_server_factories=replica_factories,
             batching=batching,
             span_log=span_log,
         ),
@@ -558,6 +624,10 @@ def _cmd_run(args) -> int:
         placement = [system.shard_of(r) for r in range(args.clients)]
         print(f"# cluster: {system.num_shards} shard(s), map={args.shard_map}, "
               f"register->shard {placement}")
+        if args.replicas > 1:
+            _print_quorum_stats(
+                [c for shard in system.shards for c in shard.clients]
+            )
     print(f"# completed {driver.stats.total_completed()}/{driver.stats.total_planned()} "
           f"operations by t={system.now:.1f}")
     if batching is not None:
@@ -701,6 +771,7 @@ def _cmd_serve(args) -> int:
             storage=args.storage,
             server_factory=factory,
             metrics_port=args.metrics_port,
+            counter=args.counter,
             # The supervisor and CI block on this line; an unflushed pipe
             # buffer would deadlock them.
             announce=lambda line: print(line, flush=True),
@@ -720,12 +791,17 @@ def _cmd_serve_cluster(args) -> int:
     if args.shards < 1:
         print("--shards takes a positive shard count")
         return 2
+    if args.replicas < 1:
+        print("--replicas takes a positive replica count")
+        return 2
     supervisor = ClusterSupervisor(
         args.clients,
         args.shards,
         host=args.host,
         base_port=args.base_port,
         storage=args.storage,
+        replicas=args.replicas,
+        counter=args.counter,
     )
     try:
         endpoints = supervisor.start()
@@ -733,17 +809,19 @@ def _cmd_serve_cluster(args) -> int:
         print(f"cluster failed to start: {exc}")
         return 1
     try:
-        for shard, endpoint in enumerate(endpoints):
-            host, _, port = endpoint.rpartition(":")
-            print(f"SHARD {shard} LISTENING {host} {port}", flush=True)
+        # Endpoints are flat, shard-major then replica-minor — the order
+        # the TCP client layer expects back via --endpoints.
+        for proc in supervisor.processes:
+            print(f"SHARD {proc.server_name} LISTENING {proc.host} "
+                  f"{proc.port}", flush=True)
         print(f"CLUSTER {','.join(endpoints)}", flush=True)
         while True:
             time.sleep(0.5)
-            for shard, proc in enumerate(supervisor.processes):
+            for proc in supervisor.processes:
                 code = proc.process.poll() if proc.process else None
                 if code is not None:
-                    print(f"shard {shard} exited with code {code}; "
-                          f"stopping the cluster")
+                    print(f"server {proc.server_name} exited with code "
+                          f"{code}; stopping the cluster")
                     return 1
     except KeyboardInterrupt:
         return 0
@@ -861,6 +939,38 @@ def main(argv: list[str] | None = None) -> int:
         "requires --backend cluster)",
     )
     run.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replicas per shard (k-of-n quorum groups; --backend cluster, "
+        "or one endpoint per replica over --transport tcp)",
+    )
+    run.add_argument(
+        "--quorum",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replies that must agree per operation (default: majority "
+        "of --replicas)",
+    )
+    run.add_argument(
+        "--counter",
+        choices=("volatile", "durable"),
+        default=None,
+        help="arm the monotonic-counter trust anchor: every REPLY carries "
+        "a counter attestation the clients verify (rollback caught in "
+        "O(1); over tcp this arms the client-side verifier only)",
+    )
+    run.add_argument(
+        "--server-replica",
+        type=int,
+        default=None,
+        metavar="REPLICA",
+        help="apply the chosen --server behaviour to this replica of every "
+        "shard only (the rest of each group stays honest; requires "
+        "--replicas > 1)",
+    )
+    run.add_argument(
         "--batch",
         type=int,
         default=None,
@@ -888,7 +998,15 @@ def main(argv: list[str] | None = None) -> int:
         "--endpoints",
         default=None,
         metavar="HOST:PORT[,HOST:PORT...]",
-        help="server address(es) for --transport tcp",
+        help="server address(es) for --transport tcp "
+        "(one per replica with --replicas)",
+    )
+    run.add_argument(
+        "--server-name",
+        default="S",
+        metavar="NAME",
+        help="name the tcp server process answers as ('repro serve "
+        "--server-name'; serve-cluster names its shard S0)",
     )
     run.add_argument(
         "--trace-file",
@@ -985,6 +1103,12 @@ def main(argv: list[str] | None = None) -> int:
         help="expose GET /metrics over HTTP (0 picks an ephemeral port; "
         "the METRICS line announces it; scrape with 'repro stats')",
     )
+    serve.add_argument(
+        "--counter", choices=("volatile", "durable"), default=None,
+        help="attach a monotonic counter: every REPLY carries an "
+        "attestation clients can verify; 'durable' with dir: storage "
+        "persists the value across restarts",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
@@ -1015,8 +1139,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     serve_cluster.add_argument(
         "--storage", default="memory",
-        help="per-shard durability; a '{shard}' placeholder is expanded, "
-        "e.g. 'dir:/tmp/faust/shard-{shard}'",
+        help="per-process durability; '{shard}' and '{replica}' "
+        "placeholders are expanded, e.g. 'dir:/tmp/faust/shard-{shard}'",
+    )
+    serve_cluster.add_argument(
+        "--replicas", type=int, default=1,
+        help="server processes per shard (a k-of-n replica group; clients "
+        "connect with matching 'run --transport tcp --replicas')",
+    )
+    serve_cluster.add_argument(
+        "--counter", choices=("volatile", "durable"), default=None,
+        help="attach a monotonic counter to every server process",
     )
     serve_cluster.set_defaults(func=_cmd_serve_cluster)
 

@@ -2,14 +2,18 @@
 
 The cluster backend interprets the shard-axis knobs — ``shards``,
 ``shard_map``, ``shard_protocol``, ``shard_server_factories``,
-``shard_outages`` — and assembles one single-server deployment per shard
-over a shared scheduler.  Everything else (latency models, storage
-engine, FAUST tuning, seeds) applies uniformly to every shard, so a
-config that ran on the ``faust`` backend runs on ``cluster`` by adding
-``shards=N``.
+``shard_outages`` — and the replica-axis knobs — ``replicas``,
+``quorum``, ``counter``, ``replica_server_factories``
+(:mod:`repro.replica`) — and assembles one deployment per shard over a
+shared scheduler.  Everything else (latency models, storage engine,
+FAUST tuning, seeds) applies uniformly to every shard, so a config that
+ran on the ``faust`` backend runs on ``cluster`` by adding ``shards=N``
+(and ``replicas=K`` for rollback-resistant shards).
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.api.config import SystemConfig, validate_outage_windows
 from repro.cluster.shardmap import make_shard_map
@@ -17,6 +21,17 @@ from repro.cluster.system import ClusterSystem
 from repro.common.errors import ConfigurationError
 from repro.sim.scheduler import Scheduler
 from repro.workloads.runner import SystemBuilder
+
+
+def derive_shard_seed(seed: int, shard: int) -> int:
+    """A stable per-shard sub-seed for shard-local RNG streams.
+
+    Hash-derived (not ``seed + shard``) so that neighbouring seeds and
+    neighbouring shards never collide: seed 0 / shard 1 must not draw
+    the stream of seed 1 / shard 0.
+    """
+    digest = hashlib.sha256(f"{seed}/{shard}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
@@ -50,6 +65,20 @@ def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
             storage=config.storage,
             scheduler=scheduler,
             batching=config.batching,
+            # Per-shard latency stream: with one shared stream, shard k's
+            # draws depended on every other shard's message *count* — and
+            # identically-configured shards drew correlated samples.  A
+            # single-shard cluster keeps the shared stream (byte-identical
+            # to the single-server backends).
+            latency_seed=(
+                derive_shard_seed(config.seed, shard)
+                if config.shards > 1
+                else None
+            ),
+            replicas=config.replicas,
+            quorum=config.quorum,
+            counter=config.counter,
+            replica_server_factories=config.replica_server_factories,
         )
         if config.shard_protocol == "faust":
             raw = builder.build_faust(**config.faust.as_kwargs())

@@ -36,7 +36,6 @@ from repro.cluster.shardmap import ShardMap
 from repro.common.errors import ConfigurationError
 from repro.common.types import ClientId, RegisterId, Value, client_name
 from repro.history.history import History
-from repro.sim.faults import MultiServerFaultInjector
 from repro.sim.scheduler import Scheduler
 from repro.workloads.runner import StorageSystem
 
@@ -256,9 +255,6 @@ class ClusterSystem:
         self.clients = [
             ClusterClient(self, i) for i in range(self.num_clients)
         ]
-        self._faults = MultiServerFaultInjector(
-            scheduler, [s.server for s in shards], [s.trace for s in shards]
-        )
         self._sessions: dict[ClientId, ClusterSession] = {}
         #: (client, shard) pairs with at least one user operation.
         self._touched: set[tuple[ClientId, int]] = set()
@@ -406,13 +402,26 @@ class ClusterSystem:
     # -- server faults, with a shard axis ------------------------------- #
 
     def shard_outage(self, shard: int, start: float, duration: float) -> None:
-        """One crash-recovery window for a single shard's server."""
-        self._faults.outage(shard, start, duration)
+        """One crash-recovery window for a single shard.
+
+        On a replicated shard the window hits every replica of that shard
+        (a correlated outage); use :meth:`replica_outage` to crash one
+        replica only — the fault an honest-majority group masks.
+        """
+        self.shards[self.check_shard(shard)].server_outage(start, duration)
+
+    def replica_outage(
+        self, shard: int, replica: int, start: float, duration: float
+    ) -> None:
+        """One crash-recovery window for a single replica of one shard."""
+        self.shards[self.check_shard(shard)].replica_outage(
+            replica, start, duration
+        )
 
     def server_outage(self, start: float, duration: float) -> None:
         """A whole-cluster outage: every shard down over the window."""
         for shard in range(self.num_shards):
-            self._faults.outage(shard, start, duration)
+            self.shard_outage(shard, start, duration)
 
     # ------------------------------------------------------------------ #
     # Histories (per shard — each shard is its own consistency domain)

@@ -23,6 +23,7 @@ from repro.experiments import (
     e15_rollback_recovery,
     e16_cluster_detection,
     e17_throughput,
+    e18_replica_rollback,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = [
     e15_rollback_recovery,
     e16_cluster_detection,
     e17_throughput,
+    e18_replica_rollback,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

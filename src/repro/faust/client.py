@@ -65,6 +65,9 @@ class FaustClient(UstorClient):
         enable_probes: bool = True,
         on_stable: Callable[[tuple[int, ...]], None] | None = None,
         on_faust_fail: Callable[[str], None] | None = None,
+        replica_servers: tuple | None = None,
+        quorum: int | None = None,
+        counter: bool = False,
     ) -> None:
         super().__init__(
             client_id=client_id,
@@ -74,6 +77,9 @@ class FaustClient(UstorClient):
             recorder=recorder,
             on_fail=self._ustor_failed,
             commit_piggyback=commit_piggyback,
+            replica_servers=replica_servers,
+            quorum=quorum,
+            counter=counter,
         )
         self.tracker = StabilityTracker(client_id, num_clients)
         self.delta = delta

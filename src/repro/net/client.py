@@ -152,6 +152,7 @@ class ClientConnection:
         reconnect_delay: float = 0.05,
         sim_trace: SimTrace | None = None,
         trace_writer=None,
+        trace_s2c: bool = True,
     ) -> None:
         self._runtime = runtime
         self.client_id = client_id
@@ -162,6 +163,10 @@ class ClientConnection:
         self._reconnect_delay = reconnect_delay
         self._sim_trace = sim_trace
         self._trace_writer = trace_writer
+        #: With a replica group the raw per-replica REPLY stream is not
+        #: the client's logical input (the quorum winner is), so inbound
+        #: recording moves to the resolution hook and this stays False.
+        self._trace_s2c = trace_s2c
         self._node: UstorClient | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._task: asyncio.Task | None = None
@@ -296,7 +301,7 @@ class ClientConnection:
     def _on_payload(self, payload: bytes) -> None:
         self.frames_received += 1
         self._obs_received.inc()
-        if self._trace_writer is not None:
+        if self._trace_writer is not None and self._trace_s2c:
             self._trace_writer.frame("s2c", self.client_id, payload, retx=False)
         message = payload_to_message(payload)
         if self._sim_trace is not None:
@@ -359,6 +364,15 @@ class ClientTransport:
                 f"no connection from {src!r} to {dst!r}"
             )
         route.send_message(message)
+
+    def send_multi(self, src: str, dsts, message) -> None:
+        """Fan one message out to several servers (replica broadcast).
+
+        TCP gives each replica its own connection, so unlike the
+        simulator's shared-sample :meth:`Network.send_multi` there is no
+        latency stream to share — this is exactly N sends."""
+        for dst in dsts:
+            self.send(src, dst, message)
 
 
 @dataclass
@@ -528,14 +542,31 @@ def open_tcp_system(
     connect_timeout: float | None = 5.0,
     trace_ids: bool = False,
     span_log=None,
+    replicas: int = 1,
+    quorum: int | None = None,
+    counter: bool = False,
 ) -> NetSystem:
-    """Open a single-server deployment over real TCP.
+    """Open a single-shard deployment over real TCP.
 
-    ``endpoints`` must name exactly one ``host:port`` (the sharded form
-    lives in the cluster layer).  Keys are deterministic from
-    ``(scheme, num_clients)`` — the same determinism that makes simulated
-    runs reproducible makes the server processes and the replayer agree
-    with these clients about every signature.
+    ``endpoints`` must name one ``host:port`` per replica — exactly one
+    for the paper's single server (the sharded form lives in the cluster
+    layer).  Keys are deterministic from ``(scheme, num_clients)`` — the
+    same determinism that makes simulated runs reproducible makes the
+    server processes and the replayer agree with these clients about
+    every signature.
+
+    With ``replicas > 1`` each client opens one connection per replica
+    process (named ``S/r0`` .. ``S/r{k-1}``) and resolves replies through
+    a client-side :class:`~repro.replica.coordinator.QuorumCoordinator`;
+    ``counter=True`` additionally arms the
+    :class:`~repro.replica.counter.CounterVerifier` against the counter
+    attestations the server processes attach.  A wire trace then records
+    the client's *logical* streams: outbound frames once per broadcast
+    (on replica ``r0``'s connection) and inbound replies at quorum
+    resolution — the winner the protocol engine consumed, not any one
+    replica's raw arrivals (a round can resolve before ``r0``'s reply
+    lands, and the raw stream would replay out of order).  The
+    single-server replayer works unchanged on that trace.
 
     ``trace_ids=True`` stamps SUBMIT/COMMIT with deterministic causal
     trace ids (recorded in the wire-trace header so replay stays
@@ -544,11 +575,21 @@ def open_tcp_system(
     """
     if isinstance(endpoints, str):
         endpoints = tuple(part for part in endpoints.split(",") if part)
-    if len(endpoints) != 1:
+    if replicas == 1 and len(endpoints) != 1:
         raise ConfigurationError(
             f"a single-server system takes exactly one endpoint, "
             f"got {list(endpoints)!r}"
         )
+    if len(endpoints) != replicas:
+        raise ConfigurationError(
+            f"a replica group needs one endpoint per replica: "
+            f"replicas={replicas} but {len(endpoints)} endpoint(s) given"
+        )
+    replica_names = (
+        [server_name]
+        if replicas == 1
+        else [f"{server_name}/r{k}" for k in range(replicas)]
+    )
     owns_runtime = runtime is None
     runtime = runtime or NetRuntime(seed=seed)
     sim_trace = SimTrace()
@@ -564,12 +605,24 @@ def open_tcp_system(
             clock=lambda: runtime.scheduler.now,
             num_clients=num_clients,
             scheme=scheme,
-            server_name=server_name,
+            # The first replica's view: with replicas > 1 only its
+            # connections carry the frame hook, and the replayer talks to
+            # it by name.
+            server_name=replica_names[0],
             endpoints=tuple(endpoints),
             commit_piggyback=commit_piggyback,
             trace_ids=trace_ids,
         )
         recorder.add_listener(trace_writer)
+    replica_kwargs: dict = {}
+    if replicas > 1:
+        replica_kwargs = {
+            "replica_servers": tuple(replica_names),
+            "quorum": quorum,
+            "counter": counter,
+        }
+    elif counter:
+        replica_kwargs = {"counter": True}
     clients: list[UstorClient] = []
     connections: list[ClientConnection] = []
     for i in range(num_clients):
@@ -577,27 +630,39 @@ def open_tcp_system(
             client_id=i,
             num_clients=num_clients,
             signer=keystore.signer(i),
-            server_name=server_name,
+            server_name=replica_names[0],
             recorder=recorder,
             commit_piggyback=commit_piggyback,
             trace_ids=trace_ids,
+            **replica_kwargs,
         )
         client.span_log = span_log
+        if trace_writer is not None and replicas > 1:
+            # The logical inbound stream: the quorum winner at resolution
+            # time, recorded in place of any raw per-replica arrival.
+            def record_resolved(message, _client_id=i):
+                trace_writer.frame(
+                    "s2c", _client_id, message_to_payload(message), retx=False
+                )
+
+            client.resolved_reply_hook = record_resolved
         transport.register(client)
-        connection = ClientConnection(
-            runtime,
-            i,
-            num_clients,
-            endpoints[0],
-            server_name,
-            sim_trace=sim_trace,
-            trace_writer=trace_writer,
-        )
-        connection.attach(client)
-        transport.add_route(client.name, connection)
-        connection.start()
+        for k, (endpoint, name) in enumerate(zip(endpoints, replica_names)):
+            connection = ClientConnection(
+                runtime,
+                i,
+                num_clients,
+                endpoint,
+                name,
+                sim_trace=sim_trace,
+                trace_writer=trace_writer if k == 0 else None,
+                trace_s2c=replicas == 1,
+            )
+            connection.attach(client)
+            transport.add_route(client.name, connection)
+            connection.start()
+            connections.append(connection)
         clients.append(client)
-        connections.append(connection)
     system = NetSystem(
         runtime=runtime,
         scheduler=runtime.scheduler,

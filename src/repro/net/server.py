@@ -34,6 +34,7 @@ client:
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import Callable
 
 from repro.common.errors import ConfigurationError, DecodeError, EncodingError
@@ -101,15 +102,33 @@ class NetServerHost:
         trace: SimTrace | None = None,
         metrics_port: int | None = None,
         metrics_host: str = "127.0.0.1",
+        counter: str | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
+        if counter not in (None, "volatile", "durable"):
+            raise ConfigurationError(
+                f"counter= must be 'volatile' or 'durable', got {counter!r}"
+            )
         self._n = num_clients
         self.host = host
         self.port = port
         self.server_name = server_name
         self._max_frame = max_frame_bytes
         self.trace = trace
+        #: Monotonic-counter mode (:mod:`repro.replica`): attach a trust
+        #: anchor to this host's server so every REPLY carries a counter
+        #: attestation.  ``"durable"`` with ``dir:`` storage persists the
+        #: counter value next to the WAL, so it survives a host restart
+        #: the way a real sealed counter would.
+        self._counter_mode = counter
+        self._counter_state_path = (
+            os.path.join(storage[len("dir:"):], "counter.state")
+            if counter == "durable"
+            and isinstance(storage, str)
+            and storage.startswith("dir:")
+            else None
+        )
         self._factory = server_factory or (
             lambda n, name: UstorServer(
                 n, name=name, engine=make_engine(storage, n)
@@ -156,6 +175,16 @@ class NetServerHost:
             raise ConfigurationError(
                 "the TCP host needs synchronous replies; build the server "
                 "with group_commit=False"
+            )
+        if self._counter_mode is not None:
+            from repro.replica.counter import MonotonicCounter
+
+            self.node.attach_counter(
+                MonotonicCounter(
+                    self.server_name,
+                    durable=self._counter_mode == "durable",
+                    state_path=self._counter_state_path,
+                )
             )
         _HostTransport(self).register(self.node)
         # Recovered durable state re-establishes the dedup floor: without
@@ -342,6 +371,7 @@ def serve_forever(
     server_factory: Callable[[int, str], UstorServer] | None = None,
     announce: Callable[[str], None] = print,
     metrics_port: int | None = None,
+    counter: str | None = None,
 ) -> int:
     """Run one server process until interrupted (``repro serve``).
 
@@ -366,6 +396,7 @@ def serve_forever(
             storage=storage,
             server_factory=server_factory,
             metrics_port=metrics_port,
+            counter=counter,
         )
         loop.run_until_complete(server.start())
         announce(f"LISTENING {server.host} {server.port}")

@@ -165,11 +165,17 @@ class ServerProcess:
 
 
 class ClusterSupervisor:
-    """One server process per shard (the ``serve-cluster`` launcher).
+    """One server process per shard × replica (``serve-cluster``).
 
-    Shard ``i`` serves as ``S{i}`` with its own storage: a ``{shard}``
-    placeholder in ``storage`` (e.g. ``dir:/var/faust/shard-{shard}``)
-    is expanded per shard so durable shards never share a directory.
+    Shard ``i`` serves as ``S{i}`` with its own storage: ``{shard}`` and
+    ``{replica}`` placeholders in ``storage`` (e.g.
+    ``dir:/var/faust/shard-{shard}-r{replica}``) are expanded per process
+    so durable processes never share a directory.  With ``replicas > 1``
+    each shard becomes a replica group ``S{i}/r0`` .. ``S{i}/r{k-1}`` of
+    independent processes (``endpoints`` stays flat, shard-major then
+    replica-minor — the order the TCP client layer expects), and
+    ``counter`` arms every process's monotonic counter
+    (:mod:`repro.replica`).
     """
 
     def __init__(
@@ -181,19 +187,28 @@ class ClusterSupervisor:
         base_port: int = 0,
         storage: str = "memory",
         servers: dict[int, str] | None = None,
+        replicas: int = 1,
+        counter: str | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("a cluster needs at least one shard")
+        if replicas < 1:
+            raise ConfigurationError("a replica group needs at least one replica")
+        extra_args = ("--counter", counter) if counter is not None else ()
         self.processes = [
             ServerProcess(
                 num_clients,
                 host=host,
-                port=(base_port + shard) if base_port else 0,
+                port=(base_port + shard * replicas + replica) if base_port else 0,
                 server=(servers or {}).get(shard, "correct"),
-                server_name=f"S{shard}",
-                storage=storage.format(shard=shard),
+                server_name=(
+                    f"S{shard}" if replicas == 1 else f"S{shard}/r{replica}"
+                ),
+                storage=storage.format(shard=shard, replica=replica),
+                extra_args=extra_args,
             )
             for shard in range(num_shards)
+            for replica in range(replicas)
         ]
 
     @property

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from contextlib import contextmanager
+from math import ceil
 from math import inf
 
 from repro.common.errors import ConfigurationError
@@ -147,7 +148,11 @@ class Histogram:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
         if not self._count:
             return 0.0
-        rank = max(1, round(q * self._count))
+        # Nearest-rank definition: rank = ceil(q * n).  round()'s
+        # half-even ties would sit one rank low at small counts (e.g.
+        # p50 of 3 samples is rank ceil(1.5) == 2, not round(1.5) == 2
+        # only by accident of parity — and round(0.5) == 0 underflows).
+        rank = max(1, ceil(q * self._count))
         cumulative = 0
         for bound, bucket in zip(self.bounds, self._counts):
             cumulative += bucket

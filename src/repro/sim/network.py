@@ -170,9 +170,15 @@ class Network:
         default_latency: LatencyModel | None = None,
         trace: SimTrace | None = None,
         batching: bool = False,
+        rng=None,
     ) -> None:
         self._scheduler = scheduler
         self._default_latency = default_latency or FixedLatency(1.0)
+        # Latency sampling RNG.  Defaults to the scheduler's seeded RNG
+        # (one stream per simulated world); a dedicated ``rng`` gives this
+        # network its own stream — the cluster backend derives one per
+        # shard so shards don't consume correlated "randomness".
+        self._rng = rng if rng is not None else scheduler.rng
         self._trace = trace
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], _Link] = {}
@@ -245,24 +251,65 @@ class Network:
     # Transmission
     # ------------------------------------------------------------------ #
 
+    def _check_registered(self, name: str, role: str) -> None:
+        if name not in self._nodes:
+            raise ChannelError(f"{role} {name!r} is not registered")
+
     def send(self, src: str, dst: str, message: Any) -> None:
-        if src not in self._nodes:
-            raise ChannelError(f"sender {src!r} is not registered")
-        if dst not in self._nodes:
-            raise ChannelError(f"recipient {dst!r} is not registered")
-        link = self._link(src, dst)
+        self._check_registered(src, "sender")
+        self._check_registered(dst, "recipient")
         now = self._scheduler.now
-        if self._batching:
-            marker = (self._scheduler.events_processed, now)
-            burst = self._open_bursts.get((src, dst))
-            if burst is not None and burst.marker == marker:
-                # Same link, same turn: ride the already-scheduled delivery.
-                burst.messages.append(message)
-                self._coalesced_counter.inc()
-                self._obs_coalesced.inc()
-                self._record(now, burst.delivery, src, dst, message)
-                return
-        candidate = now + link.latency.sample(self._scheduler.rng) + link.extra_delay
+        if self._batching and self._ride_burst(src, dst, message, now):
+            return
+        link = self._link(src, dst)
+        delay = link.latency.sample(self._rng) + link.extra_delay
+        self._dispatch(src, dst, message, delay, now)
+
+    def send_multi(self, src: str, dsts: tuple, message: Any) -> None:
+        """One logical send fanned out to several destinations.
+
+        The replica broadcast: **one** latency sample is drawn and shared
+        by every destination (each link still adds its own adversarial
+        ``extra_delay`` and keeps its own FIFO clamp).  Sharing the sample
+        keeps honest replicas deterministic copies of each other — they
+        see the same client stream in the same order at the same instants
+        — and consumes exactly one RNG draw whatever the group size, so
+        a replicated run's RNG stream does not depend on n.  Destinations
+        whose link has an open same-turn burst ride it instead (batching
+        mode), exactly as :meth:`send` would.
+        """
+        self._check_registered(src, "sender")
+        for dst in dsts:
+            self._check_registered(dst, "recipient")
+        now = self._scheduler.now
+        shared_sample: float | None = None
+        for dst in dsts:
+            if self._batching and self._ride_burst(src, dst, message, now):
+                continue
+            link = self._link(src, dst)
+            if shared_sample is None:
+                shared_sample = link.latency.sample(self._rng)
+            self._dispatch(src, dst, message, shared_sample + link.extra_delay, now)
+
+    def _ride_burst(self, src: str, dst: str, message: Any, now: float) -> bool:
+        """Append to an open same-turn burst on this link, if any."""
+        marker = (self._scheduler.events_processed, now)
+        burst = self._open_bursts.get((src, dst))
+        if burst is None or burst.marker != marker:
+            return False
+        # Same link, same turn: ride the already-scheduled delivery.
+        burst.messages.append(message)
+        self._coalesced_counter.inc()
+        self._obs_coalesced.inc()
+        self._record(now, burst.delivery, src, dst, message)
+        return True
+
+    def _dispatch(
+        self, src: str, dst: str, message: Any, delay: float, now: float
+    ) -> None:
+        """Schedule one delivery ``delay`` after ``now`` (FIFO-clamped)."""
+        link = self._link(src, dst)
+        candidate = now + delay
         if candidate < now:
             raise SimulationError("latency model produced a negative delay")
         # FIFO clamp: never deliver before (or at) the previous delivery.
@@ -270,6 +317,7 @@ class Network:
         link.last_delivery = delivery
         self._record(now, delivery, src, dst, message)
         if self._batching:
+            marker = (self._scheduler.events_processed, now)
             burst = _Burst(marker, delivery, message)
             self._open_bursts[(src, dst)] = burst
             self._bursts_counter.inc()

@@ -116,6 +116,22 @@ class Node:
             return
         self.network.send(self.name, dst, message)
 
+    def send_multi(self, dsts: tuple, message: Any) -> None:
+        """Send one message to several destinations (replica broadcast).
+
+        Uses the transport's ``send_multi`` when it has one (the simulated
+        network shares a single latency sample across the group); falls
+        back to per-destination sends on transports without the hook.
+        """
+        if self._crashed:
+            return
+        fanout = getattr(self.network, "send_multi", None)
+        if fanout is not None:
+            fanout(self.name, tuple(dsts), message)
+            return
+        for dst in dsts:
+            self.network.send(self.name, dst, message)
+
     def deliver(self, src: str, message: Any) -> None:
         """Entry point used by channels; filters deliveries after a crash."""
         if self._crashed:

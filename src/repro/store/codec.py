@@ -25,6 +25,7 @@ from typing import Any
 from repro.common.encoding import decode, encode
 from repro.common.errors import EncodingError
 from repro.common.types import BOTTOM, ClientId, OpKind
+from repro.replica.counter import CounterAttestation
 from repro.ustor.messages import (
     CommitMessage,
     InvocationTuple,
@@ -194,6 +195,13 @@ def reply_to_tuple(message: ReplyMessage) -> tuple:
         reader_version,
         mem,
     )
+    # Trailing optional fields, oldest first so old decoders still read
+    # the prefix: an attestation forces an explicit None trace_id slot.
+    if message.attestation is not None:
+        return base + (
+            message.trace_id,
+            attestation_to_tuple(message.attestation),
+        )
     if message.trace_id is not None:
         return base + (message.trace_id,)
     return base
@@ -208,7 +216,8 @@ def reply_from_tuple(data: tuple) -> ReplyMessage:
         reader_version,
         mem,
         trace_id,
-    ) = _flex_shape(data, 6, 1, "ReplyMessage")
+        attestation,
+    ) = _flex_shape(data, 6, 2, "ReplyMessage")
     return ReplyMessage(
         commit_index=commit_index,
         last_version=signed_version_from_tuple(last_version),
@@ -221,6 +230,32 @@ def reply_from_tuple(data: tuple) -> ReplyMessage:
         ),
         mem=None if mem is None else mem_entry_from_tuple(mem),
         trace_id=trace_id,
+        attestation=(
+            None if attestation is None else attestation_from_tuple(attestation)
+        ),
+    )
+
+
+def attestation_to_tuple(attestation: CounterAttestation) -> tuple:
+    return (
+        attestation.counter_id,
+        attestation.value,
+        attestation.state_value,
+        attestation.binding,
+        attestation.mac,
+    )
+
+
+def attestation_from_tuple(data: tuple) -> CounterAttestation:
+    counter_id, value, state_value, binding, mac = _shape(
+        data, 5, "CounterAttestation"
+    )
+    return CounterAttestation(
+        counter_id=counter_id,
+        value=value,
+        state_value=state_value,
+        binding=binding,
+        mac=mac,
     )
 
 
@@ -230,7 +265,7 @@ def reply_from_tuple(data: tuple) -> ReplyMessage:
 
 
 def state_to_tuple(state: ServerState) -> tuple:
-    return (
+    base = (
         state.num_clients,
         tuple(mem_entry_to_tuple(entry) for entry in state.mem),
         state.commit_index,
@@ -238,11 +273,16 @@ def state_to_tuple(state: ServerState) -> tuple:
         tuple(invocation_to_tuple(inv) for inv in state.pending),
         tuple(state.proofs),
     )
+    # Optional trailing field: a state that never counted a SUBMIT encodes
+    # exactly as it did before the field existed.
+    if state.submits_applied:
+        return base + (state.submits_applied,)
+    return base
 
 
 def state_from_tuple(data: tuple) -> ServerState:
-    num_clients, mem, commit_index, sver, pending, proofs = _shape(
-        data, 6, "ServerState"
+    num_clients, mem, commit_index, sver, pending, proofs, submits = (
+        _flex_shape(data, 6, 1, "ServerState")
     )
     return ServerState(
         num_clients=num_clients,
@@ -251,6 +291,7 @@ def state_from_tuple(data: tuple) -> ServerState:
         sver=[signed_version_from_tuple(signed) for signed in sver],
         pending=[invocation_from_tuple(inv) for inv in pending],
         proofs=list(proofs),
+        submits_applied=submits or 0,
     )
 
 

@@ -110,6 +110,9 @@ class UstorClient(Node):
         on_fail: Callable[[str], None] | None = None,
         commit_piggyback: bool = False,
         trace_ids: bool = False,
+        replica_servers: tuple | None = None,
+        quorum: int | None = None,
+        counter: bool = False,
     ) -> None:
         super().__init__(name=client_name(client_id))
         if signer.client != client_id:
@@ -118,6 +121,31 @@ class UstorClient(Node):
         self._n = num_clients
         self._signer = signer
         self._server = server_name
+        # -- replica group (repro.replica; None/1-tuple = the paper's
+        #    single server, every broadcast collapsing to one send) ------
+        if replica_servers is not None and len(replica_servers) > 1:
+            from repro.replica.coordinator import QuorumCoordinator
+            from repro.replica.counter import CounterVerifier
+
+            self._server = replica_servers[0]
+            self.quorum_coordinator = QuorumCoordinator(
+                tuple(replica_servers),
+                quorum=quorum,
+                verifier=CounterVerifier() if counter else None,
+                on_convict=self._on_replica_convicted,
+            )
+            self._counter_verifier = None
+        else:
+            if replica_servers:
+                self._server = replica_servers[0]
+            self.quorum_coordinator = None
+            if counter:
+                from repro.replica.counter import CounterVerifier
+
+                self._counter_verifier = CounterVerifier()
+            else:
+                self._counter_verifier = None
+        self._pending_binding: bytes | None = None
         self._recorder = recorder
         self._on_fail = on_fail
         self._piggyback = commit_piggyback
@@ -128,6 +156,11 @@ class UstorClient(Node):
         #: Optional :class:`repro.obs.tracing.SpanLog`; when set, the
         #: client emits submit/commit/fail instants tagged with trace ids.
         self.span_log = None
+        #: Optional hook fed each quorum-resolved REPLY (the winner the
+        #: protocol engine actually consumes).  The TCP wire trace uses
+        #: it: with a replica group, raw per-replica arrivals are not the
+        #: client's logical input stream — the resolved stream is.
+        self.resolved_reply_hook: Callable | None = None
 
         # -- Algorithm 1 state (lines 5-7) --------------------------------
         self._last_write_hash = hash_register_value(BOTTOM)  # x_bar_i
@@ -249,7 +282,26 @@ class UstorClient(Node):
                 proc="client",
                 args={"client": self._id, "register": register},
             )
-        self.send(self._server, message)  # line 15 / 27
+        self._pending_binding = submit_sig
+        if self.quorum_coordinator is not None:
+            self.quorum_coordinator.begin_round(
+                kind is OpKind.READ, submit_sig
+            )
+        self._send_server(message)  # line 15 / 27
+
+    def _send_server(self, message) -> None:
+        """Send to the server — broadcast to the group when replicated."""
+        if self.quorum_coordinator is not None:
+            self.send_multi(self.quorum_coordinator.targets(), message)
+        else:
+            self.send(self._server, message)
+
+    def _on_replica_convicted(self, replica: str, violation: str) -> None:
+        trace = getattr(self.network, "trace", None)
+        if trace is not None:
+            trace.note(
+                self.now, self.name, "replica-convicted", (replica, violation)
+            )
 
     def _take_deferred_commit(self) -> CommitMessage | None:
         deferred = self._deferred_commit
@@ -265,10 +317,29 @@ class UstorClient(Node):
             return  # halted (line 35ff: "output fail_i; halt")
         if not isinstance(message, ReplyMessage):
             return
+        if self.quorum_coordinator is not None:
+            resolved = self.quorum_coordinator.absorb(src, message)
+            if resolved is None:
+                return  # round unresolved, straggler, or convict noise
+            if isinstance(resolved, str):
+                self._fail(resolved)
+                return
+            # The quorum winner (attestation stripped) flows into the
+            # unchanged Algorithm 1 checks below.
+            message = resolved
+            if self.resolved_reply_hook is not None:
+                self.resolved_reply_hook(message)
         if self._pending is None:
             # A correct server sends exactly one REPLY per SUBMIT over a
             # FIFO channel; an unsolicited REPLY is ignored defensively.
             return
+        if self._counter_verifier is not None:
+            violation = self._counter_verifier.check(
+                src, message, self._pending_binding
+            )
+            if violation is not None:
+                self._fail(f"counter violation from {src}: {violation}")
+                return
         pending = self._pending
 
         if not self._update_version(message):  # line 17 / 29
@@ -298,7 +369,10 @@ class UstorClient(Node):
         if self._piggyback:
             self._deferred_commit = commit
         else:
-            self.send(self._server, commit)
+            # On a replica group the broadcast doubles as the write-back
+            # after a read-repair resolution: every replica (re)converges
+            # on the committed version.
+            self._send_server(commit)
 
         # Return from the operation.
         self._pending = None

@@ -167,6 +167,11 @@ class ReplyMessage:
     mem: MemEntry | None = None  # MEM[j]
     #: Echo of the SUBMIT's trace id (None when the client sent none).
     trace_id: int | None = None
+    #: Trusted monotonic-counter attestation
+    #: (:class:`repro.replica.counter.CounterAttestation`), present only
+    #: on replicas with a counter attached.  Typed loosely: the message
+    #: layer carries it opaquely, only :mod:`repro.replica` interprets it.
+    attestation: object | None = None
 
     kind = "REPLY"
 
@@ -180,4 +185,6 @@ class ReplyMessage:
             size += self.mem.wire_size()
         if self.trace_id is not None:
             size += INT_BYTES
+        if self.attestation is not None:
+            size += self.attestation.wire_size()
         return size

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ProtocolError
 from repro.common.types import ClientId, OpKind, parse_client_name
@@ -60,6 +60,14 @@ class ServerState:
     sver: list[SignedVersion] = field(default_factory=list)  # SVER
     pending: list[InvocationTuple] = field(default_factory=list)  # L
     proofs: list[bytes | None] = field(default_factory=list)  # P
+    #: SUBMITs this state has absorbed, ever — not an Algorithm 2 variable
+    #: but a pure function of the applied history, so snapshots carry it
+    #: and WAL replay reconstructs it.  It is the state's position in the
+    #: submit stream: a rolled-back state under-reports it *permanently*
+    #: (client COMMITs heal ``sver``/``pending`` but never this), which is
+    #: what the monotonic-counter attestation (:mod:`repro.replica`) pins
+    #: it against.
+    submits_applied: int = 0
     _pending_tuple: tuple | None = field(default=None, repr=False, compare=False)
     _proofs_tuple: tuple | None = field(default=None, repr=False, compare=False)
 
@@ -97,6 +105,7 @@ class ServerState:
             sver=list(self.sver),
             pending=list(self.pending),
             proofs=list(self.proofs),
+            submits_applied=self.submits_applied,
         )
 
 
@@ -144,6 +153,7 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
     # is never listed as concurrent with itself.
     state.pending.append(invocation)
     state._pending_tuple = None
+    state.submits_applied += 1
     return reply
 
 
@@ -234,6 +244,9 @@ class UstorServer(Node):
         self.restarts = 0
         self.last_pre_crash_state: ServerState | None = None
         self.last_recovery_state: ServerState | None = None
+        #: Trusted monotonic counter (:mod:`repro.replica.counter`);
+        #: ``None`` = no trust anchor, the paper's plain untrusted server.
+        self.counter = None
 
     @property
     def num_clients(self) -> int:
@@ -321,6 +334,8 @@ class UstorServer(Node):
 
     def crash(self) -> None:
         self.last_pre_crash_state = self.state.clone()
+        if self.counter is not None:
+            self.counter.on_crash()  # volatile counters reset with the process
         if self._inbox:
             # Accepted but not yet drained: the transitions were never
             # applied or logged and no REPLY left, so hand the messages to
@@ -358,10 +373,28 @@ class UstorServer(Node):
 
     # Subclass hook points ------------------------------------------------
 
+    def attach_counter(self, counter) -> None:
+        """Bind a trusted :class:`~repro.replica.counter.MonotonicCounter`.
+
+        From here on every REPLY carries an attestation minted *after*
+        the SUBMIT is applied, so its value counts the SUBMIT it answers.
+        The counter object lives outside the recovered state on purpose:
+        it models a separate trusted component, so a Byzantine subclass
+        that rewinds ``self.state`` cannot rewind the counter with it.
+        """
+        self.counter = counter
+
     def handle_submit(self, src: str, message: SubmitMessage) -> None:
         if message.piggyback is not None:
             self.handle_commit(src, message.piggyback)
         reply = apply_submit(self.state, message)
+        if self.counter is not None:
+            reply = replace(
+                reply,
+                attestation=self.counter.attest(
+                    message.invocation.submit_sig, self.state.submits_applied
+                ),
+            )
         # Write-ahead: the transition is durable before the REPLY leaves.
         self._log_submit(message)
         self._maybe_checkpoint()

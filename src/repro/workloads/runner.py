@@ -15,6 +15,7 @@ check instead of the full-history re-check an offline audit costs.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -60,6 +61,10 @@ class StorageSystem:
     #: Assign a :class:`repro.obs.tracing.SpanLog` here *before* opening
     #: sessions to collect per-operation spans (sessions capture it once).
     span_log: object | None = None
+    #: The full replica group (``[server]`` when unreplicated): every
+    #: server of this deployment's shard, in replica order.  ``server``
+    #: stays the first replica so single-server call sites run unchanged.
+    replica_servers: list = field(default_factory=list)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Advance the simulation; returns the number of events fired."""
@@ -139,11 +144,36 @@ class StorageSystem:
         self._server_faults().restart_at(time)
 
     def server_outage(self, start: float, duration: float) -> None:
-        """One crash-recovery window: server down over [start, start+duration)."""
-        self._server_faults().outage(start, duration)
+        """One crash-recovery window: server down over [start, start+duration).
 
-    def _server_faults(self) -> ServerFaultInjector:
-        return ServerFaultInjector(self.scheduler, self.server, self.trace)
+        On a replica group the window hits **every** replica — a
+        correlated outage, matching the single-server semantics "the
+        service is down".  Use :meth:`replica_outage` to crash one
+        replica (the fault an honest majority masks).
+        """
+        for index in range(len(self.replica_servers) or 1):
+            self._server_faults(index).outage(start, duration)
+
+    def replica_outage(self, replica: int, start: float, duration: float) -> None:
+        """One crash-recovery window for a single replica of the group."""
+        self._server_faults(replica).outage(start, duration)
+
+    def crash_replica_at(self, replica: int, time: float) -> None:
+        """Schedule a crash of one replica at an absolute virtual time."""
+        self._server_faults(replica).crash_at(time)
+
+    def restart_replica_at(self, replica: int, time: float) -> None:
+        """Schedule one replica's restart (engine recovery)."""
+        self._server_faults(replica).restart_at(time)
+
+    def _server_faults(self, replica: int = 0) -> ServerFaultInjector:
+        group = self.replica_servers or [self.server]
+        if not 0 <= replica < len(group):
+            raise ConfigurationError(
+                f"replica {replica} out of range: the group has "
+                f"{len(group)} replica(s)"
+            )
+        return ServerFaultInjector(self.scheduler, group[replica], self.trace)
 
     @property
     def now(self) -> float:
@@ -302,9 +332,31 @@ class SystemBuilder:
         scheduler: Scheduler | None = None,
         trace: SimTrace | None = None,
         batching: "BatchingPolicy | None" = None,
+        latency_seed: int | None = None,
+        replicas: int = 1,
+        quorum: int | None = None,
+        counter: str | None = None,
+        replica_server_factories: dict | None = None,
     ) -> None:
         if num_clients < 1:
             raise ConfigurationError("need at least one client")
+        if replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if counter not in (None, "volatile", "durable"):
+            raise ConfigurationError(
+                f"counter must be None, 'volatile' or 'durable', got {counter!r}"
+            )
+        if replicas > 1 and not isinstance(storage, (str, Callable)):
+            raise ConfigurationError(
+                "a replica group needs one engine per replica: pass a "
+                "storage name or factory, not a ready engine instance"
+            )
+        for index in replica_server_factories or {}:
+            if not 0 <= index < replicas:
+                raise ConfigurationError(
+                    f"replica_server_factories names replica {index!r} but "
+                    f"the group has {replicas} replica(s)"
+                )
         self.num_clients = num_clients
         self.seed = seed
         self.scheme = scheme
@@ -312,6 +364,15 @@ class SystemBuilder:
         self.offline_latency = offline_latency or FixedLatency(5.0)
         self.storage = storage
         self.batching = batching
+        # Dedicated latency-RNG stream for this deployment's network
+        # (``None`` = share the scheduler's stream, byte-identical to a
+        # build that predates the knob).  The cluster backend derives one
+        # per shard so shards draw independent latency samples.
+        self.latency_seed = latency_seed
+        self.replicas = replicas
+        self.quorum = quorum
+        self.counter = counter
+        self.replica_server_factories = dict(replica_server_factories or {})
         # A custom factory owns its server's durability (and its own
         # batching behaviour); the default server persists through the
         # engine ``storage`` selects and group-commits when the batching
@@ -333,6 +394,11 @@ class SystemBuilder:
         self._shared_scheduler = scheduler
         self._shared_trace = trace
 
+    def _replica_names(self) -> list[str]:
+        if self.replicas == 1:
+            return [self.server_name]
+        return [f"{self.server_name}/r{k}" for k in range(self.replicas)]
+
     def _core(self):
         scheduler = self._shared_scheduler or Scheduler(seed=self.seed)
         trace = self._shared_trace or SimTrace()
@@ -341,17 +407,42 @@ class SystemBuilder:
             default_latency=self.latency,
             trace=trace,
             batching=bool(self.batching is not None and self.batching.transport),
+            rng=(
+                random.Random(self.latency_seed)
+                if self.latency_seed is not None
+                else None
+            ),
         )
         offline = OfflineChannel(scheduler, latency=self.offline_latency, trace=trace)
         keystore = KeyStore(self.num_clients, scheme=self.scheme)
         recorder = HistoryRecorder()
-        server = self.server_factory(self.num_clients, self.server_name)
-        network.register(server)
-        return scheduler, trace, network, offline, keystore, recorder, server
+        servers = []
+        for index, name in enumerate(self._replica_names()):
+            factory = self.replica_server_factories.get(index, self.server_factory)
+            server = factory(self.num_clients, name)
+            if self.counter is not None:
+                from repro.replica.counter import MonotonicCounter
+
+                server.attach_counter(
+                    MonotonicCounter(name, durable=self.counter == "durable")
+                )
+            network.register(server)
+            servers.append(server)
+        return scheduler, trace, network, offline, keystore, recorder, servers
+
+    def _client_replica_kwargs(self) -> dict:
+        """Replica-group knobs every protocol client is built with."""
+        if self.replicas == 1:
+            return {"counter": self.counter is not None}
+        return {
+            "replica_servers": tuple(self._replica_names()),
+            "quorum": self.quorum,
+            "counter": self.counter is not None,
+        }
 
     def build(self) -> StorageSystem:
         """A plain USTOR deployment (no fail-aware layer)."""
-        scheduler, trace, network, offline, keystore, recorder, server = self._core()
+        scheduler, trace, network, offline, keystore, recorder, servers = self._core()
         clients = []
         for i in range(self.num_clients):
             client = UstorClient(
@@ -361,6 +452,7 @@ class SystemBuilder:
                 server_name=self.server_name,
                 recorder=recorder,
                 commit_piggyback=self.commit_piggyback,
+                **self._client_replica_kwargs(),
             )
             network.register(client)
             offline.register(client)
@@ -369,19 +461,20 @@ class SystemBuilder:
             scheduler=scheduler,
             network=network,
             offline=offline,
-            server=server,
+            server=servers[0],
             clients=clients,
             recorder=recorder,
             trace=trace,
             keystore=keystore,
             batching=self.batching,
+            replica_servers=list(servers),
         )
 
     def build_faust(self, **faust_kwargs) -> StorageSystem:
         """A FAUST deployment: USTOR plus the fail-aware layer (Section 6)."""
         from repro.faust.client import FaustClient
 
-        scheduler, trace, network, offline, keystore, recorder, server = self._core()
+        scheduler, trace, network, offline, keystore, recorder, servers = self._core()
         clients = []
         for i in range(self.num_clients):
             client = FaustClient(
@@ -392,6 +485,7 @@ class SystemBuilder:
                 recorder=recorder,
                 commit_piggyback=self.commit_piggyback,
                 **faust_kwargs,
+                **self._client_replica_kwargs(),
             )
             network.register(client)
             offline.register(client)
@@ -402,11 +496,12 @@ class SystemBuilder:
             scheduler=scheduler,
             network=network,
             offline=offline,
-            server=server,
+            server=servers[0],
             clients=clients,
             recorder=recorder,
             trace=trace,
             keystore=keystore,
             faust_clients=list(clients),
             batching=self.batching,
+            replica_servers=list(servers),
         )

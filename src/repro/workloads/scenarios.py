@@ -19,6 +19,13 @@
   shard's server forks its clients while every other shard stays honest;
   detection must reach exactly the clients that touched the forked
   shard, and honest shards must keep serving.
+* :func:`replica_rollback_scenario` — the rollback attack against a
+  replica group (:mod:`repro.replica`): one replica recovers from a
+  stale snapshot while the rest stay honest.  An honest quorum masks the
+  deviant replies outright; a durable monotonic counter convicts the
+  rolled-back replica on its first post-restart reply; a volatile
+  counter shows the trust-anchor pitfall by falsely accusing an honest
+  crash-recovered replica.
 """
 
 from __future__ import annotations
@@ -444,6 +451,202 @@ class ShardSplitBrainResult:
             >= self.driver.stats.planned.get(c, 0)
             for c in self.avoiders
         )
+
+
+@dataclass
+class ReplicaRollbackResult:
+    system: object
+    driver: Driver
+    replicas: int
+    quorum: int
+    counter: str | None
+    #: When the faulty (or honestly crashed) replica went down / came back.
+    crash_time: float | None
+    restart_time: float | None
+    #: Aggregated :meth:`QuorumCoordinator.stats` over every client
+    #: (all-zero for the unreplicated baseline).
+    masked_deviations: int = 0
+    read_repairs: int = 0
+    #: ``replica name -> violation`` for every counter conviction, and
+    #: the virtual time of the first one (``nan`` if none fired).
+    convicted: dict = field(default_factory=dict)
+    conviction_time: float = float("nan")
+    #: Times of protocol-level ``fail_i`` outputs (the unreplicated
+    #: baseline's only detection signal; also how a replicated client
+    #: reports an unattainable quorum).
+    fail_times: list[float] = field(default_factory=list)
+    #: Virtual time from the dishonest restart to the first signal of
+    #: either kind (``nan`` = the attack went unnoticed).
+    detection_latency: float = float("nan")
+    #: Client operations that completed between the restart and the
+    #: first signal — the paper-level cost of detection.  The counter's
+    #: O(1) claim is this number staying ~num_clients, independent of
+    #: workload length.
+    ops_until_detection: int = 0
+    completed: int = 0
+    planned: int = 0
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed >= self.planned
+
+    @property
+    def detected(self) -> bool:
+        """Did any signal (fail_i or conviction) fire at all?"""
+        return bool(self.fail_times) or bool(self.convicted)
+
+
+def replica_rollback_scenario(
+    num_clients: int = 4,
+    seed: int = 31,
+    ops_per_client: int = 8,
+    replicas: int = 3,
+    quorum: int | None = None,
+    counter: str | None = None,
+    rollback_replica: int | None = 1,
+    honest_outage: tuple[int, float, float] | None = None,
+    snapshot_after_submits: int = 2,
+    rollback_after_submits: int = 6,
+    outage: float = 5.0,
+    delta: float = 25.0,
+    run_for: float = 2_000.0,
+) -> ReplicaRollbackResult:
+    """The rollback attack against one replica of a k-of-n group.
+
+    ``rollback_replica`` runs a :class:`RollbackServer` (checkpoint
+    early, crash, "recover" from the stale snapshot) while the other
+    replicas stay honest; ``None`` runs an all-honest group.
+    ``honest_outage=(replica, start, duration)`` instead crashes an
+    *honest* replica and recovers it from durable storage — paired with
+    ``counter="volatile"`` it demonstrates the false accusation: the
+    replica's state remembers its operations but the reset counter does
+    not, so honest recovery becomes indistinguishable from misbehaviour.
+
+    The interesting corners:
+
+    * ``replicas=1`` (+ the attack) — the paper's single server:
+      detection waits until the rolled state contradicts a client's
+      committed version, so ``ops_until_detection`` grows with the
+      workload.
+    * ``replicas=3`` — an honest majority outvotes the deviant replies
+      (``masked_deviations > 0``, nothing fails, everything completes).
+    * ``counter="durable"`` — the trusted counter convicts the rolled
+      replica on its first post-restart reply: ``ops_until_detection``
+      stays O(num_clients) regardless of workload length.
+    """
+    attack = rollback_replica is not None
+    if attack and not 0 <= rollback_replica < replicas:
+        raise ValueError(
+            f"rollback_replica {rollback_replica} out of range for "
+            f"{replicas} replica(s)"
+        )
+    if honest_outage is not None and attack:
+        raise ValueError(
+            "honest_outage crashes an honest replica; drop rollback_replica"
+        )
+
+    def rollback_factory(n, name):
+        return RollbackServer(
+            n,
+            snapshot_after_submits=snapshot_after_submits,
+            rollback_after_submits=rollback_after_submits,
+            outage=outage,
+            name=name,
+        )
+
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=seed,
+        shards=1,
+        replicas=replicas,
+        quorum=quorum,
+        counter=counter,
+        # Honest recovery needs real durability; the rollback server owns
+        # its own (deliberately stale) persistence.
+        storage="log" if honest_outage is not None else "memory",
+        server_factory=(rollback_factory if attack and replicas == 1 else None),
+        replica_server_factories=(
+            {rollback_replica: rollback_factory} if attack and replicas > 1 else {}
+        ),
+        faust=FaustParams(delta=delta, probe_check_period=delta / 3),
+    )
+    system = ClusterBackend().open_system(config)
+    shard = system.shards[0]
+    if honest_outage is not None:
+        shard.replica_outage(*honest_outage)
+
+    scripts = generate_scripts(
+        num_clients,
+        WorkloadConfig(ops_per_client=ops_per_client, read_fraction=0.5),
+        random.Random(seed),
+    )
+    driver = Driver(system)
+    driver.attach_all(scripts)
+    system.run(until=run_for)
+
+    coordinators = [
+        c.quorum_coordinator
+        for c in shard.clients
+        if getattr(c, "quorum_coordinator", None) is not None
+    ]
+    masked = sum(c.stats()["masked_deviations"] for c in coordinators)
+    repairs = sum(c.stats()["read_repairs"] for c in coordinators)
+    convicted: dict = {}
+    for coordinator in coordinators:
+        convicted.update(coordinator.stats()["convicted"])
+    conviction_notes = shard.trace.notes_of_kind("replica-convicted")
+    conviction_time = (
+        min(n.time for n in conviction_notes) if conviction_notes else float("nan")
+    )
+    fail_times = [n.time for n in shard.trace.notes_of_kind("ustor-fail")]
+
+    if attack:
+        faulty = shard.replica_servers[rollback_replica]
+        crash_time = faulty.rollback_crash_time
+        restart_time = faulty.rollback_restart_time
+    elif honest_outage is not None:
+        crash_time = honest_outage[1]
+        restart_time = honest_outage[1] + honest_outage[2]
+    else:
+        crash_time = restart_time = None
+
+    signals = list(fail_times)
+    if conviction_notes:
+        signals.append(conviction_time)
+    latency = (
+        min(signals) - restart_time
+        if signals and restart_time is not None
+        else float("nan")
+    )
+    caught_at = min(signals) if signals else None
+    ops_until = (
+        sum(
+            1
+            for op in system.shard_histories()[0]
+            if op.responded_at is not None
+            and restart_time < op.responded_at <= caught_at
+        )
+        if caught_at is not None and restart_time is not None
+        else 0
+    )
+    return ReplicaRollbackResult(
+        system=system,
+        driver=driver,
+        replicas=replicas,
+        quorum=coordinators[0].quorum if coordinators else 1,
+        counter=counter,
+        crash_time=crash_time,
+        restart_time=restart_time,
+        masked_deviations=masked,
+        read_repairs=repairs,
+        convicted=convicted,
+        conviction_time=conviction_time,
+        fail_times=fail_times,
+        detection_latency=latency,
+        ops_until_detection=ops_until,
+        completed=driver.stats.total_completed(),
+        planned=driver.stats.total_planned(),
+    )
 
 
 def split_brain_shard_scenario(

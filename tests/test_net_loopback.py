@@ -256,9 +256,23 @@ class TestConfigAndBackends:
 
     def test_endpoints_string_is_split(self):
         config = SystemConfig(
-            num_clients=1, transport="tcp", endpoints="h:1, h:2"
+            num_clients=1, transport="tcp", endpoints="h:1, h:2", replicas=2
         )
         assert config.endpoints == ("h:1", "h:2")
+
+    def test_tcp_needs_one_endpoint_per_replica(self):
+        with pytest.raises(ConfigurationError, match="one endpoint per replica"):
+            SystemConfig(
+                num_clients=1, transport="tcp", endpoints="h:1,h:2"
+            )
+        with pytest.raises(ConfigurationError, match="one endpoint per replica"):
+            SystemConfig(
+                num_clients=1, transport="tcp", endpoints="h:1", replicas=3
+            )
+
+    def test_server_name_is_tcp_only(self):
+        with pytest.raises(ConfigurationError, match="transport='tcp'"):
+            SystemConfig(num_clients=1, server_name="S0")
 
     @pytest.mark.parametrize(
         "knob",

@@ -73,6 +73,41 @@ class TestInstruments:
         assert hist.p95 == 10.0
         assert hist.p99 == 10.0
 
+    def test_histogram_percentile_uses_ceil_not_round(self):
+        # Nearest-rank is rank = ceil(q * n).  round()'s half-even ties
+        # under-reported by one rank at small counts: p50 of two samples
+        # is the 1st-ranked (ceil(1.0)), but p50 of three must be the
+        # 2nd-ranked (ceil(1.5), where round(1.5) == 2 only by parity
+        # and round(0.5) == 0 would underflow entirely).
+        hist = Histogram((1.0, 10.0, 100.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        # two samples: p50 = rank ceil(0.5 * 2) = 1 -> first bucket
+        assert hist.p50 == 1.0
+        hist.observe(50.0)
+        # three samples: p50 = rank ceil(1.5) = 2 -> second bucket
+        assert hist.p50 == 10.0
+        # q just above a rank boundary must move up a rank
+        assert hist.percentile(2 / 3) == 10.0
+        assert hist.percentile(2 / 3 + 1e-9) == 100.0
+
+    def test_histogram_percentile_extremes(self):
+        hist = Histogram((1.0, 10.0))
+        hist.observe(0.5)
+        assert hist.percentile(0.0) == 1.0  # rank clamps to 1: the min's bucket
+        assert hist.percentile(1.0) == 1.0
+        hist.observe(5.0)
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 10.0  # rank 2: the max's bucket
+        hist.observe(7.0)
+        assert hist.percentile(1.0) == 10.0
+
+    def test_histogram_single_sample_every_quantile(self):
+        hist = Histogram((1.0,))
+        hist.observe(0.5)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert hist.percentile(q) == 1.0
+
     def test_histogram_overflow_rank_answers_exact_max(self):
         hist = Histogram((1.0,))
         hist.observe(0.5)

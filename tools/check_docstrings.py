@@ -4,8 +4,8 @@
 The container has no ``interrogate`` wheel, so this is a dependency-free
 equivalent: walk the AST of every module under the audited packages
 (default: ``repro.api``, ``repro.cluster``, ``repro.consistency``,
-``repro.obs`` and ``repro.perf`` — the surfaces applications program
-against) and require a docstring on
+``repro.obs``, ``repro.perf`` and ``repro.replica`` — the surfaces
+applications program against) and require a docstring on
 
 * every module,
 * every public class (name not starting with ``_``),
@@ -36,6 +36,7 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "consistency",
     REPO_ROOT / "src" / "repro" / "obs",
     REPO_ROOT / "src" / "repro" / "perf",
+    REPO_ROOT / "src" / "repro" / "replica",
 ]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
