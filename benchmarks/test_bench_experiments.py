@@ -22,6 +22,7 @@ from repro.experiments import (
     e12_notion_separation,
     e13_digest_ablation,
     e14_definition5_validation,
+    e19_checkpoint_memory,
 )
 
 
@@ -104,3 +105,11 @@ def test_e13_digest_ablation(run_experiment):
 def test_e14_definition5_validation(run_experiment):
     result = run_experiment(e14_definition5_validation)
     assert result.findings["Definition 5 holds in every run"]
+
+
+def test_e19_checkpoint_memory(run_experiment):
+    result = run_experiment(e19_checkpoint_memory)
+    assert result.findings["uncheckpointed resident state keeps growing"]
+    assert result.findings["checkpointing flattens the growth curve (ratio ~1)"]
+    assert result.findings["latency percentiles are identical in every column"]
+    assert result.findings["no client failed and every audit stayed clean"]

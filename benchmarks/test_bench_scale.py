@@ -1,0 +1,75 @@
+"""Scale-harness regression: bounded state must not cost throughput.
+
+The open-loop harness (``repro.workloads.scale``) drives the FAUST
+system with Poisson arrivals and samples resident state; this bench runs
+the same seeded workload with checkpointing on and off and records the
+wall-clock *ratio* through ``record_hot_path`` (``scale_bounded_state``,
+informational — checkpointing trades a handful of offline-channel
+messages for unbounded memory, so the ratio hovers near 1 and mostly
+measures scheduler noise; what is gated here are the structural
+findings, which hold on any machine):
+
+* checkpointing keeps the post-warmup growth ratio of the resident
+  aggregate near 1 while the uncheckpointed run keeps growing;
+* operation latency percentiles are identical — the checkpoint protocol
+  rides the offline channel and never touches the data path;
+* both runs complete the full planned schedule with clean checkers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faust.checkpoint import CheckpointPolicy
+from repro.workloads.generator import OpenLoopConfig
+from repro.workloads.scale import ScaleConfig, run_scale
+
+
+def _config(bench_seed: int, checkpoint) -> ScaleConfig:
+    return ScaleConfig(
+        num_clients=4,
+        seed=bench_seed,
+        open_loop=OpenLoopConfig(rate=0.15, duration=400.0),
+        checkpoint=checkpoint,
+        sample_every=20.0,
+    )
+
+
+def test_scale_open_loop_bounded_state(bench_seed, record_hot_path):
+    started = time.perf_counter()
+    off = run_scale(_config(bench_seed, None))
+    off_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    on = run_scale(
+        _config(bench_seed, CheckpointPolicy(interval=16, keep_tail=2))
+    )
+    on_seconds = time.perf_counter() - started
+
+    record_hot_path(
+        "scale_bounded_state",
+        reference_seconds=off_seconds,
+        optimized_seconds=on_seconds,
+        gate=False,
+        clients=4,
+        planned_ops=on.planned,
+        checkpoints_installed=on.checkpoints_installed,
+        growth_ratio_on=on.growth_ratio,
+        growth_ratio_off=off.growth_ratio,
+        final_bounded_on=on.samples[-1].bounded_total,
+        final_bounded_off=off.samples[-1].bounded_total,
+        latency_p99=on.latency_p99,
+    )
+
+    # Structural findings — machine-independent, asserted every run.
+    assert on.checkpoints_installed >= 10
+    assert on.growth_ratio < off.growth_ratio
+    assert on.samples[-1].bounded_total < off.samples[-1].bounded_total
+    assert (on.latency_p50, on.latency_p95, on.latency_p99) == (
+        off.latency_p50, off.latency_p95, off.latency_p99
+    )
+    assert on.completed == on.planned == off.completed
+    assert on.checker_ok == off.checker_ok == {
+        "linearizability": True, "causal": True
+    }
+    assert on.failed_clients == off.failed_clients == 0

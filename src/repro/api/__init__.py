@@ -34,7 +34,12 @@ from repro.api.backends import (
     get_backend,
     open_system,
 )
-from repro.api.config import BatchingPolicy, FaustParams, SystemConfig
+from repro.api.config import (
+    BatchingPolicy,
+    FaustParams,
+    SystemConfig,
+)
+from repro.faust.checkpoint import CheckpointPolicy
 from repro.api.errors import CapabilityError, OperationFailed, OperationTimeout
 from repro.api.events import (
     FailureNotification,
@@ -52,6 +57,7 @@ __all__ = [
     "Backend",
     "BatchingPolicy",
     "CapabilityError",
+    "CheckpointPolicy",
     "Capabilities",
     "ClusterBackend",
     "FailureNotification",

@@ -100,6 +100,18 @@ def _reject_tcp_transport(config: SystemConfig, backend: str) -> None:
         )
 
 
+def _reject_checkpoint_knobs(config: SystemConfig, backend: str) -> None:
+    """Checkpoint co-signing lives in the fail-aware layer (it rides on
+    stability cuts and the offline channel): fail loudly rather than
+    silently running with unbounded state."""
+    if config.checkpoint is not None:
+        raise ConfigurationError(
+            f"the {backend!r} backend has no fail-aware layer to co-sign "
+            f"checkpoints: checkpoint= is only supported on 'faust' and "
+            f"'cluster'/replicas with shard_protocol='faust'"
+        )
+
+
 def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
     """Single-server backends run one shard only: fail loudly rather than
     silently collapsing a sharded config onto one server."""
@@ -148,7 +160,7 @@ class FaustBackend:
             commit_piggyback=config.commit_piggyback,
             storage=config.storage,
             batching=config.batching,
-        ).build_faust(**config.faust.as_kwargs())
+        ).build_faust(checkpoint=config.checkpoint, **config.faust.as_kwargs())
         _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
 
@@ -175,6 +187,7 @@ class UstorBackend:
 
         _reject_cluster_knobs(config, self.name)
         _reject_replica_knobs(config, self.name)
+        _reject_checkpoint_knobs(config, self.name)
         raw = SystemBuilder(
             num_clients=config.num_clients,
             seed=config.seed,
@@ -227,6 +240,7 @@ class LockstepBackend:
         _reject_replica_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
+        _reject_checkpoint_knobs(config, self.name)
         raw = build_lockstep_system(
             config.num_clients,
             seed=config.seed,
@@ -254,6 +268,7 @@ class UncheckedBackend:
         _reject_replica_knobs(config, self.name)
         _reject_storage_knobs(config, self.name)
         _reject_batching_knobs(config, self.name)
+        _reject_checkpoint_knobs(config, self.name)
         raw = build_unchecked_system(
             config.num_clients,
             seed=config.seed,

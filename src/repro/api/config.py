@@ -10,10 +10,13 @@ parameters without touching the common deployment shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import ConfigurationError
 from repro.sim.network import LatencyModel
+
+if TYPE_CHECKING:  # import cycle: repro.faust pulls this module back in
+    from repro.faust.checkpoint import CheckpointPolicy
 
 
 @dataclass(frozen=True)
@@ -160,6 +163,15 @@ class SystemConfig:
     #: burst coalescing and server group commit.  Supported on the
     #: ``faust``/``ustor``/``cluster`` backends.
     batching: "BatchingPolicy | bool | None" = None
+    #: Bounded state: ``None`` (default) keeps full history everywhere; a
+    #: :class:`~repro.faust.checkpoint.CheckpointPolicy` (or ``True`` for
+    #: the default policy) makes clients co-sign checkpoints over the
+    #: all-clients stable cut, after which servers truncate the covered
+    #: ``pending`` prefix and compact their WAL, clients prune view-history
+    #: records, and (with ``prune_history``) the recorder + incremental
+    #: checkers drop operations behind the cut.  Fail-aware backends only
+    #: (``faust``, and ``cluster``/replicas with ``shard_protocol='faust'``).
+    checkpoint: "CheckpointPolicy | bool | None" = None
     faust: FaustParams = field(default_factory=FaustParams)
     #: ``"sim"`` (discrete-event simulator) or ``"tcp"`` (real asyncio
     #: sockets; ``ustor`` backend only).
@@ -199,6 +211,22 @@ class SystemConfig:
             raise ConfigurationError(
                 f"batching must be a BatchingPolicy, True/False or None, "
                 f"got {self.batching!r}"
+            )
+        # Imported lazily: repro.faust imports repro.workloads which
+        # imports this module back, so the policy class cannot be a
+        # top-level dependency here.
+        from repro.faust.checkpoint import CheckpointPolicy
+
+        if self.checkpoint is True:
+            self.checkpoint = CheckpointPolicy()
+        elif self.checkpoint is False:
+            self.checkpoint = None
+        elif self.checkpoint is not None and not isinstance(
+            self.checkpoint, CheckpointPolicy
+        ):
+            raise ConfigurationError(
+                f"checkpoint must be a CheckpointPolicy, True/False or None, "
+                f"got {self.checkpoint!r}"
             )
         if self.default_timeout <= 0:
             raise ConfigurationError("default_timeout must be positive")
@@ -310,6 +338,12 @@ class SystemConfig:
             server_side.append("storage")
         if self.server_outages:
             server_side.append("server_outages")
+        if self.checkpoint is not None:
+            raise ConfigurationError(
+                "checkpoint= needs the fail-aware layer's offline channel "
+                "for co-signing; transport='tcp' runs bare USTOR clients "
+                "against server processes"
+            )
         if self.batching is not None:
             server_side.append("batching")
         if self.latency is not None or self.offline_latency is not None:

@@ -875,6 +875,56 @@ def _cmd_experiments(args) -> int:
     return experiments_main(forwarded)
 
 
+def _cmd_scale(args) -> int:
+    import json as _json
+
+    from repro.faust.checkpoint import CheckpointPolicy
+    from repro.obs.exposition import render_prometheus
+    from repro.obs.registry import Registry
+    from repro.workloads.generator import OpenLoopConfig
+    from repro.workloads.scale import ScaleConfig, run_scale
+
+    policy = None
+    if args.checkpoint_interval:
+        policy = CheckpointPolicy(
+            interval=args.checkpoint_interval, keep_tail=args.keep_tail
+        )
+    config = ScaleConfig(
+        num_clients=args.clients,
+        seed=args.seed,
+        open_loop=OpenLoopConfig(
+            rate=args.rate,
+            duration=args.duration,
+            read_fraction=args.read_fraction,
+            zipf_exponent=args.zipf,
+        ),
+        checkpoint=policy,
+        churn_windows=args.churn_windows,
+        sample_every=args.sample_every,
+        trace_malloc=args.trace_malloc,
+    )
+    report = run_scale(config)
+    rendered = _json.dumps(report.to_dict(), indent=2)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    print(rendered)
+    if args.metrics_out:
+        registry = Registry()
+        report.publish(registry)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(registry))
+        print(f"METRICS WRITTEN {args.metrics_out}")
+    if not all(report.checker_ok.values()):
+        print("CONSISTENCY CHECK FAILED", file=sys.stderr)
+        return 1
+    if report.failed_clients:
+        print("FAIL NOTIFICATIONS RAISED UNDER A CORRECT SERVER",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1164,6 +1214,43 @@ def main(argv: list[str] | None = None) -> int:
         "--history", action="store_true", help="print the replayed history"
     )
     replay.set_defaults(func=_cmd_replay)
+
+    scale = sub.add_parser(
+        "scale",
+        help="open-loop scale run: Poisson arrivals, Zipf keys, "
+        "resident-memory sampling",
+    )
+    scale.add_argument("--clients", type=int, default=4)
+    scale.add_argument("--seed", type=int, default=20260730)
+    scale.add_argument(
+        "--rate", type=float, default=0.15,
+        help="per-client Poisson arrival rate (ops per time unit)",
+    )
+    scale.add_argument("--duration", type=float, default=800.0,
+                       metavar="TIME", help="arrival horizon (virtual time)")
+    scale.add_argument("--read-fraction", type=float, default=0.5)
+    scale.add_argument("--zipf", type=float, default=1.0,
+                       help="Zipf exponent for read-key popularity")
+    scale.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="OPS",
+        help="co-sign a checkpoint every N stable ops (0 disables "
+        "checkpointing: the unbounded baseline)",
+    )
+    scale.add_argument("--keep-tail", type=int, default=2,
+                       help="writes per register kept across compaction")
+    scale.add_argument("--churn-windows", type=int, default=0,
+                       help="random client offline windows over the run")
+    scale.add_argument("--sample-every", type=float, default=20.0,
+                       metavar="TIME")
+    scale.add_argument("--trace-malloc", action="store_true",
+                       help="track Python allocations for a bytes/op figure")
+    scale.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the report as JSON to PATH")
+    scale.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a Prometheus-style rendering of the report to PATH",
+    )
+    scale.set_defaults(func=_cmd_scale)
 
     experiments = sub.add_parser("experiments", help="run the E* harness")
     experiments.add_argument("--quick", action="store_true")

@@ -36,6 +36,11 @@ def derive_shard_seed(seed: int, shard: int) -> int:
 
 def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
     """Build a :class:`ClusterSystem` described by ``config``."""
+    if config.checkpoint is not None and config.shard_protocol != "faust":
+        raise ConfigurationError(
+            "checkpoint= needs fail-aware shards to co-sign the stable "
+            "cut: it requires shard_protocol='faust'"
+        )
     if config.shards > config.num_clients:
         raise ConfigurationError(
             f"{config.shards} shards over {config.num_clients} registers "
@@ -81,7 +86,9 @@ def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
             replica_server_factories=config.replica_server_factories,
         )
         if config.shard_protocol == "faust":
-            raw = builder.build_faust(**config.faust.as_kwargs())
+            raw = builder.build_faust(
+                checkpoint=config.checkpoint, **config.faust.as_kwargs()
+            )
         else:
             raw = builder.build()
         shards.append(raw)

@@ -123,6 +123,11 @@ class _RegisterState:
     writes: list[Operation] = field(default_factory=list)
     index_of_value: dict[bytes, int] = field(default_factory=dict)
     staircase: list[tuple[float, int]] = field(default_factory=list)
+    #: Checkpoint base: writes pruned behind the co-signed cut.  Indexes
+    #: stay absolute (write k of the execution is still index k); the
+    #: ``writes`` list holds entries ``base + 1 ..``.
+    base: int = 0
+    base_time: float = float("-inf")
 
 
 class IncrementalLinearizabilityChecker(IncrementalChecker):
@@ -157,7 +162,7 @@ class IncrementalLinearizabilityChecker(IncrementalChecker):
             )
             return
         state.writes.append(op)
-        index = len(state.writes)
+        index = state.base + len(state.writes)
         state.index_of_value[key] = index
         orphans = self._orphans.pop((op.register, key), None)
         if orphans:
@@ -188,13 +193,56 @@ class IncrementalLinearizabilityChecker(IncrementalChecker):
             else:
                 self._check_read(op, index, state)
 
+    def seed_base(self, base: dict[int, tuple[int, float]]) -> None:
+        """Adopt a compacted history's checkpoint base before a replay."""
+        for register, (count, last) in base.items():
+            state = self._register(register)
+            state.base = count
+            state.base_time = last
+
+    def on_compact(self, cut: tuple[int, ...], keep_tail: int) -> None:
+        """Prune checker state behind a co-signed checkpoint cut.
+
+        Mirrors :meth:`~repro.history.recorder.HistoryRecorder.compact`:
+        per register, writes with ``timestamp <= cut[register]`` are
+        dropped except the newest ``keep_tail``; their values leave the
+        index so a later (Byzantine) read of a pruned value surfaces as
+        an orphan, exactly as the offline checker reports "never
+        written" on the compacted history.
+        """
+        for register, state in self._registers.items():
+            if register >= len(cut):
+                continue
+            writes = state.writes
+            eligible = 0
+            while eligible < len(writes):
+                timestamp = writes[eligible].timestamp
+                if timestamp is None or timestamp > cut[register]:
+                    break
+                eligible += 1
+            prune = eligible - keep_tail
+            if prune <= 0:
+                continue
+            dropped = writes[:prune]
+            del writes[:prune]
+            for write in dropped:
+                state.index_of_value.pop(bytes(write.value), None)
+            state.base += prune
+            last = dropped[-1].responded_at
+            if last is not None and last > state.base_time:
+                state.base_time = last
+            state.staircase = [
+                entry for entry in state.staircase if entry[1] > state.base
+            ]
+
     # -- the three SWMR rules, incrementally ----------------------------- #
 
     def _check_read(self, read: Operation, index: int, state: _RegisterState) -> None:
         # Rule 1 — value from the future: the read completed before the
-        # write it returns was invoked.
+        # write it returns was invoked.  Indexes are absolute; mapped
+        # values always point at retained writes (index > base).
         if index >= 1:
-            write = state.writes[index - 1]
+            write = state.writes[index - 1 - state.base]
             if read.responded_at < write.invoked_at:
                 self._violate(
                     f"{read.describe()} completed before {write.describe()} "
@@ -202,11 +250,23 @@ class IncrementalLinearizabilityChecker(IncrementalChecker):
                     witness=(read, write),
                 )
                 return
+        elif state.base and read.invoked_at > state.base_time:
+            # BOTTOM behind a checkpoint base: a pruned write completed
+            # before this read was invoked.  Reads overlapping the pruned
+            # era may legitimately see BOTTOM.
+            self._violate(
+                f"{read.describe()} is stale: {state.base} checkpointed "
+                f"write(s) of register {read.register} completed before "
+                f"the read was invoked, yet it returned BOTTOM",
+                witness=read,
+            )
+            return
         # Rule 2 — stale read: a later write completed before the read was
         # invoked.  Writes respond in index order (program order), so the
         # earliest-responding later write is the very next one.
-        if index < len(state.writes):
-            later = state.writes[index]
+        position = max(index - state.base, 0)
+        if position < len(state.writes):
+            later = state.writes[position]
             if later.responded_at is not None and later.responded_at < read.invoked_at:
                 self._violate(
                     f"{read.describe()} is stale: {later.describe()} "
@@ -274,8 +334,14 @@ class IncrementalCausalChecker(IncrementalChecker):
         super().__init__()
         self._clients: dict[int, _ClientState] = {}
         #: Per register: the vector-clock snapshots of each write, in
-        #: writer program order (1-based index = write index).
+        #: writer program order (1-based index = write index).  After
+        #: checkpoint compaction the list holds writes ``base + 1 ..``
+        #: (indexes stay absolute; ``_reg_base`` is the offset).
         self._write_clocks: dict[int, list[tuple[dict, dict]]] = {}
+        #: Protocol timestamps parallel to ``_write_clocks`` — the prune
+        #: rule is phrased over them.
+        self._write_ts: dict[int, list[int | None]] = {}
+        self._reg_base: dict[int, int] = {}
         self._index_of_value: dict[int, dict[bytes, int]] = {}
 
     def _client(self, client: int) -> _ClientState:
@@ -311,6 +377,7 @@ class IncrementalCausalChecker(IncrementalChecker):
         self._write_clocks.setdefault(op.register, []).append(
             (dict(state.ops), dict(state.writes))
         )
+        self._write_ts.setdefault(op.register, []).append(op.timestamp)
         orphans = self._orphans.pop((op.register, key), None)
         if orphans:
             for read in orphans:
@@ -351,11 +418,55 @@ class IncrementalCausalChecker(IncrementalChecker):
         state.ops[op.client] = state.position
         self._absorb_read(op, index)
 
+    def seed_base(self, base: dict[int, tuple[int, float]]) -> None:
+        """Adopt a compacted history's checkpoint base before a replay.
+
+        SWMR: the writer of register ``j`` is client ``j``, so the
+        writer's cumulative write count starts at the pruned count —
+        that keeps the value index absolute across the replay.
+        """
+        for register, (count, _last) in base.items():
+            self._reg_base[register] = count
+            writer = self._client(register)
+            writer.writes[register] = max(
+                writer.writes.get(register, 0), count
+            )
+
+    def on_compact(self, cut: tuple[int, ...], keep_tail: int) -> None:
+        """Prune write-clock prefixes behind a co-signed checkpoint cut.
+
+        The reader-side cumulative clocks are untouched (the BOTTOM and
+        causally-overwritten rules compare absolute counts); only the
+        per-write snapshots and the value index shed the pruned prefix,
+        by the same rule as the recorder.
+        """
+        for register, clocks in self._write_clocks.items():
+            if register >= len(cut):
+                continue
+            ts_list = self._write_ts[register]
+            eligible = 0
+            while eligible < len(ts_list):
+                timestamp = ts_list[eligible]
+                if timestamp is None or timestamp > cut[register]:
+                    break
+                eligible += 1
+            prune = eligible - keep_tail
+            if prune <= 0:
+                continue
+            del clocks[:prune]
+            del ts_list[:prune]
+            base = self._reg_base.get(register, 0) + prune
+            self._reg_base[register] = base
+            values = self._index_of_value.get(register, {})
+            for key in [k for k, idx in values.items() if idx <= base]:
+                del values[key]
+
     # -- the writes-into rules, as clock arithmetic ---------------------- #
 
     def _absorb_read(self, read: Operation, index: int) -> None:
         state = self._client(read.client)
-        write_ops, write_writes = self._write_clocks[read.register][index - 1]
+        base = self._reg_base.get(read.register, 0)
+        write_ops, write_writes = self._write_clocks[read.register][index - 1 - base]
         # Cycle: the write already counts this client up to (or past) the
         # read itself — the read would causally precede its own source.
         if write_ops.get(read.client, 0) >= state.ops.get(read.client, 0):
@@ -403,6 +514,8 @@ def attach_incremental_checkers(
                 f"('linearizability', 'causal')"
             )
         if past is not None:
+            if past.base:
+                made[name].seed_base(past.base)
             replay_history(made[name], past)
         recorder.add_listener(made[name])
     return made

@@ -45,9 +45,14 @@ def _map_reads_to_write_index(
 
     Index 0 denotes the initial value BOTTOM; index k >= 1 denotes the k-th
     write.  A read whose value no write produced yields an error string.
+    Indexes are *absolute*: a compacted history whose base records
+    ``c`` pruned writes numbers its retained writes from ``c + 1``.
     """
+    base_count, _ = history.base_of(register)
     writes = history.writes_to(register)
-    index_of_value = {bytes(w.value): k for k, w in enumerate(writes, start=1)}
+    index_of_value = {
+        bytes(w.value): k for k, w in enumerate(writes, start=base_count + 1)
+    }
     mapping: dict[int, int] = {}
     for read in history.reads_of(register):
         if not read.is_read:
@@ -73,13 +78,14 @@ def _check_register(history: History, register: RegisterId) -> CheckResult:
     if error is not None:
         return violated(_CONDITION, error)
 
+    base_count, base_time = history.base_of(register)
     reads = history.reads_of(register)
 
     # Rule 1 and rule 2: each read against the write order.
     for read in reads:
         k = read_index[read.op_id]
         if k >= 1:
-            write = writes[k - 1]
+            write = writes[k - 1 - base_count]
             if read.precedes(write):
                 return violated(
                     _CONDITION,
@@ -87,7 +93,18 @@ def _check_register(history: History, register: RegisterId) -> CheckResult:
                     f"invoked (value from the future)",
                     witness=(read, write),
                 )
-        for later in writes[k:]:
+        elif base_count and read.invoked_at > base_time:
+            # BOTTOM behind a checkpoint base: some pruned write had
+            # completed before this read was even invoked.  Reads that
+            # overlapped the pruned era may legitimately see BOTTOM.
+            return violated(
+                _CONDITION,
+                f"{read.describe()} is stale: {base_count} checkpointed "
+                f"write(s) of register {register} completed before the "
+                f"read was invoked, yet it returned BOTTOM",
+                witness=read,
+            )
+        for later in writes[max(k - base_count, 0) :]:
             if later.precedes(read):
                 return violated(
                     _CONDITION,
@@ -130,6 +147,12 @@ def check_linearizability_exhaustive(
     """
     prepared = history.completed_for_checking()
     prepared.assert_unique_write_values()
+    if prepared.base:
+        raise CheckerError(
+            "the exhaustive checker assumes the initial register values "
+            "(BOTTOM); compacted histories with a checkpoint base are "
+            "checked by check_linearizability"
+        )
     ops = list(prepared)
     if len(ops) > max_ops:
         raise CheckerError(

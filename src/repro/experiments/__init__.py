@@ -24,6 +24,7 @@ from repro.experiments import (
     e16_cluster_detection,
     e17_throughput,
     e18_replica_rollback,
+    e19_checkpoint_memory,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -46,6 +47,7 @@ ALL_EXPERIMENTS = [
     e16_cluster_detection,
     e17_throughput,
     e18_replica_rollback,
+    e19_checkpoint_memory,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

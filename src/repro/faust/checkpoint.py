@@ -1,0 +1,300 @@
+"""Authenticated checkpoints: fold the stable prefix, bound the state.
+
+FAUST's bookkeeping grows without bound — the server's ``pending`` list
+is pruned only incidentally by COMMITs, clients accumulate view-history
+records forever, and the incremental checkers keep every write they ever
+saw.  This module adds the bounded-state extension (ROADMAP item 2): once
+a prefix of operations is **stable for all clients** (below the
+all-clients stability cut, Section 6), the clients co-sign a *checkpoint*
+that folds it, after which every party drops the folded history:
+
+* the server truncates the covered ``pending`` prefix and compacts its
+  WAL (:func:`repro.ustor.server.apply_checkpoint`),
+* clients prune view-history records at or below the cut,
+* the history recorder and incremental checkers drop pruned operations
+  (:meth:`repro.history.recorder.HistoryRecorder.compact`).
+
+Checkpoints form a hash chain: checkpoint ``q`` is ``(q, C, d)`` with cut
+``C`` (one stable timestamp per client) and digest ``d = H("CHECKPOINT",
+q, C, parent_digest)``.  The round-robin proposer of ``q`` (client
+``(q - 1) mod n``) broadcasts a signed share over the offline channel
+once enough stability has accumulated; every client countersigns the
+*proposer's* cut as soon as its own stability cut covers it; ``n``
+matching shares install the checkpoint.  Conflicting shares for the same
+sequence number are proof of divergent stability views — exactly the
+forking evidence FAUST turns into a ``fail`` notification.
+
+Why detection survives pruning: only operations stable at *every* client
+are folded, and stability already places them on a common linearizable
+prefix certified by the version vectors each client retains.  A rollback
+across a checkpoint re-serves a version that no longer dominates some
+client's committed version — caught by the same comparability checks as
+today (Algorithm 1 lines 36/43), with no need for the pruned history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ClientId
+from repro.crypto.hashing import hash_values
+from repro.crypto.keystore import ClientSigner
+from repro.faust.messages import CheckpointShareMessage
+from repro.ustor.messages import CheckpointMessage
+
+#: Domain-separation label for checkpoint digests and co-signatures.
+CHECKPOINT_LABEL = "CHECKPOINT"
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Knobs of the bounded-state extension (``SystemConfig(checkpoint=...)``).
+
+    ``interval`` is the amount of *new stability* (sum over the stable
+    cut's entries) that triggers the next proposal; ``prune_history``
+    additionally compacts the shared history recorder and the incremental
+    checkers behind each installed checkpoint; ``keep_tail`` is how many
+    stable writes per register the compactor retains as context for
+    still-referencing reads.
+    """
+
+    interval: int = 32
+    prune_history: bool = True
+    keep_tail: int = 4
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ConfigurationError(
+                f"checkpoint interval must be at least 1, got {self.interval}"
+            )
+        if self.keep_tail < 1:
+            raise ConfigurationError(
+                f"checkpoint keep_tail must be at least 1, got {self.keep_tail}"
+            )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An installed checkpoint: a link of the authenticated chain."""
+
+    seq: int
+    cut: tuple[int, ...]  # one stable timestamp per client
+    parent_digest: bytes
+    digest: bytes
+
+    @classmethod
+    def genesis(cls, num_clients: int) -> "Checkpoint":
+        """Checkpoint 0: the empty cut, the root of the chain."""
+        cut = (0,) * num_clients
+        return cls(
+            seq=0,
+            cut=cut,
+            parent_digest=b"",
+            digest=chain_digest(0, cut, b""),
+        )
+
+
+def chain_digest(seq: int, cut: tuple[int, ...], parent_digest: bytes) -> bytes:
+    """The digest binding a checkpoint to its whole ancestry."""
+    return hash_values(CHECKPOINT_LABEL, seq, cut, parent_digest)
+
+
+class CheckpointManager:
+    """One client's view of the checkpoint co-signing protocol.
+
+    Owned by a :class:`~repro.faust.client.FaustClient`, which feeds it
+    stability advances (:meth:`on_stability`) and received shares
+    (:meth:`on_share`) and provides the I/O callbacks:
+
+    * ``send_share(share)`` — broadcast a share to every peer (offline
+      channel),
+    * ``send_server(message)`` — forward an installed certificate to the
+      server(s) (only the proposer does this),
+    * ``on_install(checkpoint)`` — an installed checkpoint to act on
+      (prune local state),
+    * ``on_fail(reason)`` — conflicting or forged shares: forking
+      evidence, raise ``fail``.
+
+    The manager draws no randomness and sets no timers: proposals and
+    countersignatures are driven purely by stability advances and share
+    arrivals, so runs stay deterministic.
+    """
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        num_clients: int,
+        signer: ClientSigner,
+        policy: CheckpointPolicy,
+        *,
+        send_share: Callable[[CheckpointShareMessage], None],
+        send_server: Callable[[CheckpointMessage], None],
+        on_install: Callable[[Checkpoint], None] | None = None,
+        on_fail: Callable[[str], None] | None = None,
+    ) -> None:
+        self._id = client_id
+        self._n = num_clients
+        self._signer = signer
+        self.policy = policy
+        self._send_share = send_share
+        self._send_server = send_server
+        self._on_install = on_install
+        self._on_fail = on_fail
+        self.installed = Checkpoint.genesis(num_clients)
+        self._stable: tuple[int, ...] = (0,) * num_clients
+        #: Buffered shares by sequence number (only ``installed.seq + 1``
+        #: is actionable; later ones wait for their parent).
+        self._shares: dict[int, dict[ClientId, CheckpointShareMessage]] = {}
+        #: What I co-signed per sequence number — at most one (cut,
+        #: parent) each, the non-equivocation the protocol rests on.
+        self._signed: dict[int, tuple[tuple[int, ...], bytes]] = {}
+        self._failed = False
+        # Instrumentation.
+        self.installs = 0
+        self.shares_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Inputs
+    # ------------------------------------------------------------------ #
+
+    def on_stability(self, stable_vector: tuple[int, ...]) -> None:
+        """The client's all-clients stable cut advanced."""
+        if self._failed:
+            return
+        self._stable = stable_vector
+        self._maybe_propose()
+        self._maybe_countersign()
+
+    def on_share(self, share: CheckpointShareMessage) -> None:
+        """A peer's share arrived over the offline channel."""
+        if self._failed:
+            return
+        if not self._signer.verify(
+            share.sender,
+            share.signature,
+            CHECKPOINT_LABEL,
+            share.seq,
+            share.cut,
+            share.parent_digest,
+        ):
+            self._fail(
+                f"checkpoint share for seq {share.seq} carries an invalid "
+                f"signature claiming client {share.sender}"
+            )
+            return
+        if share.seq < self.installed.seq:
+            return  # stale: history we can no longer compare against
+        if share.seq == self.installed.seq:
+            if (share.cut, share.parent_digest) != (
+                self.installed.cut,
+                self.installed.parent_digest,
+            ):
+                self._fail(
+                    f"checkpoint share for installed seq {share.seq} "
+                    f"diverges from the installed checkpoint — forked "
+                    f"stability views"
+                )
+            return  # a late duplicate of what everyone signed
+        bucket = self._shares.setdefault(share.seq, {})
+        for other in bucket.values():
+            if (other.cut, other.parent_digest) != (
+                share.cut,
+                share.parent_digest,
+            ):
+                self._fail(
+                    f"conflicting checkpoint shares for seq {share.seq} "
+                    f"(cuts {other.cut} vs {share.cut}) — forked stability "
+                    f"views"
+                )
+                return
+        bucket[share.sender] = share
+        self._advance()
+
+    # ------------------------------------------------------------------ #
+    # Protocol steps
+    # ------------------------------------------------------------------ #
+
+    def proposer(self, seq: int) -> ClientId:
+        """Round-robin proposer of checkpoint ``seq``."""
+        return (seq - 1) % self._n
+
+    def _maybe_propose(self) -> None:
+        seq = self.installed.seq + 1
+        if self.proposer(seq) != self._id or seq in self._signed:
+            return
+        if sum(self._stable) - sum(self.installed.cut) < self.policy.interval:
+            return
+        self._sign_and_share(seq, self._stable, self.installed.digest)
+
+    def _maybe_countersign(self) -> None:
+        """Countersign the actionable proposal once my cut covers it."""
+        seq = self.installed.seq + 1
+        bucket = self._shares.get(seq)
+        if not bucket or seq in self._signed:
+            return
+        share = next(iter(bucket.values()))
+        if share.parent_digest != self.installed.digest:
+            self._fail(
+                f"checkpoint proposal for seq {seq} extends a different "
+                f"parent than my installed checkpoint — forked chains"
+            )
+            return
+        if all(mine >= cut for mine, cut in zip(self._stable, share.cut)):
+            self._sign_and_share(seq, share.cut, share.parent_digest)
+
+    def _sign_and_share(
+        self, seq: int, cut: tuple[int, ...], parent_digest: bytes
+    ) -> None:
+        signature = self._signer.sign(CHECKPOINT_LABEL, seq, cut, parent_digest)
+        share = CheckpointShareMessage(
+            sender=self._id,
+            seq=seq,
+            cut=cut,
+            parent_digest=parent_digest,
+            signature=signature,
+        )
+        self._signed[seq] = (cut, parent_digest)
+        self._shares.setdefault(seq, {})[self._id] = share
+        self.shares_sent += 1
+        self._send_share(share)
+        self._advance()
+
+    def _advance(self) -> None:
+        """Countersign and install everything actionable right now."""
+        while not self._failed:
+            self._maybe_countersign()
+            seq = self.installed.seq + 1
+            bucket = self._shares.get(seq)
+            if self._failed or not bucket or len(bucket) < self._n:
+                return
+            share = next(iter(bucket.values()))
+            checkpoint = Checkpoint(
+                seq=seq,
+                cut=share.cut,
+                parent_digest=share.parent_digest,
+                digest=chain_digest(seq, share.cut, share.parent_digest),
+            )
+            signatures = tuple(bucket[j].signature for j in range(self._n))
+            del self._shares[seq]
+            self._signed.pop(seq, None)
+            self.installed = checkpoint
+            self.installs += 1
+            if self._on_install is not None:
+                self._on_install(checkpoint)
+            if self.proposer(seq) == self._id:
+                # The proposer forwards the certificate; the server
+                # truncates under its own defensive bound, so one copy
+                # (not n) suffices and duplicates would only cost wire.
+                self._send_server(
+                    CheckpointMessage(
+                        seq=seq, cut=share.cut, signatures=signatures
+                    )
+                )
+            self._maybe_propose()
+
+    def _fail(self, reason: str) -> None:
+        self._failed = True
+        if self._on_fail is not None:
+            self._on_fail(reason)

@@ -39,7 +39,13 @@ from repro.sim.offline import OfflineChannel
 from repro.sim.timers import PeriodicTimer
 from repro.ustor.client import OpOutcome, UstorClient
 from repro.ustor.messages import ReplyMessage
-from repro.faust.messages import FailureMessage, ProbeMessage, VersionMessage
+from repro.faust.checkpoint import Checkpoint, CheckpointManager, CheckpointPolicy
+from repro.faust.messages import (
+    CheckpointShareMessage,
+    FailureMessage,
+    ProbeMessage,
+    VersionMessage,
+)
 from repro.faust.stability import StabilityTracker
 
 
@@ -68,6 +74,7 @@ class FaustClient(UstorClient):
         replica_servers: tuple | None = None,
         quorum: int | None = None,
         counter: bool = False,
+        checkpoint: CheckpointPolicy | None = None,
     ) -> None:
         super().__init__(
             client_id=client_id,
@@ -103,9 +110,26 @@ class FaustClient(UstorClient):
         self.faust_fail_reason: str | None = None
         self.faust_fail_time: float | None = None
         #: (time, W) of every stable_i notification, for tests/experiments.
+        #: With checkpointing on, installed checkpoints trim this list
+        #: (bounded state); ``stable_notifications_total`` keeps the count.
         self.stable_notifications: list[tuple[float, tuple[int, ...]]] = []
+        self.stable_notifications_total = 0
         self.user_operations_completed = 0
         self.dummy_reads_issued = 0
+
+        self._checkpoint_listeners: list[Callable[[Checkpoint], None]] = []
+        self.checkpoint_manager: CheckpointManager | None = None
+        if checkpoint is not None:
+            self.checkpoint_manager = CheckpointManager(
+                client_id,
+                num_clients,
+                signer,
+                checkpoint,
+                send_share=self._broadcast_checkpoint_share,
+                send_server=self._send_server,
+                on_install=self._checkpoint_installed,
+                on_fail=self._fail_faust,
+            )
 
     # ---------------------------------------------------------------- #
     # Wiring
@@ -119,6 +143,12 @@ class FaustClient(UstorClient):
     ) -> None:
         """Invoke ``listener(W)`` on every ``stable_i(W)`` notification."""
         self._stable_listeners.append(listener)
+
+    def add_checkpoint_listener(
+        self, listener: Callable[[Checkpoint], None]
+    ) -> None:
+        """Invoke ``listener(checkpoint)`` on every installed checkpoint."""
+        self._checkpoint_listeners.append(listener)
 
     def add_failure_listener(self, listener: Callable[[str], None]) -> None:
         """Invoke ``listener(reason)`` on the (single) ``fail_i`` output.
@@ -252,10 +282,13 @@ class FaustClient(UstorClient):
             return
         if result.stability_advanced:
             self._notify_stable()
+        if result.updated and self.checkpoint_manager is not None:
+            self.checkpoint_manager.on_stability(self.tracker.stable_vector())
 
     def _notify_stable(self) -> None:
         cut = self.tracker.stability_cut()
         self.stable_notifications.append((self.now, cut))
+        self.stable_notifications_total += 1
         trace = self.network.trace
         if trace is not None:
             trace.note(self.now, self.name, "stable", cut)
@@ -307,6 +340,9 @@ class FaustClient(UstorClient):
             self._handle_probe(message)
         elif isinstance(message, VersionMessage):
             self._absorb(message.sender, message.version)
+        elif isinstance(message, CheckpointShareMessage):
+            if self.checkpoint_manager is not None:
+                self.checkpoint_manager.on_share(message)
         elif isinstance(message, FailureMessage):
             # The paper's third detection condition: another client holds
             # proof.  Re-alerting is harmless (each client alerts at most
@@ -323,6 +359,47 @@ class FaustClient(UstorClient):
             client_name(message.sender),
             VersionMessage(sender=self._id, version=self.tracker.max_version),
         )
+
+    # ---------------------------------------------------------------- #
+    # Checkpointing (bounded state)
+    # ---------------------------------------------------------------- #
+
+    def _broadcast_checkpoint_share(self, share: CheckpointShareMessage) -> None:
+        if self._offline is None:
+            return
+        for peer in range(self._n):
+            if peer == self._id:
+                continue
+            self._offline.send(self.name, client_name(peer), share)
+
+    def _checkpoint_installed(self, checkpoint: Checkpoint) -> None:
+        """Prune local state behind an installed checkpoint.
+
+        Only *own* bookkeeping goes: view-history records at or below my
+        entry of the cut (their operations are stable everywhere, so no
+        future comparability check needs them) and the accumulated
+        stability-notification log.  The version vectors in the tracker —
+        what rollback/fork detection actually compares against — are O(n)
+        and are never pruned.
+        """
+        trace = self.network.trace
+        if trace is not None:
+            trace.note(
+                self.now, self.name, "checkpoint", (checkpoint.seq, checkpoint.cut)
+            )
+        manager = self.checkpoint_manager
+        if manager is not None and manager.policy.prune_history:
+            floor = checkpoint.cut[self._id]
+            stale = [
+                key for key in self.vh_records if key[1] <= floor
+            ]
+            for key in stale:
+                del self.vh_records[key]
+            keep = manager.policy.keep_tail
+            if len(self.stable_notifications) > keep:
+                del self.stable_notifications[:-keep]
+        for listener in list(self._checkpoint_listeners):
+            listener(checkpoint)
 
     # ---------------------------------------------------------------- #
     # fail_i

@@ -10,8 +10,17 @@ Three message types travel over the offline channel:
 * FAILURE — the sender has proof of server misbehaviour; everyone should
   output ``fail`` and stop using the server.
 
+The bounded-state extension adds a fourth:
+
+* CHECKPOINT-SHARE — a co-signature over a proposed checkpoint (sequence
+  number, stable cut, parent digest); ``n`` matching shares install the
+  checkpoint (:mod:`repro.faust.checkpoint`).  Unlike the three above it
+  carries an explicit signature: an installed checkpoint's certificate
+  is forwarded to the *untrusted* server, so its authenticity cannot
+  ride on the channel alone.
+
 The offline channel is authenticated (it connects mutually trusting
-clients), so these messages carry no additional signatures.
+clients), so the first three messages carry no additional signatures.
 """
 
 from __future__ import annotations
@@ -19,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.types import ClientId
+from repro.crypto.hashing import HASH_BYTES
+from repro.crypto.signatures import SIGNATURE_BYTES
 from repro.ustor.messages import INT_BYTES, MARKER_BYTES, version_wire_size
 from repro.ustor.version import Version
 
@@ -46,6 +57,34 @@ class VersionMessage:
 
     def wire_size(self) -> int:
         return MARKER_BYTES + INT_BYTES + version_wire_size(self.version)
+
+
+@dataclass(frozen=True)
+class CheckpointShareMessage:
+    """One client's co-signature over a proposed checkpoint.
+
+    ``signature`` is the sender's signature over ``("CHECKPOINT", seq,
+    cut, parent_digest)``; collecting one valid share per client installs
+    checkpoint ``seq`` (see :class:`repro.faust.checkpoint.CheckpointManager`).
+    """
+
+    sender: ClientId
+    seq: int
+    cut: tuple[int, ...]
+    parent_digest: bytes
+    signature: bytes
+
+    kind = "CHECKPOINT-SHARE"
+
+    def wire_size(self) -> int:
+        return (
+            MARKER_BYTES
+            + INT_BYTES  # sender
+            + INT_BYTES  # seq
+            + INT_BYTES * len(self.cut)
+            + HASH_BYTES
+            + SIGNATURE_BYTES
+        )
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,20 @@ class StabilityTracker:
         """Up to which of my timestamps am I stable w.r.t. ``peer``?"""
         return self._w[peer]
 
+    def stable_vector(self) -> tuple[int, ...]:
+        """The all-clients stable cut: one timestamp per client.
+
+        Entry ``j`` is ``min_k VER_i[k].vector[j]`` — how many of client
+        ``C_j``'s operations *every* client's latest known version
+        already covers.  Operations at or below this cut are stable
+        w.r.t. all clients (the prefix the checkpoint protocol folds);
+        monotone non-decreasing because ``VER_i`` entries only grow.
+        """
+        vectors = [version.vector for version in self.versions]
+        return tuple(
+            min(vector[j] for vector in vectors) for j in range(self._n)
+        )
+
     def stable_timestamp_for_all(self) -> int:
         """My operations with timestamps up to this value are *stable*
         (w.r.t. every client), hence on a linearizable prefix.

@@ -145,7 +145,11 @@ def _check_stability_accuracy(system: StorageSystem, history: History) -> CheckR
     closed = set(stable_ids)
     for op_id in stable_ids:
         closed |= structure.ancestors(op_id)
-    prefix = History([op for op in complete if op.op_id in closed])
+    # Carry the checkpoint base: on a compacted history the prefix does
+    # not start at BOTTOM, and the checker must know it.
+    prefix = History(
+        [op for op in complete if op.op_id in closed], base=complete.base
+    )
     verdict = check_linearizability(prefix)
     if not verdict.ok:
         return violated(

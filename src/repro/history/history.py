@@ -19,9 +19,22 @@ from repro.history.events import Operation
 
 
 class History:
-    """An immutable collection of operations from one execution."""
+    """An immutable collection of operations from one execution.
 
-    def __init__(self, operations: Iterable[Operation]) -> None:
+    ``base`` carries the checkpoint cut a compacted recorder pruned
+    behind (:meth:`~repro.history.recorder.HistoryRecorder.compact`): a
+    mapping ``register -> (pruned_write_count, last_pruned_responded_at)``.
+    Checkers use it to keep write indexes absolute and to keep the
+    BOTTOM-read staleness rule sound on histories that no longer start
+    at the initial value.  An empty base (the default) is a history from
+    timestamp zero.
+    """
+
+    def __init__(
+        self,
+        operations: Iterable[Operation],
+        base: dict[RegisterId, tuple[int, float]] | None = None,
+    ) -> None:
         ops = sorted(operations, key=lambda o: (o.invoked_at, o.op_id))
         seen: set[int] = set()
         for op in ops:
@@ -33,6 +46,7 @@ class History:
         self._by_client: dict[ClientId, list[Operation]] = defaultdict(list)
         for op in self._ops:
             self._by_client[op.client].append(op)
+        self._base: dict[RegisterId, tuple[int, float]] = dict(base or {})
         self._check_well_formed()
 
     def _check_well_formed(self) -> None:
@@ -70,6 +84,15 @@ class History:
     def operations(self) -> tuple[Operation, ...]:
         return self._ops
 
+    @property
+    def base(self) -> dict[RegisterId, tuple[int, float]]:
+        """The checkpoint base this history was compacted behind."""
+        return dict(self._base)
+
+    def base_of(self, register: RegisterId) -> tuple[int, float]:
+        """``(pruned_write_count, last_pruned_responded_at)`` for one register."""
+        return self._base.get(register, (0, float("-inf")))
+
     def op(self, op_id: int) -> Operation:
         try:
             return self._by_id[op_id]
@@ -88,7 +111,9 @@ class History:
 
     def complete(self) -> "History":
         """``complete(sigma)``: the complete operations only."""
-        return History(op for op in self._ops if op.complete)
+        return History(
+            (op for op in self._ops if op.complete), base=self._base
+        )
 
     def restrict_to_client(self, client: ClientId) -> list[Operation]:
         """``sigma|C_i`` as an ordered list."""
@@ -162,7 +187,7 @@ class History:
                 kept.append(op)
             elif op.is_write:
                 kept.append(op.completed_copy(responded_at=float("inf")))
-        return History(kept)
+        return History(kept, base=self._base)
 
     # ------------------------------------------------------------------ #
     # Rendering

@@ -45,6 +45,10 @@ class HistoryRecorder:
         self._done: list[Operation] = []
         self._by_key: dict[tuple[ClientId, int], int] = {}
         self._listeners: list = []
+        #: register -> (pruned_write_count, last_pruned_responded_at);
+        #: accumulated by :meth:`compact`, carried on extracted histories.
+        self._base: dict[RegisterId, tuple[int, float]] = {}
+        self.compacted_ops = 0
 
     def add_listener(self, listener) -> None:
         """Subscribe ``listener`` to the live operation stream.
@@ -129,6 +133,75 @@ class HistoryRecorder:
         return op
 
     # ------------------------------------------------------------------ #
+    # Checkpoint compaction
+    # ------------------------------------------------------------------ #
+
+    def compact(self, cut: tuple[int, ...], keep_tail: int = 1) -> int:
+        """Prune completed operations behind a co-signed checkpoint cut.
+
+        ``cut[j]`` is the stable protocol timestamp for client ``j``
+        (SWMR: also the writer of register ``j``).  Per register, the
+        completed writes with ``timestamp <= cut[register]`` are pruned
+        except the newest ``keep_tail`` of them; completed reads whose
+        value came from a pruned write go with it.  What was dropped is
+        summarised in the per-register base carried on every extracted
+        :class:`History`, so the offline checkers keep write indexes
+        absolute and the BOTTOM staleness rule time-sound.  Listeners
+        with an ``on_compact(cut, keep_tail)`` hook (the incremental
+        checkers) are told to prune by the same rule.  Returns the
+        number of operations dropped.
+        """
+        if keep_tail < 1:
+            raise HistoryError("keep_tail must be at least 1")
+        writes_by_register: dict[RegisterId, list[Operation]] = {}
+        for op in self._done:
+            if op.is_write:
+                writes_by_register.setdefault(op.register, []).append(op)
+        pruned_ids: set[int] = set()
+        pruned_values: set[tuple[RegisterId, bytes]] = set()
+        for register, writes in writes_by_register.items():
+            if register >= len(cut):
+                continue
+            eligible = [
+                w
+                for w in writes
+                if w.timestamp is not None and w.timestamp <= cut[register]
+            ]
+            drop = eligible[:-keep_tail]
+            if not drop:
+                continue
+            for write in drop:
+                pruned_ids.add(write.op_id)
+                pruned_values.add((register, bytes(write.value)))
+            count, last = self._base.get(register, (0, float("-inf")))
+            self._base[register] = (
+                count + len(drop),
+                max(last, drop[-1].responded_at),
+            )
+        if pruned_values:
+            for op in self._done:
+                if (
+                    op.is_read
+                    and op.value is not None
+                    and not isinstance(op.value, Bottom)
+                    and (op.register, bytes(op.value)) in pruned_values
+                ):
+                    pruned_ids.add(op.op_id)
+        if pruned_ids:
+            self._done = [op for op in self._done if op.op_id not in pruned_ids]
+            self._by_key = {
+                key: op_id
+                for key, op_id in self._by_key.items()
+                if op_id not in pruned_ids
+            }
+            self.compacted_ops += len(pruned_ids)
+        for listener in self._listeners:
+            hook = getattr(listener, "on_compact", None)
+            if hook is not None:
+                hook(tuple(cut), keep_tail)
+        return len(pruned_ids)
+
+    # ------------------------------------------------------------------ #
     # Extraction
     # ------------------------------------------------------------------ #
 
@@ -148,7 +221,7 @@ class HistoryRecorder:
                     timestamp=pending.timestamp,
                 )
             )
-        return History(ops)
+        return History(ops, base=self._base)
 
     def op_id_for(self, client: ClientId, timestamp: int) -> int | None:
         """Map a protocol ``(client, timestamp)`` pair to an operation id."""

@@ -273,17 +273,30 @@ def state_to_tuple(state: ServerState) -> tuple:
         tuple(invocation_to_tuple(inv) for inv in state.pending),
         tuple(state.proofs),
     )
-    # Optional trailing field: a state that never counted a SUBMIT encodes
-    # exactly as it did before the field existed.
+    # Optional trailing fields, oldest first: a state that never counted a
+    # SUBMIT encodes exactly as it did before either field existed, and a
+    # non-empty pending list (which implies submits_applied > 0) carries
+    # its per-entry submit timestamps for checkpoint truncation.
+    if state.pending:
+        return base + (state.submits_applied, tuple(state.pending_ts))
     if state.submits_applied:
         return base + (state.submits_applied,)
     return base
 
 
 def state_from_tuple(data: tuple) -> ServerState:
-    num_clients, mem, commit_index, sver, pending, proofs, submits = (
-        _flex_shape(data, 6, 1, "ServerState")
+    num_clients, mem, commit_index, sver, pending, proofs, submits, pending_ts = (
+        _flex_shape(data, 6, 2, "ServerState")
     )
+    if pending_ts is None:
+        # Legacy snapshot: entry ages unknown — the None sentinel keeps
+        # apply_checkpoint from ever truncating them.
+        pending_ts = (None,) * len(pending)
+    elif len(pending_ts) != len(pending):
+        raise EncodingError(
+            f"ServerState pending_ts length {len(pending_ts)} does not "
+            f"match pending length {len(pending)}"
+        )
     return ServerState(
         num_clients=num_clients,
         mem=[mem_entry_from_tuple(entry) for entry in mem],
@@ -292,6 +305,7 @@ def state_from_tuple(data: tuple) -> ServerState:
         pending=[invocation_from_tuple(inv) for inv in pending],
         proofs=list(proofs),
         submits_applied=submits or 0,
+        pending_ts=list(pending_ts),
     )
 
 
@@ -321,6 +335,17 @@ def encode_wal_submit(seq: int, message: SubmitMessage) -> bytes:
 
 def encode_wal_commit(seq: int, client: ClientId, message: CommitMessage) -> bytes:
     return encode(("C", seq, client, commit_to_tuple(message)))
+
+
+def encode_wal_checkpoint(seq: int, cut: tuple[int, ...]) -> bytes:
+    """A durable checkpoint record: the certified stable cut at ``seq``.
+
+    Replay re-runs :func:`~repro.ustor.server.apply_checkpoint` under the
+    same defensive bound, so a recovered server converges to the same
+    truncated pending list whether or not the post-checkpoint snapshot
+    survived.
+    """
+    return encode(("K", seq, tuple(cut)))
 
 
 def encode_wal_batch(entries: tuple) -> bytes:

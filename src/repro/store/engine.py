@@ -49,6 +49,7 @@ from repro.store.codec import (
     decode_payload,
     encode_snapshot,
     encode_wal_batch,
+    encode_wal_checkpoint,
     encode_wal_commit,
     encode_wal_submit,
     state_from_tuple,
@@ -57,7 +58,12 @@ from repro.store.codec import (
 )
 from repro.store.media import DirectoryMedium, InMemoryMedium, Medium
 from repro.ustor.messages import CommitMessage, SubmitMessage
-from repro.ustor.server import ServerState, apply_commit, apply_submit
+from repro.ustor.server import (
+    ServerState,
+    apply_checkpoint,
+    apply_commit,
+    apply_submit,
+)
 
 _FRAME_HEADER_BYTES = 8  # 4-byte length + 4-byte crc32
 
@@ -129,21 +135,27 @@ class StorageEngine(ABC):
     def log_commit(self, client: ClientId, message: CommitMessage) -> None:
         """Record a COMMIT transition."""
 
+    def log_checkpoint(self, cut: tuple[int, ...]) -> None:
+        """Record an authenticated-checkpoint cut (no-op for volatile
+        engines: there is no log to compact behind it)."""
+
     def log_records(self, records: list[tuple]) -> None:
         """Record a group-commit batch of transitions before any of their
         REPLYs leave the server.
 
         ``records`` are ``("S", submit_message)`` / ``("C", client,
-        commit_message)`` tuples in application order.  The base
-        implementation appends them one by one (correct for any engine);
-        engines that can batch override this with a single durable write
-        carrying one commit point for the whole batch.
+        commit_message)`` / ``("K", cut)`` tuples in application order.
+        The base implementation appends them one by one (correct for any
+        engine); engines that can batch override this with a single
+        durable write carrying one commit point for the whole batch.
         """
         for record in records:
             if record[0] == "S":
                 self.log_submit(record[1])
-            else:
+            elif record[0] == "C":
                 self.log_commit(record[1], record[2])
+            else:
+                self.log_checkpoint(record[1])
 
     def maybe_checkpoint(self, state: ServerState, gc_advanced: bool = False) -> None:
         """Checkpoint if the engine's policy says so; ``gc_advanced`` marks
@@ -225,6 +237,12 @@ class LogStructuredEngine(StorageEngine):
         self._seq += 1
         self._append(encode_wal_commit(self._seq, client, message), records=1)
 
+    def log_checkpoint(self, cut: tuple[int, ...]) -> None:
+        """Append the certified cut; the caller compacts right after, so
+        the record only matters if the crash lands in between."""
+        self._seq += 1
+        self._append(encode_wal_checkpoint(self._seq, cut), records=1)
+
     def log_records(self, records: list[tuple]) -> None:
         """Group commit: the whole batch as ONE framed append.
 
@@ -241,16 +259,20 @@ class LogStructuredEngine(StorageEngine):
             record = records[0]
             if record[0] == "S":
                 self.log_submit(record[1])
-            else:
+            elif record[0] == "C":
                 self.log_commit(record[1], record[2])
+            else:
+                self.log_checkpoint(record[1])
             return
         entries = []
         for record in records:
             self._seq += 1
             if record[0] == "S":
                 entries.append(("S", self._seq, submit_to_tuple(record[1])))
-            else:
+            elif record[0] == "C":
                 entries.append(("C", self._seq, record[1], commit_to_tuple(record[2])))
+            else:
+                entries.append(("K", self._seq, tuple(record[1])))
         self._append(encode_wal_batch(tuple(entries)), records=len(records))
         self.group_commit_batches += 1
         self.group_commit_records += len(records)
@@ -314,6 +336,8 @@ class LogStructuredEngine(StorageEngine):
                         apply_submit(state, submit_from_tuple(entry[2]))
                     elif tag == "C":
                         apply_commit(state, entry[2], commit_from_tuple(entry[3]))
+                    elif tag == "K":
+                        apply_checkpoint(state, tuple(entry[2]))
                     else:
                         raise StorageError(f"unknown WAL record tag {tag!r}")
                     self._seq = seq

@@ -153,6 +153,36 @@ class SubmitMessage:
 
 
 @dataclass(frozen=True)
+class CheckpointMessage:
+    """``<CHECKPOINT, q, C, Sigma>`` — an installed checkpoint, forwarded.
+
+    Not part of the paper's protocol: the bounded-state extension (see
+    DESIGN.md, "Checkpointing & bounded state").  Once every client has
+    co-signed checkpoint number ``seq`` over the stable cut ``cut`` (one
+    timestamp per client), the proposer forwards the certificate to the
+    server, authorising it to truncate the covered ``pending`` prefix and
+    compact its WAL.  One-way: the server never replies to it.
+
+    The honest server holds no keys, so it cannot verify ``signatures``;
+    it applies a *defensive* truncation bound instead (see
+    :func:`~repro.ustor.server.apply_checkpoint`), which keeps safety
+    independent of the certificate's honesty.
+    """
+
+    seq: int
+    cut: tuple[int, ...]  # one stable timestamp per client
+    signatures: tuple[bytes, ...]  # one co-signature per client, in id order
+
+    kind = "CHECKPOINT"
+
+    def wire_size(self) -> int:
+        size = MARKER_BYTES + INT_BYTES  # kind marker + seq
+        size += INT_BYTES * len(self.cut)
+        size += sum(_sig_size(signature) for signature in self.signatures)
+        return size
+
+
+@dataclass(frozen=True)
 class ReplyMessage:
     """``<REPLY, c, SVER[c], [SVER[j], MEM[j],] L, P>`` (lines 111/114).
 

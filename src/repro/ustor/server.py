@@ -30,6 +30,7 @@ from repro.common.types import ClientId, OpKind, parse_client_name
 from repro.obs.registry import COUNT_BUCKETS, get_registry
 from repro.sim.process import Node
 from repro.ustor.messages import (
+    CheckpointMessage,
     CommitMessage,
     InvocationTuple,
     MemEntry,
@@ -68,6 +69,14 @@ class ServerState:
     #: what the monotonic-counter attestation (:mod:`repro.replica`) pins
     #: it against.
     submits_applied: int = 0
+    #: Per-entry submit timestamps, parallel to ``pending`` — bookkeeping
+    #: for authenticated checkpoints (:func:`apply_checkpoint` only ever
+    #: truncates entries whose timestamp the certified cut covers), not an
+    #: Algorithm 2 variable, hence excluded from state equality.  ``None``
+    #: entries (legacy snapshots) are never truncated.
+    pending_ts: list[int | None] = field(
+        default_factory=list, repr=False, compare=False
+    )
     _pending_tuple: tuple | None = field(default=None, repr=False, compare=False)
     _proofs_tuple: tuple | None = field(default=None, repr=False, compare=False)
 
@@ -106,6 +115,7 @@ class ServerState:
             pending=list(self.pending),
             proofs=list(self.proofs),
             submits_applied=self.submits_applied,
+            pending_ts=list(self.pending_ts),
         )
 
 
@@ -152,6 +162,7 @@ def apply_submit(state: ServerState, message: SubmitMessage) -> ReplyMessage:
     # line 116: append after building the reply — the submitting operation
     # is never listed as concurrent with itself.
     state.pending.append(invocation)
+    state.pending_ts.append(message.timestamp)
     state._pending_tuple = None
     state.submits_applied += 1
     return reply
@@ -173,6 +184,7 @@ def apply_commit(state: ServerState, client: ClientId, message: CommitMessage) -
                 break
         if cut is not None:
             del state.pending[: cut + 1]
+            del state.pending_ts[: cut + 1]
             state._pending_tuple = None
     # lines 122-123: store version, COMMIT- and PROOF-signatures.
     state.sver[client] = SignedVersion(
@@ -180,6 +192,46 @@ def apply_commit(state: ServerState, client: ClientId, message: CommitMessage) -
     )
     state.proofs[client] = message.proof_sig
     state._proofs_tuple = None
+
+
+def apply_checkpoint(state: ServerState, cut: tuple[int, ...]) -> int:
+    """Truncate the ``pending`` prefix a checkpoint ``cut`` covers.
+
+    ``cut`` holds one stable timestamp per client (the co-signed stable
+    cut).  The server cannot verify the certificate (it holds no keys),
+    so the truncation is *defensive*: an entry is dropped only while BOTH
+
+    * its submit timestamp is covered by the cut for its client, AND
+    * it is covered by the current committed version ``V^c`` — i.e. some
+      client already folded it into a committed vector, so by Algorithm
+      1's unconditional pending fold (client line 39 ff.) every honest
+      client that adopts ``V^c`` or later has counted it already.
+
+    The second bound makes safety independent of the cut's honesty: a
+    forged, too-large cut can never remove an entry an honest client
+    still needs to fold, so no honest client ever sees a truncated REPLY
+    whose SUBMIT-signatures fail to verify.  Returns the number of
+    entries truncated.
+    """
+    if len(cut) != state.num_clients:
+        raise ProtocolError(
+            f"checkpoint cut has {len(cut)} entries for {state.num_clients} clients"
+        )
+    committed = state.sver[state.commit_index].version.vector
+    drop = 0
+    for invocation, timestamp in zip(state.pending, state.pending_ts):
+        if timestamp is None:  # legacy snapshot entry: age unknown, keep
+            break
+        if timestamp > cut[invocation.client]:
+            break
+        if timestamp > committed[invocation.client]:
+            break
+        drop += 1
+    if drop:
+        del state.pending[:drop]
+        del state.pending_ts[:drop]
+        state._pending_tuple = None
+    return drop
 
 
 class UstorServer(Node):
@@ -226,6 +278,7 @@ class UstorServer(Node):
         self._batch_records: list[tuple] | None = None
         self._outbox: list[tuple[str, object]] | None = None
         self._batch_gc_advanced = False
+        self._batch_force_checkpoint = False
         # E10 instrumentation: pending-list pressure over the run.
         self.max_pending_len = 0
         self.submits_handled = 0
@@ -233,6 +286,11 @@ class UstorServer(Node):
         # Group-commit instrumentation.
         self.group_commits = 0
         self.largest_group_commit = 0
+        # Checkpoint/GC instrumentation.
+        self.checkpoints_handled = 0
+        self.pending_truncated = 0
+        self.last_checkpoint_seq: int | None = None
+        self.last_checkpoint_cut: tuple[int, ...] | None = None
         registry = get_registry()
         self._obs_submits = registry.counter("ustor.server.submits")
         self._obs_commits = registry.counter("ustor.server.commits")
@@ -240,6 +298,7 @@ class UstorServer(Node):
         self._obs_group_size = registry.histogram(
             "ustor.server.group_commit_records", COUNT_BUCKETS
         )
+        self._obs_checkpoints = registry.counter("ustor.server.checkpoints")
         # Crash-recovery instrumentation (scenarios compare the two).
         self.restarts = 0
         self.last_pre_crash_state: ServerState | None = None
@@ -262,7 +321,9 @@ class UstorServer(Node):
         return self._group_commit
 
     def on_message(self, src: str, message) -> None:
-        if not isinstance(message, (SubmitMessage, CommitMessage)):
+        if not isinstance(
+            message, (SubmitMessage, CommitMessage, CheckpointMessage)
+        ):
             return
         if self._group_commit:
             self._inbox.append((src, message))
@@ -271,8 +332,10 @@ class UstorServer(Node):
                 self.scheduler.schedule(0.0, self._drain_inbox)
         elif isinstance(message, SubmitMessage):
             self.handle_submit(src, message)
-        else:
+        elif isinstance(message, CommitMessage):
             self.handle_commit(src, message)
+        else:
+            self.handle_checkpoint(src, message)
 
     def _drain_inbox(self) -> None:
         """Process every parked delivery under one group commit."""
@@ -283,13 +346,16 @@ class UstorServer(Node):
         self._batch_records = []
         self._outbox = []
         self._batch_gc_advanced = False
+        self._batch_force_checkpoint = False
         position = 0
         try:
             for src, message in inbox:
                 if isinstance(message, SubmitMessage):
                     self.handle_submit(src, message)
-                else:
+                elif isinstance(message, CommitMessage):
                     self.handle_commit(src, message)
+                else:
+                    self.handle_checkpoint(src, message)
                 position += 1
         finally:
             # Even if a handler raised mid-drain, the transitions already
@@ -301,9 +367,15 @@ class UstorServer(Node):
             records, self._batch_records = self._batch_records, None
             outbox, self._outbox = self._outbox, None
             self._engine.log_records(records)
-            self._engine.maybe_checkpoint(
-                self.state, gc_advanced=self._batch_gc_advanced
-            )
+            if self._batch_force_checkpoint:
+                # A checkpoint certificate landed in this batch: compact
+                # the WAL now that its "K" record is durable (subsumes
+                # the heuristic maybe_checkpoint decision).
+                self._engine.checkpoint(self.state)
+            else:
+                self._engine.maybe_checkpoint(
+                    self.state, gc_advanced=self._batch_gc_advanced
+                )
             if position == len(inbox):
                 self.group_commits += 1
                 self.largest_group_commit = max(
@@ -364,6 +436,12 @@ class UstorServer(Node):
         else:
             self._engine.log_commit(client, message)
 
+    def _log_checkpoint(self, cut: tuple[int, ...]) -> None:
+        if self._batch_records is not None:
+            self._batch_records.append(("K", cut))
+        else:
+            self._engine.log_checkpoint(cut)
+
     def _maybe_checkpoint(self, gc_advanced: bool = False) -> None:
         if self._batch_records is not None:
             # Deferred to the single decision after the batch append.
@@ -417,3 +495,24 @@ class UstorServer(Node):
         )
         self.commits_handled += 1
         self._obs_commits.inc()
+
+    def handle_checkpoint(self, src: str, message: CheckpointMessage) -> None:
+        """Apply an installed checkpoint certificate (one-way, no REPLY).
+
+        Truncates the covered ``pending`` prefix under the defensive
+        bound of :func:`apply_checkpoint`, logs a durable "K" record, and
+        forces a snapshot so the WAL behind the checkpoint is compacted
+        immediately (the whole point of the certificate: the folded
+        prefix never needs replaying again).
+        """
+        truncated = apply_checkpoint(self.state, tuple(message.cut))
+        self._log_checkpoint(tuple(message.cut))
+        if self._batch_records is not None:
+            self._batch_force_checkpoint = True
+        else:
+            self._engine.checkpoint(self.state)
+        self.checkpoints_handled += 1
+        self.pending_truncated += truncated
+        self.last_checkpoint_seq = message.seq
+        self.last_checkpoint_cut = tuple(message.cut)
+        self._obs_checkpoints.inc()

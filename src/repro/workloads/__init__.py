@@ -4,12 +4,22 @@ from repro.workloads.churn import ChurnSchedule, OfflineWindow
 from repro.workloads.generator import (
     Driver,
     DriverStats,
+    OpenLoopConfig,
     PlannedOp,
+    TimedOp,
     WorkloadConfig,
+    ZipfSampler,
+    generate_open_loop,
     generate_scripts,
     unique_value,
 )
 from repro.workloads.runner import StorageSystem, SystemBuilder
+from repro.workloads.scale import (
+    ResidentSample,
+    ScaleConfig,
+    ScaleReport,
+    run_scale,
+)
 from repro.workloads.scenarios import (
     Figure2Result,
     Figure3Result,
@@ -26,14 +36,22 @@ __all__ = [
     "DriverStats",
     "Figure2Result",
     "Figure3Result",
+    "OpenLoopConfig",
     "PlannedOp",
+    "ResidentSample",
+    "ScaleConfig",
+    "ScaleReport",
     "SplitBrainResult",
     "StorageSystem",
     "SystemBuilder",
+    "TimedOp",
     "WorkloadConfig",
+    "ZipfSampler",
     "figure2_scenario",
     "figure3_scenario",
+    "generate_open_loop",
     "generate_scripts",
+    "run_scale",
     "split_brain_scenario",
     "unique_value",
 ]

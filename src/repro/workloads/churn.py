@@ -34,6 +34,7 @@ class OfflineWindow:
 
     @property
     def end(self) -> float:
+        """When the client comes back online."""
         return self.start + self.duration
 
 
@@ -52,6 +53,7 @@ class ServerOutageWindow:
 
     @property
     def end(self) -> float:
+        """When the server recovers."""
         return self.start + self.duration
 
 
@@ -64,6 +66,7 @@ class ChurnSchedule:
         self.server_outages: list[ServerOutageWindow] = []
 
     def add_window(self, client: ClientId, start: float, duration: float) -> None:
+        """Schedule one offline window for ``client``."""
         if duration <= 0:
             raise ValueError("offline windows need positive duration")
         window = OfflineWindow(client=client, start=start, duration=duration)

@@ -6,11 +6,21 @@ target register, value, and a think-time before issuing.  The
 operation when the previous one completes, and keeps completion statistics
 (essential for the wait-freedom experiments, where *not completing* is the
 phenomenon under study).
+
+Closed loop vs open loop.  Scripted workloads are *closed-loop*: each
+client issues its next operation only after the previous one completed,
+so the offered load adapts to the system's speed and queueing delay is
+invisible.  The scale harness (:mod:`repro.workloads.scale`) needs the
+opposite — *open-loop* arrivals (:class:`TimedOp`, Poisson interarrivals,
+Zipf key popularity) issue at absolute times regardless of completion, so
+measured latency includes the queueing a loaded deployment actually
+inflicts (the coordinated-omission trap closed loops fall into).
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError, ProtocolError
@@ -85,6 +95,107 @@ def generate_scripts(
     return scripts
 
 
+class ZipfSampler:
+    """Zipf(s)-distributed indexes over ``0 .. num_items - 1``.
+
+    Item ``k`` (0-based) is drawn with probability proportional to
+    ``1 / (k + 1) ** exponent`` — the skewed key popularity real storage
+    front-ends see.  The CDF is precomputed once; each draw is a single
+    uniform variate plus a bisection, so sampling stays O(log n) and the
+    sequence is fully determined by the caller's RNG.
+    """
+
+    def __init__(self, num_items: int, exponent: float = 1.0) -> None:
+        if num_items < 1:
+            raise ConfigurationError("ZipfSampler needs at least one item")
+        if exponent < 0:
+            raise ConfigurationError("Zipf exponent must be non-negative")
+        self.num_items = num_items
+        self.exponent = exponent
+        weights = [1.0 / (k + 1) ** exponent for k in range(num_items)]
+        total = sum(weights)
+        cdf: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift at the tail
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one index using ``rng``."""
+        return bisect_left(self._cdf, rng.random())
+
+
+@dataclass(frozen=True)
+class TimedOp:
+    """One open-loop operation: issued at absolute time ``at``."""
+
+    at: float
+    kind: OpKind
+    register: RegisterId
+    value: bytes | None = None  # writes only
+
+
+@dataclass
+class OpenLoopConfig:
+    """Knobs for open-loop (Poisson/Zipf) schedule generation."""
+
+    #: Mean arrivals per virtual time unit, per client.
+    rate: float = 1.0
+    #: Schedule horizon: arrivals are drawn over ``[0, duration]``.
+    duration: float = 100.0
+    read_fraction: float = 0.5
+    #: Key-popularity skew for read targets (0 = uniform).
+    zipf_exponent: float = 1.0
+    value_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.duration <= 0:
+            raise ConfigurationError("rate and duration must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError("read_fraction must be in [0, 1]")
+        if self.zipf_exponent < 0 or self.value_size < 1:
+            raise ConfigurationError("invalid open-loop parameters")
+
+
+def generate_open_loop(
+    num_clients: int, config: OpenLoopConfig, rng: random.Random
+) -> dict[ClientId, list[TimedOp]]:
+    """Per-client open-loop schedules: Poisson arrivals, Zipf read keys.
+
+    Arrival times are cumulative exponential interarrivals (a Poisson
+    process of rate ``config.rate`` per client); reads target a
+    Zipf-popular register, writes go to the client's own register (SWMR).
+    The schedule depends only on ``rng``, so a pinned seed replays the
+    identical workload.
+    """
+    sampler = ZipfSampler(num_clients, config.zipf_exponent)
+    schedules: dict[ClientId, list[TimedOp]] = {}
+    for client in range(num_clients):
+        at = 0.0
+        ops: list[TimedOp] = []
+        writes = 0
+        while True:
+            at += rng.expovariate(config.rate)
+            if at > config.duration:
+                break
+            if rng.random() < config.read_fraction:
+                ops.append(TimedOp(at, OpKind.READ, sampler.sample(rng)))
+            else:
+                writes += 1
+                ops.append(
+                    TimedOp(
+                        at,
+                        OpKind.WRITE,
+                        client,
+                        unique_value(client, writes, config.value_size),
+                    )
+                )
+        schedules[client] = ops
+    return schedules
+
+
 @dataclass
 class DriverStats:
     """Per-client completion accounting."""
@@ -94,12 +205,15 @@ class DriverStats:
     planned: dict[ClientId, int] = field(default_factory=dict)
 
     def total_completed(self) -> int:
+        """Operations completed across every client."""
         return sum(self.completed.values())
 
     def total_planned(self) -> int:
+        """Operations planned across every client."""
         return sum(self.planned.values())
 
     def all_done(self) -> bool:
+        """True when every client completed its full plan."""
         return all(
             self.completed.get(c, 0) >= planned
             for c, planned in self.planned.items()
@@ -128,6 +242,7 @@ class Driver:
         self.stats = DriverStats()
 
     def attach(self, client_id: ClientId, script: list[PlannedOp]) -> None:
+        """Start feeding ``script`` to ``client_id`` (closed loop)."""
         self.stats.planned[client_id] = len(script)
         self.stats.issued.setdefault(client_id, 0)
         self.stats.completed.setdefault(client_id, 0)
@@ -135,6 +250,7 @@ class Driver:
             self._schedule_next(client_id, script, 0)
 
     def attach_all(self, scripts: dict[ClientId, list[PlannedOp]]) -> None:
+        """Attach every client's closed-loop script."""
         for client_id, script in scripts.items():
             self.attach(client_id, script)
 
@@ -184,6 +300,69 @@ class Driver:
             client.read(planned.register, completed)
 
     # ------------------------------------------------------------------ #
+    # Open-loop mode
+    # ------------------------------------------------------------------ #
+
+    def attach_open_loop(
+        self,
+        client_id: ClientId,
+        schedule: list[TimedOp],
+        on_latency=None,
+    ) -> None:
+        """Drive one client by absolute arrival times (open loop).
+
+        Operations issue at each :class:`TimedOp`'s ``at`` regardless of
+        whether earlier ones completed — the client's submission queue
+        absorbs the backlog, so ``on_latency(client_id, latency)`` (called
+        at each completion with ``completion_time - arrival_time``)
+        measures *response time including queueing delay*, which is the
+        quantity a closed-loop driver cannot see.
+        """
+        self.stats.planned[client_id] = (
+            self.stats.planned.get(client_id, 0) + len(schedule)
+        )
+        self.stats.issued.setdefault(client_id, 0)
+        self.stats.completed.setdefault(client_id, 0)
+        if schedule:
+            self._system.scheduler.schedule_at(
+                schedule[0].at, self._issue_timed, client_id, schedule, 0, on_latency
+            )
+
+    def attach_open_loop_all(
+        self, schedules: dict[ClientId, list[TimedOp]], on_latency=None
+    ) -> None:
+        """Attach every client's open-loop schedule."""
+        for client_id, schedule in schedules.items():
+            self.attach_open_loop(client_id, schedule, on_latency)
+
+    def _issue_timed(self, client_id: ClientId, schedule, index: int, on_latency) -> None:
+        # Chain before issuing: a dead client stops the chain below, but a
+        # slow one must not delay the next arrival (that's the open loop).
+        if index + 1 < len(schedule):
+            self._system.scheduler.schedule_at(
+                schedule[index + 1].at,
+                self._issue_timed, client_id, schedule, index + 1, on_latency,
+            )
+        client = self._system.clients[client_id]
+        if client.crashed or getattr(client, "failed", False):
+            return
+        if getattr(client, "faust_failed", False):
+            return
+        op: TimedOp = schedule[index]
+        self.stats.issued[client_id] += 1
+        arrival = op.at
+
+        def completed(_outcome) -> None:
+            self.stats.completed[client_id] += 1
+            if on_latency is not None:
+                on_latency(client_id, self._system.now - arrival)
+
+        if op.kind is OpKind.WRITE:
+            client.write(op.value, completed)
+        else:
+            client.read(op.register, completed)
+
+    # ------------------------------------------------------------------ #
     # Run helpers
     # ------------------------------------------------------------------ #
 
@@ -192,6 +371,7 @@ class Driver:
         return self._system.run_until(self.stats.all_done, timeout=timeout)
 
     def completion_fraction(self) -> float:
+        """Completed / planned over all clients (1.0 when nothing planned)."""
         planned = self.stats.total_planned()
         if planned == 0:
             return 1.0

@@ -73,6 +73,7 @@ class StorageSystem:
     def run_until(
         self, predicate: Callable[[], bool], timeout: float | None = None
     ) -> bool:
+        """Run until ``predicate()`` holds; False on timeout."""
         return self.scheduler.run_until(predicate, timeout=timeout)
 
     def run_until_quiescent(
@@ -124,6 +125,7 @@ class StorageSystem:
         return system_profile(self)
 
     def client(self, client_id: ClientId):
+        """The protocol client with id ``client_id``."""
         return self.clients[client_id]
 
     def crash_client_at(self, client_id: ClientId, time: float) -> None:
@@ -177,6 +179,7 @@ class StorageSystem:
 
     @property
     def now(self) -> float:
+        """Current virtual time."""
         return self.scheduler.now
 
 
@@ -470,8 +473,16 @@ class SystemBuilder:
             replica_servers=list(servers),
         )
 
-    def build_faust(self, **faust_kwargs) -> StorageSystem:
-        """A FAUST deployment: USTOR plus the fail-aware layer (Section 6)."""
+    def build_faust(self, checkpoint=None, **faust_kwargs) -> StorageSystem:
+        """A FAUST deployment: USTOR plus the fail-aware layer (Section 6).
+
+        ``checkpoint`` (a :class:`~repro.faust.checkpoint.CheckpointPolicy`)
+        enables authenticated checkpointing: every client runs a
+        :class:`~repro.faust.checkpoint.CheckpointManager`, and — when the
+        policy prunes history — the shared recorder (and its incremental
+        checkers) compacts behind each cut once *every* client has
+        installed it, so verdicts never depend on one client racing ahead.
+        """
         from repro.faust.client import FaustClient
 
         scheduler, trace, network, offline, keystore, recorder, servers = self._core()
@@ -484,6 +495,7 @@ class SystemBuilder:
                 server_name=self.server_name,
                 recorder=recorder,
                 commit_piggyback=self.commit_piggyback,
+                checkpoint=checkpoint,
                 **faust_kwargs,
                 **self._client_replica_kwargs(),
             )
@@ -492,6 +504,19 @@ class SystemBuilder:
             client.attach_offline(offline)
             client.start()
             clients.append(client)
+        if checkpoint is not None and checkpoint.prune_history:
+            installs: dict[int, int] = {}
+
+            def _on_install(cp, _installs=installs, _recorder=recorder):
+                count = _installs.get(cp.seq, 0) + 1
+                if count >= self.num_clients:
+                    _installs.pop(cp.seq, None)
+                    _recorder.compact(cp.cut, keep_tail=checkpoint.keep_tail)
+                else:
+                    _installs[cp.seq] = count
+
+            for client in clients:
+                client.add_checkpoint_listener(_on_install)
         return StorageSystem(
             scheduler=scheduler,
             network=network,

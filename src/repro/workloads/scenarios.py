@@ -58,6 +58,8 @@ ALICE, BOB, CARLOS = 0, 1, 2
 
 @dataclass
 class Figure2Result:
+    """Outcome of the Figure 2 stability-cut scenario."""
+
     system: System
     #: Alice's stability cuts in notification order.
     alice_cuts: list[tuple[int, ...]]
@@ -148,6 +150,8 @@ def figure2_scenario(
 
 @dataclass
 class Figure3Result:
+    """Outcome of the Figure 3 forking scenario."""
+
     system: System
     history: History
     #: The three operations in the order of Figure 3.
@@ -203,6 +207,8 @@ def figure3_scenario(seed: int = 3, faust: bool = False) -> Figure3Result:
 
 @dataclass
 class SplitBrainResult:
+    """Outcome of the split-brain (forking server) scenario."""
+
     system: System
     driver: Driver
     groups: list[set[int]]
@@ -255,6 +261,8 @@ def split_brain_scenario(
 
 @dataclass
 class ServerOutageResult:
+    """Outcome of the server crash-recovery scenario."""
+
     system: System
     driver: Driver
     outage_start: float
@@ -341,6 +349,8 @@ def server_outage_scenario(
 
 @dataclass
 class RollbackAttackResult:
+    """Outcome of the rollback-attack scenario."""
+
     system: System
     driver: Driver
     #: When the adversary crashed / came back from the stale snapshot.
@@ -422,6 +432,8 @@ def rollback_attack_scenario(
 
 @dataclass
 class ShardSplitBrainResult:
+    """Outcome of the sharded split-brain scenario."""
+
     system: object
     driver: Driver
     #: Shards whose server runs the forking attack.
@@ -455,6 +467,8 @@ class ShardSplitBrainResult:
 
 @dataclass
 class ReplicaRollbackResult:
+    """Outcome of the replicated rollback scenario."""
+
     system: object
     driver: Driver
     replicas: int
@@ -488,6 +502,7 @@ class ReplicaRollbackResult:
 
     @property
     def all_completed(self) -> bool:
+        """True when every planned operation completed."""
         return self.completed >= self.planned
 
     @property

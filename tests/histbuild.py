@@ -45,5 +45,11 @@ def r(client, register, value, start, end, op_id=None, timestamp=None):
     )
 
 
-def h(*operations) -> History:
-    return History(operations)
+def h(*operations, base=None) -> History:
+    """A history literal.
+
+    ``base`` maps register -> ``(pruned_write_count, last_pruned_response
+    _time)`` for histories that begin after a checkpoint compaction
+    instead of at timestamp 0 / BOTTOM.
+    """
+    return History(operations, base=base)

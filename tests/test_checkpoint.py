@@ -1,0 +1,499 @@
+"""Unit tests for the bounded-state extension's moving parts.
+
+Covers the checkpoint co-signing protocol (:mod:`repro.faust.checkpoint`)
+in isolation — proposals, countersignatures, installs, the hash chain,
+and every forged/conflicting-share failure path — plus the server's
+defensive ``apply_checkpoint`` truncation, the WAL ``K`` record round
+trip, history-recorder compaction, and the checkpoint-base plumbing
+through the offline and incremental checkers.  The end-to-end properties
+(checkpointing on vs off over whole runs) live in
+``test_checkpoint_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    CheckerError,
+    ConfigurationError,
+    HistoryError,
+    ProtocolError,
+)
+from repro.common.types import BOTTOM, OpKind
+from repro.consistency.incremental import (
+    IncrementalCausalChecker,
+    IncrementalLinearizabilityChecker,
+)
+from repro.consistency.linearizability import (
+    check_linearizability,
+    check_linearizability_exhaustive,
+)
+from repro.crypto.keystore import KeyStore
+from repro.faust.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointPolicy,
+    chain_digest,
+)
+from repro.faust.messages import CheckpointShareMessage
+from repro.history.recorder import HistoryRecorder
+from repro.store.codec import decode_server_state, encode_server_state
+from repro.store.engine import LogStructuredEngine
+from repro.ustor.messages import InvocationTuple, SubmitMessage
+from repro.ustor.server import apply_checkpoint, apply_commit, apply_submit
+from repro.ustor.version import Version
+
+from histbuild import h, r, w
+
+# --------------------------------------------------------------------- #
+# Policy and chain basics
+# --------------------------------------------------------------------- #
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        CheckpointPolicy(interval=0)
+    with pytest.raises(ConfigurationError):
+        CheckpointPolicy(keep_tail=0)
+    assert CheckpointPolicy().interval == 32
+
+
+def test_genesis_and_chain_digest():
+    genesis = Checkpoint.genesis(3)
+    assert genesis.seq == 0
+    assert genesis.cut == (0, 0, 0)
+    assert genesis.digest == chain_digest(0, (0, 0, 0), b"")
+    # The digest binds sequence, cut and ancestry.
+    child = chain_digest(1, (2, 1, 1), genesis.digest)
+    assert child != chain_digest(2, (2, 1, 1), genesis.digest)
+    assert child != chain_digest(1, (2, 1, 2), genesis.digest)
+    assert child != chain_digest(1, (2, 1, 1), b"other")
+
+
+# --------------------------------------------------------------------- #
+# The co-signing protocol, wired directly (no simulator)
+# --------------------------------------------------------------------- #
+
+
+class _Net:
+    """N managers with instantaneous share broadcast."""
+
+    def __init__(self, n: int = 3, interval: int = 4):
+        self.keystore = KeyStore(n)
+        self.installed: dict[int, list[Checkpoint]] = {i: [] for i in range(n)}
+        self.failures: dict[int, str] = {}
+        self.server_messages: list = []
+        self.partitioned: set[int] = set()
+        self.managers: list[CheckpointManager] = []
+        policy = CheckpointPolicy(interval=interval)
+        for i in range(n):
+            self.managers.append(
+                CheckpointManager(
+                    client_id=i,
+                    num_clients=n,
+                    signer=self.keystore.signer(i),
+                    policy=policy,
+                    send_share=self._broadcast(i),
+                    send_server=self.server_messages.append,
+                    on_install=self.installed[i].append,
+                    on_fail=lambda reason, i=i: self.failures.__setitem__(
+                        i, reason
+                    ),
+                )
+            )
+
+    def _broadcast(self, sender: int):
+        def send(share: CheckpointShareMessage) -> None:
+            for j, manager in enumerate(self.managers):
+                if j != sender and j not in self.partitioned:
+                    manager.on_share(share)
+
+        return send
+
+    def stabilize(self, vector: tuple[int, ...]) -> None:
+        for i, manager in enumerate(self.managers):
+            if i not in self.partitioned:
+                manager.on_stability(vector)
+
+
+def test_propose_countersign_install_round():
+    net = _Net(n=3, interval=4)
+    net.stabilize((2, 2, 1))  # sum 5 >= 4: proposer of seq 1 is client 0
+    for i, manager in enumerate(net.managers):
+        assert manager.installed.seq == 1, f"client {i}"
+        assert manager.installed.cut == (2, 2, 1)
+    assert all(len(installs) == 1 for installs in net.installed.values())
+    # Exactly one certificate reached the server, carrying n signatures.
+    assert len(net.server_messages) == 1
+    certificate = net.server_messages[0]
+    assert certificate.seq == 1 and certificate.cut == (2, 2, 1)
+    assert len(certificate.signatures) == 3
+    # The chain extends genesis.
+    expected = chain_digest(1, (2, 2, 1), Checkpoint.genesis(3).digest)
+    assert net.managers[0].installed.digest == expected
+    assert not net.failures
+
+
+def test_round_robin_proposers_advance_the_chain():
+    net = _Net(n=3, interval=4)
+    net.stabilize((2, 2, 1))
+    net.stabilize((4, 3, 3))  # sum 10, delta 5 >= 4: client 1 proposes seq 2
+    assert [m.installed.seq for m in net.managers] == [2, 2, 2]
+    assert net.server_messages[1].seq == 2
+    parent = net.managers[0].installed.parent_digest
+    assert parent == chain_digest(1, (2, 2, 1), Checkpoint.genesis(3).digest)
+    assert not net.failures
+
+
+def test_laggard_withholds_countersignature_until_covered():
+    net = _Net(n=3, interval=4)
+    # Only the proposer has seen this much stability; peers are behind.
+    net.managers[0].on_stability((2, 2, 2))
+    assert net.managers[0].installed.seq == 0  # proposal out, no quorum
+    net.managers[1].on_stability((2, 2, 2))
+    assert net.managers[1].installed.seq == 0  # still one short
+    net.managers[2].on_stability((1, 1, 1))  # does NOT cover the cut
+    assert net.managers[2].installed.seq == 0
+    net.managers[2].on_stability((2, 2, 2))  # now it does
+    assert [m.installed.seq for m in net.managers] == [1, 1, 1]
+    assert not net.failures
+
+
+def test_non_equivocation_single_signature_per_seq():
+    net = _Net(n=3, interval=4)
+    net.partitioned = {1, 2}  # proposer alone: share goes nowhere
+    net.managers[0].on_stability((2, 2, 2))
+    assert net.managers[0].shares_sent == 1
+    # More stability must not re-sign seq 1 with a bigger cut.
+    net.managers[0].on_stability((5, 5, 5))
+    assert net.managers[0].shares_sent == 1
+    signed_cut = net.managers[0]._signed[1][0]
+    assert signed_cut == (2, 2, 2)
+
+
+def test_conflicting_shares_are_forking_evidence():
+    net = _Net(n=3, interval=4)
+    net.partitioned = {1, 2}
+    net.managers[0].on_stability((2, 2, 2))  # client 0 signed (2,2,2)
+    net.partitioned = set()
+    # A (validly signed) share for the same seq with a different cut.
+    evil_cut = (3, 2, 2)
+    forged = CheckpointShareMessage(
+        sender=1,
+        seq=1,
+        cut=evil_cut,
+        parent_digest=Checkpoint.genesis(3).digest,
+        signature=net.keystore.signer(1).sign(
+            "CHECKPOINT", 1, evil_cut, Checkpoint.genesis(3).digest
+        ),
+    )
+    net.managers[0].on_share(forged)
+    assert 0 in net.failures
+    assert "conflicting" in net.failures[0]
+    # A failed manager is inert: no new proposals, no installs.
+    net.managers[0].on_stability((9, 9, 9))
+    assert net.managers[0].installed.seq == 0
+
+
+def test_invalid_signature_is_rejected_loudly():
+    net = _Net(n=3, interval=4)
+    bogus = CheckpointShareMessage(
+        sender=1,
+        seq=1,
+        cut=(2, 2, 2),
+        parent_digest=Checkpoint.genesis(3).digest,
+        signature=b"not-a-signature",
+    )
+    net.managers[0].on_share(bogus)
+    assert "invalid" in net.failures[0]
+
+
+def test_share_diverging_from_installed_checkpoint_fails():
+    net = _Net(n=3, interval=4)
+    net.stabilize((2, 2, 2))
+    assert net.managers[0].installed.seq == 1
+    # A late share for the already-installed seq with a different cut:
+    # someone was shown a different history.
+    divergent = CheckpointShareMessage(
+        sender=2,
+        seq=1,
+        cut=(3, 3, 3),
+        parent_digest=Checkpoint.genesis(3).digest,
+        signature=net.keystore.signer(2).sign(
+            "CHECKPOINT", 1, (3, 3, 3), Checkpoint.genesis(3).digest
+        ),
+    )
+    net.managers[0].on_share(divergent)
+    assert "diverges" in net.failures[0]
+
+
+def test_matching_late_duplicate_and_stale_shares_are_ignored():
+    net = _Net(n=3, interval=4)
+    net.stabilize((2, 2, 2))
+    duplicate = CheckpointShareMessage(
+        sender=2,
+        seq=1,
+        cut=(2, 2, 2),
+        parent_digest=Checkpoint.genesis(3).digest,
+        signature=net.keystore.signer(2).sign(
+            "CHECKPOINT", 1, (2, 2, 2), Checkpoint.genesis(3).digest
+        ),
+    )
+    net.managers[0].on_share(duplicate)
+    net.stabilize((4, 4, 4))  # chain moves on; seq 1 shares are now stale
+    net.managers[0].on_share(duplicate)
+    assert not net.failures
+    assert net.managers[0].installed.seq == 2
+
+
+def test_proposal_on_forked_parent_chain_fails():
+    net = _Net(n=3, interval=4)
+    fake_parent = chain_digest(1, (1, 1, 1), b"somewhere-else")
+    forked = CheckpointShareMessage(
+        sender=0,
+        seq=1,
+        cut=(2, 2, 2),
+        parent_digest=fake_parent,
+        signature=net.keystore.signer(0).sign(
+            "CHECKPOINT", 1, (2, 2, 2), fake_parent
+        ),
+    )
+    net.managers[1].on_stability((2, 2, 2))
+    net.managers[1].on_share(forked)
+    assert "parent" in net.failures[1]
+
+
+# --------------------------------------------------------------------- #
+# Server-side defensive truncation
+# --------------------------------------------------------------------- #
+
+
+def _submit_message(client: int, timestamp: int, value: bytes) -> SubmitMessage:
+    return SubmitMessage(
+        timestamp=timestamp,
+        invocation=InvocationTuple(
+            client=client,
+            opcode=OpKind.WRITE,
+            register=client,
+            submit_sig=b"sig",
+        ),
+        value=value,
+        data_sig=b"sig",
+    )
+
+
+def _pending_state():
+    """A server state with pending entries [(c0,t1), (c1,t1), (c1,t2)]."""
+    from repro.store.engine import MemoryEngine
+
+    state = MemoryEngine(2).recover()
+    apply_submit(state, _submit_message(0, 1, b"a"))
+    apply_submit(state, _submit_message(1, 1, b"b"))
+    apply_submit(state, _submit_message(1, 2, b"c"))
+    return state
+
+
+def _commit(state, client: int, vector: tuple[int, ...]) -> None:
+    from repro.ustor.messages import CommitMessage
+
+    apply_commit(
+        state,
+        client,
+        CommitMessage(
+            version=Version(vector=vector, digests=(b"d",) * len(vector)),
+            commit_sig=b"sig",
+            proof_sig=b"sig",
+        ),
+    )
+
+
+def test_apply_checkpoint_truncates_covered_prefix():
+    state = _pending_state()
+    # Client 0 commits a version covering (c0,t1) and (c1,t1); apply_commit
+    # itself prunes up to client 0's own last entry (index 0).
+    _commit(state, 0, (1, 1))
+    assert len(state.pending) == 2  # (c1,t1), (c1,t2) remain
+    assert apply_checkpoint(state, (1, 0)) == 0  # cut excludes client 1
+    assert apply_checkpoint(state, (1, 1)) == 1  # covers (c1,t1) only
+    assert [ts for ts in state.pending_ts] == [2]
+
+
+def test_apply_checkpoint_capped_by_committed_version():
+    state = _pending_state()
+    _commit(state, 0, (1, 1))
+    # A forged, absurdly large cut must not outrun the committed version:
+    # (c1,t2) is not committed anywhere, so it survives.
+    assert apply_checkpoint(state, (99, 99)) == 1
+    assert [ts for ts in state.pending_ts] == [2]
+    assert state.pending[0].client == 1
+
+
+def test_apply_checkpoint_rejects_wrong_cut_width():
+    state = _pending_state()
+    with pytest.raises(ProtocolError):
+        apply_checkpoint(state, (1, 1, 1))
+
+
+def test_checkpoint_survives_codec_roundtrip():
+    state = _pending_state()
+    _commit(state, 0, (1, 1))
+    apply_checkpoint(state, (1, 1))
+    decoded = decode_server_state(encode_server_state(state))
+    assert encode_server_state(decoded) == encode_server_state(state)
+    assert list(decoded.pending_ts) == [2]
+
+
+def test_wal_checkpoint_record_replays_on_recovery():
+    engine = LogStructuredEngine(2, snapshot_interval=1000)
+    state = engine.recover()
+    messages = [
+        _submit_message(0, 1, b"a"),
+        _submit_message(1, 1, b"b"),
+        _submit_message(1, 2, b"c"),
+    ]
+    for message in messages:
+        apply_submit(state, message)
+        engine.log_submit(message)
+    from repro.ustor.messages import CommitMessage
+
+    commit = CommitMessage(
+        version=Version(vector=(1, 1), digests=(b"d", b"d")),
+        commit_sig=b"sig",
+        proof_sig=b"sig",
+    )
+    apply_commit(state, 0, commit)
+    engine.log_commit(0, commit)
+    truncated = apply_checkpoint(state, (1, 1))
+    engine.log_checkpoint((1, 1))
+    assert truncated == 1
+    # A fresh engine over the same medium replays S/C/K records back to
+    # the exact same state — the checkpoint is as durable as the data.
+    recovered = LogStructuredEngine(2, medium=engine.medium).recover()
+    assert encode_server_state(recovered) == encode_server_state(state)
+    assert list(recovered.pending_ts) == [2]
+
+
+# --------------------------------------------------------------------- #
+# History compaction and checkpoint-base checking
+# --------------------------------------------------------------------- #
+
+
+def _recorded(recorder: HistoryRecorder, op) -> None:
+    op_id = recorder.begin(
+        client=op.client,
+        kind=op.kind,
+        register=op.register,
+        invoked_at=op.invoked_at,
+        value=op.value if op.kind is OpKind.WRITE else None,
+        timestamp=op.timestamp,
+    )
+    recorder.end(
+        op_id,
+        responded_at=op.responded_at,
+        value=op.value,
+        timestamp=op.timestamp,
+    )
+
+
+def test_recorder_compact_prunes_stable_writes_and_their_reads():
+    recorder = HistoryRecorder()
+    ops = [
+        w(0, b"w1", 0, 1, timestamp=1),
+        r(1, 0, b"w1", 1.5, 2.5, timestamp=1),
+        w(0, b"w2", 3, 4, timestamp=2),
+        w(0, b"w3", 5, 6, timestamp=3),
+        r(1, 0, b"w3", 6.5, 7.5, timestamp=2),
+    ]
+    for op in ops:
+        _recorded(recorder, op)
+    pruned = recorder.compact((2, 2), keep_tail=1)
+    # w1 (stable, not the tail) and its read go; w2 is the kept tail.
+    assert pruned == 2
+    assert recorder.compacted_ops == 2
+    history = recorder.history()
+    assert len(history) == 3
+    assert history.base_of(0) == (1, 1.0)  # one write pruned, responded at 1
+    assert history.base_of(1) == (0, float("-inf"))
+    # The compacted history still checks clean, carrying the base.
+    assert check_linearizability(history.complete()).ok
+
+
+def test_recorder_compact_validates_keep_tail():
+    with pytest.raises(HistoryError):
+        HistoryRecorder().compact((0,), keep_tail=0)
+
+
+def test_base_aware_offline_checker_accepts_post_checkpoint_history():
+    # Write index 3 onward: two pruned writes before the base.
+    history = h(
+        w(0, b"w3", 10, 11, timestamp=3),
+        r(1, 0, b"w3", 11.5, 12.5, timestamp=1),
+        base={0: (2, 9.0)},
+    )
+    assert check_linearizability(history).ok
+
+
+def test_base_rule_flags_bottom_read_after_checkpointed_writes():
+    # Register 0 had writes folded into a checkpoint (base count 2, last
+    # response at t=9); a read invoked after that returning BOTTOM is a
+    # rollback across the checkpoint.
+    history = h(
+        r(1, 0, BOTTOM, 11.5, 12.5, timestamp=0),
+        base={0: (2, 9.0)},
+    )
+    verdict = check_linearizability(history)
+    assert not verdict.ok
+    assert "checkpoint" in (verdict.violation or "")
+    # ...but a read that was already in flight before the fold is fine.
+    concurrent = h(
+        r(1, 0, BOTTOM, 8.0, 12.5, timestamp=0),
+        base={0: (2, 9.0)},
+    )
+    assert check_linearizability(concurrent).ok
+
+
+def test_exhaustive_checker_refuses_compacted_histories():
+    history = h(w(0, b"x", 0, 1, timestamp=3), base={0: (2, -1.0)})
+    with pytest.raises(CheckerError):
+        check_linearizability_exhaustive(history)
+
+
+def test_incremental_checkers_track_compaction_live():
+    recorder = HistoryRecorder()
+    lin = IncrementalLinearizabilityChecker()
+    causal = IncrementalCausalChecker()
+    recorder.add_listener(lin)
+    recorder.add_listener(causal)
+    ops = [
+        w(0, b"w1", 0, 1, timestamp=1),
+        r(1, 0, b"w1", 1.5, 2.5, timestamp=1),
+        w(0, b"w2", 3, 4, timestamp=2),
+        w(0, b"w3", 5, 6, timestamp=3),
+    ]
+    for op in ops:
+        _recorded(recorder, op)
+    assert lin.result().ok and causal.result().ok
+    recorder.compact((2, 2), keep_tail=1)
+    # The streaming checkers shed the pruned prefix (w1 goes; w2 is the
+    # kept tail, w3 is not yet covered by the cut)...
+    assert len(lin._registers[0].writes) == 2
+    assert lin._registers[0].base == 1
+    # ...and keep absolute indexing for everything after it.
+    _recorded(recorder, r(1, 0, b"w3", 7, 8, timestamp=3))
+    _recorded(recorder, w(0, b"w4", 9, 10, timestamp=4))
+    assert lin.result().ok and causal.result().ok
+
+
+def test_incremental_seed_base_matches_offline_verdict():
+    lin = IncrementalLinearizabilityChecker()
+    lin.seed_base({0: (2, 9.0)})
+    history = h(
+        r(1, 0, BOTTOM, 11.5, 12.5, timestamp=0),
+        base={0: (2, 9.0)},
+    )
+    for op in history:
+        lin.on_invoke(op)
+        lin.on_response(op)
+    assert lin.result().ok is False
+    assert check_linearizability(history).ok is False

@@ -34,9 +34,11 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "api",
     REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "consistency",
+    REPO_ROOT / "src" / "repro" / "faust" / "checkpoint.py",
     REPO_ROOT / "src" / "repro" / "obs",
     REPO_ROOT / "src" / "repro" / "perf",
     REPO_ROOT / "src" / "repro" / "replica",
+    REPO_ROOT / "src" / "repro" / "workloads",
 ]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
