@@ -14,6 +14,13 @@ findings, which hold on any machine):
 * operation latency percentiles are identical — the checkpoint protocol
   rides the offline channel and never touches the data path;
 * both runs complete the full planned schedule with clean checkers.
+
+The companion ``membership_overhead`` ratio prices the lease layer the
+same way: the identical checkpointed workload with membership epochs on
+vs off.  Fault-free, the lease bookkeeping rides the existing membership
+tick and co-signs nothing, so the ratio again hovers near 1; the gated
+findings are that the epoch stays 0, nobody is evicted, and the
+checkpoint chain and latency percentiles are untouched.
 """
 
 from __future__ import annotations
@@ -21,16 +28,18 @@ from __future__ import annotations
 import time
 
 from repro.faust.checkpoint import CheckpointPolicy
+from repro.faust.membership import MembershipPolicy
 from repro.workloads.generator import OpenLoopConfig
 from repro.workloads.scale import ScaleConfig, run_scale
 
 
-def _config(bench_seed: int, checkpoint) -> ScaleConfig:
+def _config(bench_seed: int, checkpoint, membership=None) -> ScaleConfig:
     return ScaleConfig(
         num_clients=4,
         seed=bench_seed,
         open_loop=OpenLoopConfig(rate=0.15, duration=400.0),
         checkpoint=checkpoint,
+        membership=membership,
         sample_every=20.0,
     )
 
@@ -65,6 +74,46 @@ def test_scale_open_loop_bounded_state(bench_seed, record_hot_path):
     assert on.checkpoints_installed >= 10
     assert on.growth_ratio < off.growth_ratio
     assert on.samples[-1].bounded_total < off.samples[-1].bounded_total
+    assert (on.latency_p50, on.latency_p95, on.latency_p99) == (
+        off.latency_p50, off.latency_p95, off.latency_p99
+    )
+    assert on.completed == on.planned == off.completed
+    assert on.checker_ok == off.checker_ok == {
+        "linearizability": True, "causal": True
+    }
+    assert on.failed_clients == off.failed_clients == 0
+
+
+def test_scale_membership_overhead(bench_seed, record_hot_path):
+    policy = CheckpointPolicy(interval=16, keep_tail=2)
+
+    started = time.perf_counter()
+    off = run_scale(_config(bench_seed, policy))
+    off_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    on = run_scale(_config(bench_seed, policy, MembershipPolicy()))
+    on_seconds = time.perf_counter() - started
+
+    record_hot_path(
+        "membership_overhead",
+        reference_seconds=off_seconds,
+        optimized_seconds=on_seconds,
+        gate=False,
+        clients=4,
+        planned_ops=on.planned,
+        checkpoints_installed=on.checkpoints_installed,
+        epoch=on.epoch,
+        growth_ratio_on=on.growth_ratio,
+        growth_ratio_off=off.growth_ratio,
+        latency_p99=on.latency_p99,
+    )
+
+    # Fault-free, the lease layer must be invisible: no epochs, no
+    # evictions, and a checkpoint chain / latency profile identical to
+    # the membership-off run.
+    assert on.epoch == 0 and on.evicted_clients == ()
+    assert on.checkpoints_installed == off.checkpoints_installed >= 10
     assert (on.latency_p50, on.latency_p95, on.latency_p99) == (
         off.latency_p50, off.latency_p95, off.latency_p99
     )

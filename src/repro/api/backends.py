@@ -110,6 +110,12 @@ def _reject_checkpoint_knobs(config: SystemConfig, backend: str) -> None:
             f"checkpoints: checkpoint= is only supported on 'faust' and "
             f"'cluster'/replicas with shard_protocol='faust'"
         )
+    if config.membership is not None:
+        raise ConfigurationError(
+            f"the {backend!r} backend has no fail-aware layer to co-sign "
+            f"membership epochs: membership= is only supported on 'faust' "
+            f"and 'cluster'/replicas with shard_protocol='faust'"
+        )
 
 
 def _reject_cluster_knobs(config: SystemConfig, backend: str) -> None:
@@ -160,7 +166,11 @@ class FaustBackend:
             commit_piggyback=config.commit_piggyback,
             storage=config.storage,
             batching=config.batching,
-        ).build_faust(checkpoint=config.checkpoint, **config.faust.as_kwargs())
+        ).build_faust(
+            checkpoint=config.checkpoint,
+            membership=config.membership,
+            **config.faust.as_kwargs(),
+        )
         _schedule_outages(raw, config)
         return System(raw, self.name, self.capabilities, config.default_timeout)
 

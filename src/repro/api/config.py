@@ -17,6 +17,7 @@ from repro.sim.network import LatencyModel
 
 if TYPE_CHECKING:  # import cycle: repro.faust pulls this module back in
     from repro.faust.checkpoint import CheckpointPolicy
+    from repro.faust.membership import MembershipPolicy
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,15 @@ class SystemConfig:
     #: checkers drop operations behind the cut.  Fail-aware backends only
     #: (``faust``, and ``cluster``/replicas with ``shard_protocol='faust'``).
     checkpoint: "CheckpointPolicy | bool | None" = None
+    #: Lease-based membership epochs: ``None`` (default) requires every
+    #: client to co-sign every checkpoint forever; a
+    #: :class:`~repro.faust.membership.MembershipPolicy` (or ``True`` for
+    #: the default policy) lets the live quorum co-sign epoch changes
+    #: that evict crashed-forever clients (and re-admit returning ones),
+    #: so the checkpoint chain keeps advancing.  Requires ``checkpoint=``
+    #: and a fail-aware backend (``faust``, or ``cluster`` with
+    #: ``shard_protocol='faust'``).
+    membership: "MembershipPolicy | bool | None" = None
     faust: FaustParams = field(default_factory=FaustParams)
     #: ``"sim"`` (discrete-event simulator) or ``"tcp"`` (real asyncio
     #: sockets; ``ustor`` backend only).
@@ -227,6 +237,24 @@ class SystemConfig:
             raise ConfigurationError(
                 f"checkpoint must be a CheckpointPolicy, True/False or None, "
                 f"got {self.checkpoint!r}"
+            )
+        from repro.faust.membership import MembershipPolicy
+
+        if self.membership is True:
+            self.membership = MembershipPolicy()
+        elif self.membership is False:
+            self.membership = None
+        elif self.membership is not None and not isinstance(
+            self.membership, MembershipPolicy
+        ):
+            raise ConfigurationError(
+                f"membership must be a MembershipPolicy, True/False or None, "
+                f"got {self.membership!r}"
+            )
+        if self.membership is not None and self.checkpoint is None:
+            raise ConfigurationError(
+                "membership= layers lease-based epochs under the checkpoint "
+                "protocol; it needs checkpoint= enabled"
             )
         if self.default_timeout <= 0:
             raise ConfigurationError("default_timeout must be positive")

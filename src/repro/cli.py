@@ -879,6 +879,7 @@ def _cmd_scale(args) -> int:
     import json as _json
 
     from repro.faust.checkpoint import CheckpointPolicy
+    from repro.faust.membership import MembershipPolicy
     from repro.obs.exposition import render_prometheus
     from repro.obs.registry import Registry
     from repro.workloads.generator import OpenLoopConfig
@@ -888,6 +889,14 @@ def _cmd_scale(args) -> int:
     if args.checkpoint_interval:
         policy = CheckpointPolicy(
             interval=args.checkpoint_interval, keep_tail=args.keep_tail
+        )
+    membership = None
+    if args.membership:
+        membership = MembershipPolicy(
+            lease_checkpoints=args.lease_checkpoints,
+            evict_after=args.evict_after,
+            rejoin=not args.no_rejoin,
+            check_period=args.membership_check_period,
         )
     config = ScaleConfig(
         num_clients=args.clients,
@@ -899,7 +908,10 @@ def _cmd_scale(args) -> int:
             zipf_exponent=args.zipf,
         ),
         checkpoint=policy,
+        membership=membership,
         churn_windows=args.churn_windows,
+        churn_mean_duration=args.churn_mean_duration,
+        client_faults=tuple(args.client_faults),
         sample_every=args.sample_every,
         trace_malloc=args.trace_malloc,
     )
@@ -1239,7 +1251,36 @@ def main(argv: list[str] | None = None) -> int:
     scale.add_argument("--keep-tail", type=int, default=2,
                        help="writes per register kept across compaction")
     scale.add_argument("--churn-windows", type=int, default=0,
-                       help="random client offline windows over the run")
+                       help="random session churn windows over the run "
+                       "(logical sessions cycling over the signer slots; "
+                       "rejected when the plan needs more concurrent slots "
+                       "than --clients provides)")
+    scale.add_argument("--churn-mean-duration", type=float, default=5.0,
+                       metavar="TIME",
+                       help="mean offline duration of a churn window")
+    scale.add_argument("--membership", action="store_true",
+                       help="lease-based membership epochs (requires "
+                       "--checkpoint-interval): evict lapsed clients so "
+                       "the checkpoint chain survives crash-forever")
+    scale.add_argument("--lease-checkpoints", type=int, default=2,
+                       metavar="N",
+                       help="membership ticks a client may miss before its "
+                       "lease lapses")
+    scale.add_argument("--evict-after", type=int, default=3,
+                       metavar="N",
+                       help="further lapsed ticks before the quorum "
+                       "proposes eviction")
+    scale.add_argument("--membership-check-period", type=float, default=20.0,
+                       metavar="TIME",
+                       help="virtual-time period of the membership tick")
+    scale.add_argument("--no-rejoin", action="store_true",
+                       help="refuse re-admission epochs for returning "
+                       "evicted clients")
+    scale.add_argument("--client-faults", action="append", default=[],
+                       metavar="SPEC",
+                       help="inject a client fault, kind:client@start"
+                       "[+duration] with kind one of crash-forever, "
+                       "crash-restart, lease-expiry (repeatable)")
     scale.add_argument("--sample-every", type=float, default=20.0,
                        metavar="TIME")
     scale.add_argument("--trace-malloc", action="store_true",

@@ -41,6 +41,11 @@ def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
             "checkpoint= needs fail-aware shards to co-sign the stable "
             "cut: it requires shard_protocol='faust'"
         )
+    if config.membership is not None and config.shard_protocol != "faust":
+        raise ConfigurationError(
+            "membership= needs fail-aware shards to co-sign epoch "
+            "changes: it requires shard_protocol='faust'"
+        )
     if config.shards > config.num_clients:
         raise ConfigurationError(
             f"{config.shards} shards over {config.num_clients} registers "
@@ -87,7 +92,9 @@ def open_cluster_system(config: SystemConfig, backend_name: str, capabilities):
         )
         if config.shard_protocol == "faust":
             raw = builder.build_faust(
-                checkpoint=config.checkpoint, **config.faust.as_kwargs()
+                checkpoint=config.checkpoint,
+                membership=config.membership,
+                **config.faust.as_kwargs(),
             )
         else:
             raw = builder.build()

@@ -25,6 +25,7 @@ from repro.experiments import (
     e17_throughput,
     e18_replica_rollback,
     e19_checkpoint_memory,
+    e20_membership,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = [
     e17_throughput,
     e18_replica_rollback,
     e19_checkpoint_memory,
+    e20_membership,
 ]
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

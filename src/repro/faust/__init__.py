@@ -3,8 +3,16 @@
 from repro.faust.ablation import VectorOnlyTracker, ablate_system
 from repro.faust.checkpoint import Checkpoint, CheckpointManager, CheckpointPolicy
 from repro.faust.client import FaustClient
+from repro.faust.membership import (
+    Epoch,
+    MembershipManager,
+    MembershipPolicy,
+    epoch_digest,
+)
 from repro.faust.messages import (
     CheckpointShareMessage,
+    EpochAnnounceMessage,
+    EpochShareMessage,
     FailureMessage,
     ProbeMessage,
     VersionMessage,
@@ -19,15 +27,21 @@ __all__ = [
     "CheckpointManager",
     "CheckpointPolicy",
     "CheckpointShareMessage",
+    "Epoch",
+    "EpochAnnounceMessage",
+    "EpochShareMessage",
     "FailAwareReport",
     "FailureMessage",
     "FaustClient",
     "FaustService",
+    "MembershipManager",
+    "MembershipPolicy",
     "OperationFailed",
     "ProbeMessage",
     "StabilityTracker",
     "VectorOnlyTracker",
     "VersionMessage",
     "ablate_system",
+    "epoch_digest",
     "validate_fail_aware_run",
 ]

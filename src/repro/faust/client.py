@@ -40,8 +40,11 @@ from repro.sim.timers import PeriodicTimer
 from repro.ustor.client import OpOutcome, UstorClient
 from repro.ustor.messages import ReplyMessage
 from repro.faust.checkpoint import Checkpoint, CheckpointManager, CheckpointPolicy
+from repro.faust.membership import Epoch, MembershipManager, MembershipPolicy
 from repro.faust.messages import (
     CheckpointShareMessage,
+    EpochAnnounceMessage,
+    EpochShareMessage,
     FailureMessage,
     ProbeMessage,
     VersionMessage,
@@ -55,6 +58,21 @@ class FaustClient(UstorClient):
     #: User operations invoked while one is in flight are queued (the
     #: application may pipeline submissions through this client).
     pipelines_operations = True
+
+    #: A fail-aware client that crash-*restarts* recovers with its
+    #: reliable-channel traffic replayed (the same modelling choice as
+    #: ``UstorServer`` outages: the channels outlive one endpoint's
+    #: restart).  This covers the in-flight REPLY — without it a client
+    #: that crashed mid-operation would stay busy forever, its own
+    #: version frozen below the fleet's next checkpoint cut, and the
+    #: membership layer would (correctly, but uselessly) evict an
+    #: otherwise healthy returnee.  It also honours the offline
+    #: channel's eventual-delivery guarantee (Section 2: messages are
+    #: delivered "even if the clients are not simultaneously
+    #: connected"), since offline mail funnels through the same
+    #: ``deliver`` entry point.  Crash-*stop* clients never restart, so
+    #: for them the flag only parks undeliverable mail.
+    holds_mail_while_down = True
 
     def __init__(
         self,
@@ -75,6 +93,7 @@ class FaustClient(UstorClient):
         quorum: int | None = None,
         counter: bool = False,
         checkpoint: CheckpointPolicy | None = None,
+        membership: MembershipPolicy | None = None,
     ) -> None:
         super().__init__(
             client_id=client_id,
@@ -118,7 +137,29 @@ class FaustClient(UstorClient):
         self.dummy_reads_issued = 0
 
         self._checkpoint_listeners: list[Callable[[Checkpoint], None]] = []
+        self._epoch_listeners: list[Callable[[Epoch], None]] = []
+        self._membership_timer: PeriodicTimer | None = None
         self.checkpoint_manager: CheckpointManager | None = None
+        self.membership_manager: MembershipManager | None = None
+        if membership is not None and checkpoint is None:
+            raise ProtocolError(
+                "membership requires checkpointing: leases are judged "
+                "against (and renewed by) checkpoint shares"
+            )
+        if membership is not None:
+            self.membership_manager = MembershipManager(
+                client_id,
+                num_clients,
+                signer,
+                membership,
+                tracker=self.tracker,
+                delta=delta,
+                send_share=self._broadcast_epoch_share,
+                send_announce=self._send_epoch_announce,
+                request_rejoin=self._request_rejoin,
+                on_epoch=self._epoch_installed,
+                on_fail=self._fail_faust,
+            )
         if checkpoint is not None:
             self.checkpoint_manager = CheckpointManager(
                 client_id,
@@ -129,7 +170,11 @@ class FaustClient(UstorClient):
                 send_server=self._send_server,
                 on_install=self._checkpoint_installed,
                 on_fail=self._fail_faust,
+                membership=self.membership_manager,
+                clock=lambda: self.now,
             )
+        if self.membership_manager is not None:
+            self.membership_manager.bind(self.checkpoint_manager)
 
     # ---------------------------------------------------------------- #
     # Wiring
@@ -149,6 +194,10 @@ class FaustClient(UstorClient):
     ) -> None:
         """Invoke ``listener(checkpoint)`` on every installed checkpoint."""
         self._checkpoint_listeners.append(listener)
+
+    def add_epoch_listener(self, listener: Callable[[Epoch], None]) -> None:
+        """Invoke ``listener(epoch)`` on every installed membership epoch."""
+        self._epoch_listeners.append(listener)
 
     def add_failure_listener(self, listener: Callable[[str], None]) -> None:
         """Invoke ``listener(reason)`` on the (single) ``fail_i`` output.
@@ -176,12 +225,29 @@ class FaustClient(UstorClient):
                 jitter=0.2,
             )
             self._probe_timer.start()
+        if (
+            self.membership_manager is not None
+            and self._membership_timer is None
+        ):
+            # Deliberately jitter-free: a fault-free membership-on run
+            # must draw exactly the same RNG stream as a membership-off
+            # run (bit-identical equivalence), and the tick itself sends
+            # nothing unless somebody is blocking the chain.
+            self._membership_timer = PeriodicTimer(
+                self.scheduler,
+                self.membership_manager.policy.check_period,
+                self._membership_tick,
+                jitter=0.0,
+            )
+            self._membership_timer.start()
 
     def stop_timers(self) -> None:
         if self._dummy_timer is not None:
             self._dummy_timer.stop()
         if self._probe_timer is not None:
             self._probe_timer.stop()
+        if self._membership_timer is not None:
+            self._membership_timer.stop()
 
     def enable_background(self, dummy_reads: bool = True, probes: bool = True) -> None:
         """(Re)enable the periodic machinery — used by scenarios that start
@@ -203,6 +269,9 @@ class FaustClient(UstorClient):
         if self._probe_timer is not None:
             self._probe_timer.stop()
             self._probe_timer = None
+        if self._membership_timer is not None:
+            self._membership_timer.stop()
+            self._membership_timer = None
 
     def resume(self) -> None:
         """Wake up after :meth:`pause`."""
@@ -283,7 +352,20 @@ class FaustClient(UstorClient):
         if result.stability_advanced:
             self._notify_stable()
         if result.updated and self.checkpoint_manager is not None:
-            self.checkpoint_manager.on_stability(self.tracker.stable_vector())
+            self.checkpoint_manager.on_stability(self._checkpoint_stable())
+
+    def _checkpoint_stable(self) -> tuple[int, ...]:
+        """The cut the checkpoint protocol folds: epoch-scoped if any.
+
+        With membership on, stability is taken over the current epoch's
+        member rows only (an evicted client's frozen row must not pin
+        the cut); identical to the all-rows cut while every client is a
+        member.
+        """
+        manager = self.membership_manager
+        if manager is not None:
+            return self.tracker.stable_vector(members=manager.members)
+        return self.tracker.stable_vector()
 
     def _notify_stable(self) -> None:
         cut = self.tracker.stability_cut()
@@ -326,6 +408,11 @@ class FaustClient(UstorClient):
                 self.name, client_name(peer), ProbeMessage(sender=self._id)
             )
 
+    def _membership_tick(self) -> None:
+        if self.faust_failed or self.crashed or self.membership_manager is None:
+            return
+        self.membership_manager.on_tick(self.now)
+
     # ---------------------------------------------------------------- #
     # Message dispatch
     # ---------------------------------------------------------------- #
@@ -338,11 +425,19 @@ class FaustClient(UstorClient):
             return
         if isinstance(message, ProbeMessage):
             self._handle_probe(message)
+            self._note_membership_contact(message.sender)
         elif isinstance(message, VersionMessage):
             self._absorb(message.sender, message.version)
+            self._note_membership_contact(message.sender)
         elif isinstance(message, CheckpointShareMessage):
             if self.checkpoint_manager is not None:
                 self.checkpoint_manager.on_share(message)
+        elif isinstance(message, EpochShareMessage):
+            if self.membership_manager is not None:
+                self.membership_manager.on_share(message)
+        elif isinstance(message, EpochAnnounceMessage):
+            if self.membership_manager is not None:
+                self.membership_manager.on_announce(message)
         elif isinstance(message, FailureMessage):
             # The paper's third detection condition: another client holds
             # proof.  Re-alerting is harmless (each client alerts at most
@@ -400,6 +495,57 @@ class FaustClient(UstorClient):
                 del self.stable_notifications[:-keep]
         for listener in list(self._checkpoint_listeners):
             listener(checkpoint)
+
+    # ---------------------------------------------------------------- #
+    # Membership (lease-based epochs)
+    # ---------------------------------------------------------------- #
+
+    def _note_membership_contact(self, sender: ClientId) -> None:
+        """Probe/version traffic from an evicted client: sponsor a rejoin."""
+        if self.membership_manager is not None:
+            self.membership_manager.note_contact(sender)
+
+    def _broadcast_epoch_share(self, share: EpochShareMessage) -> None:
+        # Epoch shares go to *every* client, evicted ones included —
+        # they keep tracking the membership chain while out.
+        if self._offline is None:
+            return
+        for peer in range(self._n):
+            if peer == self._id:
+                continue
+            self._offline.send(self.name, client_name(peer), share)
+
+    def _send_epoch_announce(
+        self, peer: ClientId, announce: EpochAnnounceMessage
+    ) -> None:
+        if self._offline is None:
+            return
+        self._offline.send(self.name, client_name(peer), announce)
+
+    def _request_rejoin(self, peer: ClientId) -> None:
+        """As an evictee: make contact with a member (a VERSION suffices)."""
+        if self._offline is None or self.crashed:
+            return
+        self._offline.send(
+            self.name,
+            client_name(peer),
+            VersionMessage(sender=self._id, version=self.tracker.max_version),
+        )
+
+    def _epoch_installed(self, epoch: Epoch) -> None:
+        """Act on a newly installed membership epoch."""
+        trace = self.network.trace
+        if trace is not None:
+            trace.note(
+                self.now, self.name, "epoch", (epoch.epoch, epoch.members)
+            )
+        if self.checkpoint_manager is not None:
+            self.checkpoint_manager.on_members_changed()
+            # Re-feed stability: the member-scoped cut may jump the
+            # moment a frozen row leaves the min.
+            self.checkpoint_manager.on_stability(self._checkpoint_stable())
+        for listener in list(self._epoch_listeners):
+            listener(epoch)
 
     # ---------------------------------------------------------------- #
     # fail_i

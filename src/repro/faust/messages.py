@@ -19,8 +19,18 @@ The bounded-state extension adds a fourth:
   is forwarded to the *untrusted* server, so its authenticity cannot
   ride on the channel alone.
 
+The membership layer (:mod:`repro.faust.membership`) adds two more:
+
+* EPOCH-SHARE — a co-signature over a proposed membership epoch (epoch
+  number, member set, parent digest); one valid share per *new* member
+  installs the epoch.
+* EPOCH-ANNOUNCE — the rejoin bootstrap: the full epoch chain plus the
+  last installed checkpoint, sent to an evicted client that made
+  contact so it can re-seed its state and be sponsored back in.
+
 The offline channel is authenticated (it connects mutually trusting
-clients), so the first three messages carry no additional signatures.
+clients), so messages without explicit signatures ride on the channel
+alone.
 """
 
 from __future__ import annotations
@@ -66,6 +76,14 @@ class CheckpointShareMessage:
     ``signature`` is the sender's signature over ``("CHECKPOINT", seq,
     cut, parent_digest)``; collecting one valid share per client installs
     checkpoint ``seq`` (see :class:`repro.faust.checkpoint.CheckpointManager`).
+
+    ``epoch`` tags the membership epoch the sender was in when it signed
+    (0 when membership is off).  It is deliberately *outside* both the
+    signature and the checkpoint digest — membership-off digests are
+    unchanged — and is used only to resolve the benign proposer race
+    during an epoch transition: a share signed under a newer epoch
+    supersedes a same-sequence share signed under an older one, while
+    divergent shares under the *same* epoch remain forking evidence.
     """
 
     sender: ClientId
@@ -73,6 +91,7 @@ class CheckpointShareMessage:
     cut: tuple[int, ...]
     parent_digest: bytes
     signature: bytes
+    epoch: int = 0
 
     kind = "CHECKPOINT-SHARE"
 
@@ -84,6 +103,70 @@ class CheckpointShareMessage:
             + INT_BYTES * len(self.cut)
             + HASH_BYTES
             + SIGNATURE_BYTES
+            + INT_BYTES  # epoch
+        )
+
+
+@dataclass(frozen=True)
+class EpochShareMessage:
+    """One client's co-signature over a proposed membership epoch.
+
+    ``signature`` is the sender's signature over ``("EPOCH", epoch,
+    members, parent_digest)``; one valid share per member of ``members``
+    installs the epoch (see
+    :class:`repro.faust.membership.MembershipManager`).
+    """
+
+    sender: ClientId
+    epoch: int
+    members: tuple[ClientId, ...]
+    parent_digest: bytes
+    signature: bytes
+
+    kind = "EPOCH-SHARE"
+
+    def wire_size(self) -> int:
+        return (
+            MARKER_BYTES
+            + INT_BYTES  # sender
+            + INT_BYTES  # epoch
+            + INT_BYTES * len(self.members)
+            + HASH_BYTES
+            + SIGNATURE_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class EpochAnnounceMessage:
+    """The rejoin bootstrap: epoch chain + last installed checkpoint.
+
+    Sent by a member to an evicted client that made contact.  ``records``
+    is the full membership chain from genesis as ``(epoch, members,
+    parent_digest)`` triples (digests are recomputed and linkage-checked
+    by the receiver, so they are not carried); the checkpoint fields
+    re-seed the returnee's history base at the members' compacted state.
+    """
+
+    sender: ClientId
+    records: tuple[tuple[int, tuple[ClientId, ...], bytes], ...]
+    checkpoint_seq: int
+    checkpoint_cut: tuple[int, ...]
+    checkpoint_parent: bytes
+
+    kind = "EPOCH-ANNOUNCE"
+
+    def wire_size(self) -> int:
+        records = sum(
+            INT_BYTES + INT_BYTES * len(members) + HASH_BYTES
+            for _, members, _ in self.records
+        )
+        return (
+            MARKER_BYTES
+            + INT_BYTES  # sender
+            + records
+            + INT_BYTES  # checkpoint_seq
+            + INT_BYTES * len(self.checkpoint_cut)
+            + HASH_BYTES  # checkpoint_parent
         )
 
 

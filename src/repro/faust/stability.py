@@ -69,7 +69,9 @@ class StabilityTracker:
         """Up to which of my timestamps am I stable w.r.t. ``peer``?"""
         return self._w[peer]
 
-    def stable_vector(self) -> tuple[int, ...]:
+    def stable_vector(
+        self, members: tuple[ClientId, ...] | None = None
+    ) -> tuple[int, ...]:
         """The all-clients stable cut: one timestamp per client.
 
         Entry ``j`` is ``min_k VER_i[k].vector[j]`` — how many of client
@@ -77,8 +79,19 @@ class StabilityTracker:
         already covers.  Operations at or below this cut are stable
         w.r.t. all clients (the prefix the checkpoint protocol folds);
         monotone non-decreasing because ``VER_i`` entries only grow.
+
+        With ``members``, the min runs over those clients' rows only —
+        the membership layer's epoch-scoped cut: stability w.r.t. the
+        current signer set, which keeps advancing after an evicted
+        client's row froze.  The cut stays full-width ``n`` (evicted
+        clients keep their column — their folded operations remain part
+        of history), and every entry is ``>=`` the all-rows value, so
+        member-scoped cuts still cover everything the full cut covers.
         """
-        vectors = [version.vector for version in self.versions]
+        if members is None:
+            vectors = [version.vector for version in self.versions]
+        else:
+            vectors = [self.versions[k].vector for k in members]
         return tuple(
             min(vector[j] for vector in vectors) for j in range(self._n)
         )

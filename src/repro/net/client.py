@@ -34,6 +34,7 @@ exactly the same exception the simulated deadline used.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -64,9 +65,61 @@ __all__ = [
     "ClientConnection",
     "ClientTransport",
     "NetSystem",
+    "ReconnectBackoff",
     "open_tcp_system",
     "parse_endpoint",
 ]
+
+
+class ReconnectBackoff:
+    """Exponential reconnect backoff with deterministic full-range jitter.
+
+    Consecutive failed attempts wait ``base * multiplier**attempt``
+    capped at ``cap``, each scaled by a jitter factor drawn uniformly
+    from ``[0.5, 1.0)`` — enough spread that a fleet of clients whose
+    server just died does not retry in lockstep (the reconnect
+    thundering herd), while keeping a floor of half the nominal delay so
+    backoff still backs off.  The jitter stream is ``random.Random(seed)``,
+    so a seeded deployment replays the exact same delays.
+
+    :meth:`reset` (called after a successful handshake) starts the
+    schedule over, so one long outage does not penalize the next blip.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        *,
+        multiplier: float = 2.0,
+        cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if base <= 0:
+            raise ConfigurationError("backoff base must be positive")
+        if multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+        if cap < base:
+            raise ConfigurationError("backoff cap must be >= base")
+        self._base = base
+        self._multiplier = multiplier
+        self._cap = cap
+        self._rng = random.Random(seed)
+        self._attempt = 0
+
+    @property
+    def attempt(self) -> int:
+        """Failed attempts since the last :meth:`reset`."""
+        return self._attempt
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next reconnect attempt."""
+        ceiling = min(self._cap, self._base * self._multiplier**self._attempt)
+        self._attempt += 1
+        return ceiling * (0.5 + 0.5 * self._rng.random())
+
+    def reset(self) -> None:
+        """A connection succeeded; start the schedule over."""
+        self._attempt = 0
 
 
 def parse_endpoint(endpoint: str) -> tuple[str, int]:
@@ -150,6 +203,7 @@ class ClientConnection:
         *,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         reconnect_delay: float = 0.05,
+        reconnect_seed: int | None = None,
         sim_trace: SimTrace | None = None,
         trace_writer=None,
         trace_s2c: bool = True,
@@ -161,6 +215,12 @@ class ClientConnection:
         self.server_name = server_name
         self._max_frame = max_frame_bytes
         self._reconnect_delay = reconnect_delay
+        # Per-client jitter stream: default seed keys off the client id
+        # so a fleet sharing one config still de-synchronizes.
+        self._backoff = ReconnectBackoff(
+            reconnect_delay,
+            seed=client_id if reconnect_seed is None else reconnect_seed,
+        )
         self._sim_trace = sim_trace
         self._trace_writer = trace_writer
         #: With a replica group the raw per-replica REPLY stream is not
@@ -230,7 +290,7 @@ class ClientConnection:
         first_attempt = True
         while not self._closed:
             if not first_attempt:
-                await asyncio.sleep(self._reconnect_delay)
+                await asyncio.sleep(self._backoff.next_delay())
             first_attempt = False
             try:
                 reader, writer = await asyncio.open_connection(self.host, self.port)
@@ -261,6 +321,7 @@ class ClientConnection:
                     return
                 self._writer = writer
                 self.connected = True
+                self._backoff.reset()
                 self._runtime.wake()
                 for payload in list(self.unacked):
                     # Retransmissions are flagged so the replayer knows the
@@ -655,6 +716,9 @@ def open_tcp_system(
                 endpoint,
                 name,
                 sim_trace=sim_trace,
+                # Distinct deterministic jitter stream per (client, replica)
+                # link, reproducible from the system seed.
+                reconnect_seed=(seed << 16) ^ (i * len(endpoints) + k),
                 trace_writer=trace_writer if k == 0 else None,
                 trace_s2c=replicas == 1,
             )

@@ -22,6 +22,12 @@ into numbers a dashboard can alarm on:
   monitor registers on every client; the timestamps coincide with the
   :class:`~repro.api.events.NotificationHub`'s because both listen on
   the same client callbacks under the same clock.
+* ``checkpoint.stall_seconds`` (``repro_checkpoint_stall_seconds`` on
+  the wire) — how long the slowest client's pending checkpoint sequence
+  has been waiting for co-signatures, with ``blocking_clients`` naming
+  the members whose shares (or stability) are missing.  A sustained
+  stall is the page that precedes an eviction when the membership layer
+  is on, and the page that *is* the outage when it is off.
 * ``audit.*`` — progress and verdict of an attached
   :class:`~repro.workloads.runner.IncrementalAuditor`.
 
@@ -116,6 +122,34 @@ class HealthMonitor:
             lags.append(max(0, issued - stable))
         return lags
 
+    def checkpoint_stall(self) -> tuple[float, tuple[int, ...]]:
+        """Worst pending-checkpoint stall and who is blocking it.
+
+        Returns ``(seconds, client_ids)`` over the co-resident clients'
+        checkpoint managers: the longest time any client's pending
+        sequence has gone unsigned, and the union of members those
+        stalled clients are waiting on (missing shares, and — with
+        membership on — lease-lapsed peers the membership layer blames).
+        ``(0.0, ())`` when no checkpointing is configured or nothing is
+        pending.
+        """
+        now = self._now()
+        worst = 0.0
+        blocking: set[int] = set()
+        for client in self._clients:
+            manager = getattr(client, "checkpoint_manager", None)
+            if manager is None:
+                continue
+            stall = manager.stall_seconds(now)
+            if stall <= 0.0:
+                continue
+            worst = max(worst, stall)
+            blocking.update(manager.blocking_clients())
+            membership = getattr(client, "membership_manager", None)
+            if membership is not None:
+                blocking.update(membership.blocking_clients(now))
+        return worst, tuple(sorted(blocking))
+
     def first_failure_time(self) -> float | None:
         """Timestamp of the earliest observed ``fail_i``, or None."""
         return min((t for t, _c, _r in self.failures), default=None)
@@ -158,6 +192,11 @@ class HealthMonitor:
         max_lag = max(lags, default=0)
         registry.gauge("health.max_stability_lag").set(max_lag)
         values["health.max_stability_lag"] = max_lag
+        stall, blocking = self.checkpoint_stall()
+        registry.gauge("checkpoint.stall_seconds").set(stall)
+        values["checkpoint.stall_seconds"] = stall
+        registry.gauge("checkpoint.blocking_clients").set(len(blocking))
+        values["checkpoint.blocking_clients"] = blocking
         first_fail = self.first_failure_time()
         if first_fail is not None:
             registry.gauge("health.first_failure_time").set(first_fail)

@@ -16,6 +16,7 @@ rollback adversary (:class:`~repro.ustor.byzantine.RollbackServer`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.common.errors import SimulationError
@@ -67,6 +68,161 @@ class ServerFaultInjector:
             self._trace.note(
                 self._scheduler.now, self._server.name, "server-restart"
             )
+
+
+#: Client fault kinds understood by :meth:`ClientFaultInjector.parse_spec`.
+CLIENT_FAULT_KINDS = ("crash-forever", "crash-restart", "lease-expiry")
+
+
+@dataclass(frozen=True)
+class ClientFault:
+    """One scheduled client fault (see :class:`ClientFaultInjector`)."""
+
+    kind: str
+    client: int
+    start: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLIENT_FAULT_KINDS:
+            raise SimulationError(
+                f"unknown client fault kind {self.kind!r}; expected one of "
+                f"{', '.join(CLIENT_FAULT_KINDS)}"
+            )
+        if self.start < 0:
+            raise SimulationError("client faults need a non-negative start")
+        if self.kind == "crash-forever":
+            if self.duration is not None:
+                raise SimulationError(
+                    "crash-forever has no duration (the client never returns)"
+                )
+        elif self.duration is None or self.duration <= 0:
+            raise SimulationError(
+                f"{self.kind} needs a positive duration (kind:client@start"
+                f"+duration)"
+            )
+
+
+class ClientFaultInjector:
+    """Schedules client-lifecycle faults against a fail-aware fleet.
+
+    Three fault kinds, mirroring the membership layer's test matrix:
+
+    * ``crash-forever`` — the client crash-stops and never returns; the
+      membership quorum must evict it for the checkpoint chain to
+      resume.
+    * ``crash-restart`` — crash at ``start``, restart with recovered
+      state ``duration`` later (timers keep re-arming through a crash,
+      so the client resumes by itself); typically back inside the lease
+      window, so no eviction should occur.
+    * ``lease-expiry`` — the client pauses and its offline mailbox
+      defers (as in a long GC pause or partition) for ``duration``, long
+      enough to be evicted, then returns and must rejoin via a fresh
+      epoch — never producing a false ``fail``.
+
+    Specs parse from ``kind:client@start[+duration]`` strings, e.g.
+    ``crash-forever:1@200``, ``crash-restart:2@100+300``,
+    ``lease-expiry:0@150+400`` (the ``repro scale --client-faults``
+    syntax).
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        clients: list,
+        offline=None,
+        trace: "SimTrace | None" = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._clients = clients
+        self._offline = offline
+        self._trace = trace
+        self.faults: list[ClientFault] = []
+
+    @staticmethod
+    def parse_spec(spec: str) -> ClientFault:
+        """Parse one ``kind:client@start[+duration]`` fault spec."""
+        try:
+            kind, rest = spec.split(":", 1)
+            target, timing = rest.split("@", 1)
+            if "+" in timing:
+                start_text, duration_text = timing.split("+", 1)
+                duration: float | None = float(duration_text)
+            else:
+                start_text, duration = timing, None
+            return ClientFault(
+                kind=kind.strip(),
+                client=int(target),
+                start=float(start_text),
+                duration=duration,
+            )
+        except (ValueError, IndexError) as exc:
+            raise SimulationError(
+                f"malformed client fault spec {spec!r}: expected "
+                f"kind:client@start[+duration], e.g. crash-forever:1@200 "
+                f"or lease-expiry:0@150+400"
+            ) from exc
+
+    def schedule(self, fault: ClientFault) -> None:
+        """Schedule one fault's events in virtual time."""
+        if not 0 <= fault.client < len(self._clients):
+            raise SimulationError(
+                f"client fault names client {fault.client} but the fleet "
+                f"has {len(self._clients)} client(s)"
+            )
+        self.faults.append(fault)
+        client = self._clients[fault.client]
+        if fault.kind == "crash-forever":
+            self._scheduler.schedule_at(fault.start, self._crash, client)
+        elif fault.kind == "crash-restart":
+            self._scheduler.schedule_at(fault.start, self._crash, client)
+            self._scheduler.schedule_at(
+                fault.start + fault.duration, self._restart, client
+            )
+        else:  # lease-expiry
+            self._scheduler.schedule_at(fault.start, self._go_away, client)
+            self._scheduler.schedule_at(
+                fault.start + fault.duration, self._come_back, client
+            )
+
+    def schedule_specs(self, specs: list[str]) -> None:
+        """Parse and schedule a list of fault specs."""
+        for spec in specs:
+            self.schedule(self.parse_spec(spec))
+
+    # ---------------------------------------------------------------- #
+
+    def _note(self, client, label: str) -> None:
+        if self._trace is not None:
+            self._trace.note(self._scheduler.now, client.name, label)
+
+    def _crash(self, client) -> None:
+        if getattr(client, "faust_failed", False) or client.crashed:
+            return
+        client.crash()
+        self._note(client, "client-crash")
+
+    def _restart(self, client) -> None:
+        if getattr(client, "faust_failed", False) or not client.crashed:
+            return
+        client.restart()
+        self._note(client, "client-restart")
+
+    def _go_away(self, client) -> None:
+        if getattr(client, "faust_failed", False) or client.crashed:
+            return
+        client.pause()
+        if self._offline is not None:
+            self._offline.set_online(client.name, False)
+        self._note(client, "client-away")
+
+    def _come_back(self, client) -> None:
+        if getattr(client, "faust_failed", False) or client.crashed:
+            return
+        if self._offline is not None:
+            self._offline.set_online(client.name, True)
+        client.resume()
+        self._note(client, "client-return")
 
 
 class MultiServerFaultInjector:

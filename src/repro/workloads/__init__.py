@@ -28,6 +28,12 @@ from repro.workloads.scenarios import (
     figure3_scenario,
     split_brain_scenario,
 )
+from repro.workloads.sessions import (
+    SessionLease,
+    SessionPool,
+    SessionWindow,
+    plan_churn_windows,
+)
 
 __all__ = [
     "ChurnSchedule",
@@ -41,6 +47,9 @@ __all__ = [
     "ResidentSample",
     "ScaleConfig",
     "ScaleReport",
+    "SessionLease",
+    "SessionPool",
+    "SessionWindow",
     "SplitBrainResult",
     "StorageSystem",
     "SystemBuilder",
@@ -51,6 +60,7 @@ __all__ = [
     "figure3_scenario",
     "generate_open_loop",
     "generate_scripts",
+    "plan_churn_windows",
     "run_scale",
     "split_brain_scenario",
     "unique_value",

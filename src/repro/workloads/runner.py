@@ -473,7 +473,9 @@ class SystemBuilder:
             replica_servers=list(servers),
         )
 
-    def build_faust(self, checkpoint=None, **faust_kwargs) -> StorageSystem:
+    def build_faust(
+        self, checkpoint=None, membership=None, **faust_kwargs
+    ) -> StorageSystem:
         """A FAUST deployment: USTOR plus the fail-aware layer (Section 6).
 
         ``checkpoint`` (a :class:`~repro.faust.checkpoint.CheckpointPolicy`)
@@ -482,6 +484,12 @@ class SystemBuilder:
         policy prunes history — the shared recorder (and its incremental
         checkers) compacts behind each cut once *every* client has
         installed it, so verdicts never depend on one client racing ahead.
+
+        ``membership`` (a :class:`~repro.faust.membership.MembershipPolicy`)
+        layers lease-based membership epochs under the checkpoint
+        protocol, so the chain keeps advancing after a crashed-forever
+        client is evicted (compaction then waits for the checkpoint's
+        *signers* only — an evicted client can never install).
         """
         from repro.faust.client import FaustClient
 
@@ -496,6 +504,7 @@ class SystemBuilder:
                 recorder=recorder,
                 commit_piggyback=self.commit_piggyback,
                 checkpoint=checkpoint,
+                membership=membership,
                 **faust_kwargs,
                 **self._client_replica_kwargs(),
             )
@@ -509,7 +518,7 @@ class SystemBuilder:
 
             def _on_install(cp, _installs=installs, _recorder=recorder):
                 count = _installs.get(cp.seq, 0) + 1
-                if count >= self.num_clients:
+                if count >= (len(cp.signers) or self.num_clients):
                     _installs.pop(cp.seq, None)
                     _recorder.compact(cp.cut, keep_tail=checkpoint.keep_tail)
                 else:

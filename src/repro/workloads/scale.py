@@ -17,10 +17,19 @@ that claim into a measured, regression-gated quantity:
 * **steady-state growth ratio** compares the post-warmup first half of
   those samples against the second half: a bounded system hovers near
   1.0, an unbounded one grows with the run length;
-* optional **client churn** (:class:`repro.workloads.churn.ChurnSchedule`)
-  disconnects clients mid-window — checkpointing needs all ``n``
-  co-signers, so installs stall during the window and must resume after
-  the rejoin.
+* optional **session churn** (:class:`repro.workloads.sessions.SessionPool`
+  plus a deterministic window plan) cycles logical sessions over the
+  signer slots — each window logs one session out, takes its slot
+  offline, and logs a fresh session in when the slot returns, so churn
+  in the tens of thousands of sessions never needs that many signer
+  keys;
+* optional **client faults**
+  (:class:`repro.sim.faults.ClientFaultInjector`, the ``--client-faults``
+  flag) inject crash-forever / crash-restart / lease-expiry lifecycles:
+  with ``membership=`` on, the quorum evicts a crashed-forever client
+  and the checkpoint chain (and the growth ratio) recovers; without it,
+  the chain stalls and resident state grows without bound — the
+  difference this harness exists to measure.
 
 ``repro scale`` (the CLI) runs one configuration and renders the report
 as JSON plus a Prometheus-style metrics file; ``benchmarks/
@@ -39,10 +48,12 @@ from repro.api.config import FaustParams, SystemConfig
 from repro.common.errors import ConfigurationError
 from repro.consistency.incremental import attach_incremental_checkers
 from repro.faust.checkpoint import CheckpointPolicy
+from repro.faust.membership import MembershipPolicy
 from repro.obs.registry import Histogram, Registry
+from repro.sim.faults import ClientFaultInjector
 from repro.sim.network import FixedLatency
-from repro.workloads.churn import ChurnSchedule
 from repro.workloads.generator import Driver, OpenLoopConfig, generate_open_loop
+from repro.workloads.sessions import SessionLease, SessionPool, plan_churn_windows
 
 
 @dataclass
@@ -55,12 +66,19 @@ class ScaleConfig:
     #: ``None`` runs without checkpointing — the unbounded baseline the
     #: growth ratio is compared against.
     checkpoint: CheckpointPolicy | None = None
+    #: Lease-based membership epochs (requires ``checkpoint``): the
+    #: quorum evicts crashed-forever clients so the chain keeps folding.
+    membership: MembershipPolicy | None = None
     latency: float = 1.0
     offline_latency: float = 0.5
     storage: str = "log"
-    #: Random client offline windows drawn over the schedule horizon.
+    #: Random session churn windows drawn over the schedule horizon
+    #: (logical sessions cycling over the signer slots).
     churn_windows: int = 0
     churn_mean_duration: float = 5.0
+    #: Client fault specs, ``kind:client@start[+duration]`` — see
+    #: :meth:`repro.sim.faults.ClientFaultInjector.parse_spec`.
+    client_faults: tuple[str, ...] = ()
     #: Virtual-time cadence of resident-structure samples.
     sample_every: float = 10.0
     #: Leading fraction of samples discarded before the growth ratio
@@ -132,6 +150,17 @@ class ScaleReport:
     recorder_compacted: int
     checker_ok: dict[str, bool]
     failed_clients: int
+    #: Highest membership epoch installed by any live client.
+    epoch: int = 0
+    #: Clients outside the final epoch's member set (live clients' view).
+    evicted_clients: tuple[int, ...] = ()
+    #: Total re-admissions co-signed across the run (live clients' view).
+    rejoins: int = 0
+    #: Largest pending-checkpoint stall any live client reports at the end.
+    checkpoint_stall_seconds: float = 0.0
+    #: Logical sessions the pool leased / recycled over the run.
+    sessions_created: int = 0
+    sessions_recycled: int = 0
     peak_traced_bytes: int | None = None
     bytes_per_op: float | None = None
 
@@ -161,6 +190,13 @@ class ScaleReport:
             "recorder_compacted": self.recorder_compacted,
             "checker_ok": dict(self.checker_ok),
             "failed_clients": self.failed_clients,
+            "membership": self.config.membership is not None,
+            "epoch": self.epoch,
+            "evicted_clients": list(self.evicted_clients),
+            "rejoins": self.rejoins,
+            "checkpoint_stall_seconds": self.checkpoint_stall_seconds,
+            "sessions_created": self.sessions_created,
+            "sessions_recycled": self.sessions_recycled,
             "peak_traced_bytes": self.peak_traced_bytes,
             "bytes_per_op": self.bytes_per_op,
             "final_sample": (
@@ -188,6 +224,12 @@ class ScaleReport:
             self.checkpoints_installed
         )
         registry.gauge("scale.recorder_compacted").set(self.recorder_compacted)
+        registry.gauge("scale.epoch").set(self.epoch)
+        registry.gauge("scale.evicted_clients").set(len(self.evicted_clients))
+        registry.gauge("scale.sessions_created").set(self.sessions_created)
+        registry.gauge("scale.checkpoint_stall_seconds").set(
+            self.checkpoint_stall_seconds
+        )
         if self.samples:
             final = self.samples[-1]
             registry.gauge("scale.resident.server_pending").set(
@@ -271,6 +313,7 @@ def run_scale(config: ScaleConfig) -> ScaleReport:
         offline_latency=FixedLatency(config.offline_latency),
         storage=config.storage,
         checkpoint=config.checkpoint,
+        membership=config.membership,
         # Dummy reads and probes stay ON: under Zipf skew the unpopular
         # registers are rarely read, and stability (hence checkpointing)
         # would stall without the background version exchange.
@@ -289,13 +332,62 @@ def run_scale(config: ScaleConfig) -> ScaleReport:
         schedules, on_latency=lambda _client, latency: latency_hist.observe(latency)
     )
 
+    # Logical sessions lease the signer slots; churn and eviction move
+    # through the pool so the signer count never grows with session count.
+    pool = SessionPool(config.num_clients, provider=lambda slot: raw.clients[slot])
+    active: dict[int, SessionLease] = {}
+    for _ in range(config.num_clients):
+        lease = pool.try_acquire()
+        if lease is None:  # pragma: no cover - pool sized to the fleet
+            break
+        active[lease.slot] = lease
+
     if config.churn_windows:
-        churn = ChurnSchedule(raw)
-        churn.random_windows(
+        churn_rng = random.Random((config.seed << 1) ^ 0xC4A11)
+        windows = plan_churn_windows(
+            churn_rng,
             config.churn_windows,
             horizon=config.open_loop.duration,
             mean_duration=config.churn_mean_duration,
+            num_slots=config.num_clients,
         )
+
+        def _session_out(duration: float) -> None:
+            quarantined = set(pool.quarantined)
+            eligible = [
+                slot
+                for slot in sorted(active)
+                if slot not in quarantined
+                and not raw.clients[slot].crashed
+                and not getattr(raw.clients[slot], "faust_failed", False)
+            ]
+            if not eligible:
+                return  # every slot is away, crashed or evicted
+            slot = churn_rng.choice(eligible)
+            pool.release(active.pop(slot))
+            client = raw.clients[slot]
+            client.pause()
+            raw.offline.set_online(client.name, False)
+            raw.scheduler.schedule(duration, _session_in, slot)
+
+        def _session_in(slot: int) -> None:
+            client = raw.clients[slot]
+            if client.crashed or getattr(client, "faust_failed", False):
+                return
+            raw.offline.set_online(client.name, True)
+            client.resume()
+            lease = pool.try_acquire_slot(slot)
+            if lease is not None:  # slot may have been evicted while away
+                active[slot] = lease
+
+        for window in windows:
+            raw.scheduler.schedule_at(window.start, _session_out, window.duration)
+
+    if config.client_faults:
+        injector = ClientFaultInjector(
+            raw.scheduler, raw.clients, offline=raw.offline, trace=raw.trace
+        )
+        injector.schedule_specs(list(config.client_faults))
 
     tracing = False
     if config.trace_malloc and not tracemalloc.is_tracing():
@@ -319,11 +411,29 @@ def run_scale(config: ScaleConfig) -> ScaleReport:
     planned = driver.stats.total_planned()
     completed = driver.stats.total_completed()
     duration = raw.now
+    live = [
+        c
+        for c in raw.clients
+        if not c.crashed and not getattr(c, "faust_failed", False)
+    ]
     managers = [
         c.checkpoint_manager
-        for c in raw.clients
+        for c in live
         if getattr(c, "checkpoint_manager", None) is not None
     ]
+    memberships = [
+        c.membership_manager
+        for c in live
+        if getattr(c, "membership_manager", None) is not None
+    ]
+    epoch = 0
+    evicted: tuple[int, ...] = ()
+    rejoins = 0
+    if memberships:
+        newest = max(memberships, key=lambda m: m.epoch.epoch)
+        epoch = newest.epoch.epoch
+        evicted = newest.evicted_clients()
+        rejoins = max(m.rejoins for m in memberships)
     return ScaleReport(
         config=config,
         planned=planned,
@@ -347,6 +457,14 @@ def run_scale(config: ScaleConfig) -> ScaleReport:
         failed_clients=sum(
             1 for c in raw.clients if getattr(c, "faust_failed", False)
         ),
+        epoch=epoch,
+        evicted_clients=evicted,
+        rejoins=rejoins,
+        checkpoint_stall_seconds=max(
+            (m.stall_seconds(raw.now) for m in managers), default=0.0
+        ),
+        sessions_created=pool.sessions_created,
+        sessions_recycled=pool.sessions_recycled,
         peak_traced_bytes=peak,
         bytes_per_op=(peak / completed if peak and completed else None),
     )

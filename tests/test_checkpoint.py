@@ -86,6 +86,7 @@ class _Net:
         self.server_messages: list = []
         self.partitioned: set[int] = set()
         self.managers: list[CheckpointManager] = []
+        self.time = 0.0
         policy = CheckpointPolicy(interval=interval)
         for i in range(n):
             self.managers.append(
@@ -100,6 +101,7 @@ class _Net:
                     on_fail=lambda reason, i=i: self.failures.__setitem__(
                         i, reason
                     ),
+                    clock=lambda: self.time,
                 )
             )
 
@@ -262,6 +264,114 @@ def test_proposal_on_forked_parent_chain_fails():
     net.managers[1].on_stability((2, 2, 2))
     net.managers[1].on_share(forked)
     assert "parent" in net.failures[1]
+
+
+# --------------------------------------------------------------------- #
+# Proposer loss mid-sequence, the stall clock, and share catch-up
+# --------------------------------------------------------------------- #
+
+
+def test_proposer_dark_mid_sequence_stalls_then_resumes_on_heal():
+    net = _Net(n=3, interval=4)
+    net.stabilize((2, 2, 1))  # seq 1 installed; seq 2's proposer is client 1
+    assert [m.installed.seq for m in net.managers] == [1, 1, 1]
+    net.partitioned = {1}  # the proposer goes dark before proposing
+    net.time = 10.0
+    net.stabilize((4, 4, 4))
+    # Nobody else may take the rotation's turn: the chain stalls...
+    assert [m.installed.seq for m in net.managers] == [1, 1, 1]
+    assert net.managers[0].shares_sent == 1  # no competing proposal
+    # ...and the survivors' stall clocks have been running since the
+    # interval was crossed, with nobody to blame yet (no proposal means
+    # an empty bucket — the membership layer's counterfactual check, not
+    # this one, names a missing proposer).
+    assert net.managers[0].stall_seconds(now=25.0) == 15.0
+    assert net.managers[0].blocking_clients() == ()
+    assert net.managers[0].shares_for(2) == {}
+    # The proposer comes back and catches up on stability: one proposal,
+    # quorum, install — and the stall clock rearms to zero.
+    net.partitioned = set()
+    net.managers[1].on_stability((4, 4, 4))
+    assert [m.installed.seq for m in net.managers] == [2, 2, 2]
+    assert all(m.stall_seconds(now=99.0) == 0.0 for m in net.managers)
+    # The rotation was not perturbed: seq 3 belongs to client 2.
+    net.stabilize((6, 6, 6))
+    assert net.server_messages[-1].seq == 3
+    assert net.managers[0].proposer(3) == 2
+    assert not net.failures
+
+
+def test_proposer_crash_after_proposal_does_not_block_the_quorum():
+    net = _Net(n=3, interval=4)
+    # Client 0 proposes seq 1 (its share reaches everyone), then crashes.
+    net.managers[0].on_stability((2, 2, 1))
+    net.partitioned = {0}
+    net.stabilize((2, 2, 1))
+    # Its share is already in the bucket, so the survivors complete the
+    # quorum without it; only the crashed proposer itself is behind.
+    assert [m.installed.seq for m in net.managers] == [0, 1, 1]
+    assert not net.failures
+
+
+def test_blocking_clients_names_the_member_withholding_its_share():
+    net = _Net(n=3, interval=4)
+    net.partitioned = {2}
+    net.time = 5.0
+    net.stabilize((2, 2, 2))  # 0 proposes, 1 countersigns, 2 is dark
+    assert [m.installed.seq for m in net.managers] == [0, 0, 0]
+    assert net.managers[0].blocking_clients() == (2,)
+    assert net.managers[1].blocking_clients() == (2,)
+    assert set(net.managers[0].shares_for(1)) == {0, 1}
+    assert net.managers[0].stall_seconds(now=9.0) == 4.0
+    # The bucket is a retransmission source: replaying it to the healed
+    # member (whose copies were lost) completes the quorum.
+    net.partitioned = set()
+    net.managers[2].on_stability((2, 2, 2))
+    for share in list(net.managers[0].shares_for(1).values()):
+        net.managers[2].on_share(share)
+    assert [m.installed.seq for m in net.managers] == [1, 1, 1]
+    assert all(m.blocking_clients() == () for m in net.managers)
+    assert not net.failures
+
+
+def test_buffered_future_share_installs_once_the_gap_fills():
+    net = _Net(n=3, interval=4)
+    manager = net.managers[2]
+    genesis = Checkpoint.genesis(3).digest
+    seq1_digest = chain_digest(1, (2, 2, 2), genesis)
+
+    def share(sender: int, seq: int, cut, parent: bytes):
+        return CheckpointShareMessage(
+            sender=sender,
+            seq=seq,
+            cut=cut,
+            parent_digest=parent,
+            signature=net.keystore.signer(sender).sign(
+                "CHECKPOINT", seq, cut, parent
+            ),
+        )
+
+    # The seq-2 proposal arrives before the seq-1 round this client
+    # missed: not actionable (its parent is unknown here), so it buffers
+    # — no install, no countersignature, and crucially no failure.
+    manager.on_share(share(1, 2, (4, 4, 4), seq1_digest))
+    manager.on_stability((4, 4, 4))
+    assert manager.installed.seq == 0
+    assert set(manager.shares_for(2)) == {1}
+    assert manager.shares_sent == 0
+    # Retransmitted seq-1 shares (a live deployment replays them from
+    # held mail or re-seeds via an epoch announce) fill the gap...
+    manager.on_share(share(0, 1, (2, 2, 2), genesis))
+    manager.on_share(share(1, 1, (2, 2, 2), genesis))
+    # ...and _advance walks the buffered seq-2 bucket in the same
+    # breath: install 1, countersign 2 (my stability already covers it).
+    assert manager.installed.seq == 1
+    assert manager.installed.digest == seq1_digest
+    assert 2 in manager.shares_for(2)  # my countersignature joined in
+    manager.on_share(share(0, 2, (4, 4, 4), seq1_digest))
+    assert manager.installed.seq == 2
+    assert manager.installs == 2
+    assert not net.failures
 
 
 # --------------------------------------------------------------------- #

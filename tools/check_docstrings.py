@@ -35,6 +35,7 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "consistency",
     REPO_ROOT / "src" / "repro" / "faust" / "checkpoint.py",
+    REPO_ROOT / "src" / "repro" / "faust" / "membership.py",
     REPO_ROOT / "src" / "repro" / "obs",
     REPO_ROOT / "src" / "repro" / "perf",
     REPO_ROOT / "src" / "repro" / "replica",
